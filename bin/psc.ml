@@ -1,0 +1,295 @@
+(* psc — the pseudosphere calculator.
+
+   A command-line front end for the library: build pseudospheres and
+   protocol complexes, measure their topology, search for decision maps,
+   print Mayer-Vietoris derivations, evaluate the paper's bounds, and
+   export 1-skeletons to Graphviz. *)
+
+open Psph_topology
+open Psph_model
+open Pseudosphere
+open Psph_agreement
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* shared helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let inputs n = List.init (n + 1) (fun i -> (i, i mod 2))
+
+let input_simplex n = Input_complex.simplex_of_inputs (inputs n)
+
+let describe ?(show_facets = false) ?(integral = false) ?dot ?svg ?save name c =
+  Format.printf "%s: %a@." name Complex.pp_summary c;
+  let b = Homology.betti c in
+  Format.printf "betti: (%s)@."
+    (String.concat "," (List.map string_of_int (Array.to_list b)));
+  Format.printf "connectivity: %d@." (Homology.connectivity c);
+  if integral then
+    Format.printf "integral homology: %s@."
+      (String.concat ", "
+         (Array.to_list (Array.map Homology_z.group_to_string (Homology_z.homology c))));
+  if show_facets then
+    List.iter (fun s -> Format.printf "  %a@." Simplex.pp s) (Complex.facets c);
+  Option.iter
+    (fun path ->
+      Render.save_svg path c;
+      Format.printf "wrote SVG to %s@." path)
+    svg;
+  Option.iter
+    (fun path ->
+      Complex_io.save path c;
+      Format.printf "saved complex to %s@." path)
+    save;
+  Option.iter
+    (fun path ->
+      let oc = open_out path in
+      let ppf = Format.formatter_of_out_channel oc in
+      Format.fprintf ppf "graph complex {@.";
+      let id = Hashtbl.create 64 in
+      List.iteri
+        (fun i v ->
+          Hashtbl.replace id (Format.asprintf "%a" Vertex.pp v) i;
+          Format.fprintf ppf "  v%d [label=%S];@." i
+            (Format.asprintf "%a" Vertex.pp v))
+        (Complex.vertices c);
+      List.iter
+        (fun s ->
+          match Simplex.vertices s with
+          | [ u; v ] ->
+              let iu = Hashtbl.find id (Format.asprintf "%a" Vertex.pp u) in
+              let iv = Hashtbl.find id (Format.asprintf "%a" Vertex.pp v) in
+              Format.fprintf ppf "  v%d -- v%d;@." iu iv
+          | _ -> ())
+        (Complex.simplices_of_dim c 1);
+      Format.fprintf ppf "}@.";
+      close_out oc;
+      Format.printf "wrote 1-skeleton to %s@." path)
+    dot
+
+(* ------------------------------------------------------------------ *)
+(* flags                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let n_arg =
+  Arg.(value & opt int 2 & info [ "n" ] ~docv:"N" ~doc:"Dimension: $(docv)+1 processes.")
+
+let f_arg = Arg.(value & opt int 1 & info [ "f" ] ~docv:"F" ~doc:"Failure budget.")
+
+let k_arg =
+  Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Failures per round (sync/semi).")
+
+let r_arg = Arg.(value & opt int 1 & info [ "r" ] ~docv:"R" ~doc:"Number of rounds.")
+
+let p_arg =
+  Arg.(value & opt int 2 & info [ "p" ] ~docv:"P" ~doc:"Microrounds per round (semi).")
+
+let task_k_arg =
+  Arg.(value & opt int 1 & info [ "task-k" ] ~docv:"K" ~doc:"k of the k-set agreement task.")
+
+let values_arg =
+  Arg.(value & opt int 2 & info [ "values" ] ~docv:"V" ~doc:"Size of the input domain.")
+
+let facets_arg = Arg.(value & flag & info [ "facets" ] ~doc:"Print all facets.")
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE" ~doc:"Export the 1-skeleton as Graphviz.")
+
+let over_inputs_arg =
+  Arg.(
+    value & flag
+    & info [ "over-inputs" ]
+        ~doc:"Build over the whole input complex instead of a fixed input simplex.")
+
+let integral_arg =
+  Arg.(value & flag & info [ "integral" ] ~doc:"Also print integral homology (SNF).")
+
+let svg_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "svg" ] ~docv:"FILE" ~doc:"Render the complex as SVG.")
+
+let save_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~docv:"FILE" ~doc:"Serialize the complex to a file.")
+
+let model_arg =
+  Arg.(
+    value
+    & opt (enum [ ("async", `Async); ("sync", `Sync); ("semi", `Semi) ]) `Sync
+    & info [ "model" ] ~docv:"MODEL" ~doc:"async, sync or semi.")
+
+(* ------------------------------------------------------------------ *)
+(* commands                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pseudosphere_cmd =
+  let run n values facets integral dot svg save =
+    let ps =
+      Psph.uniform ~base:(Simplex.proc_simplex n)
+        (List.init values (fun i -> Label.Int i))
+    in
+    Format.printf "%a@." Psph.pp ps;
+    Format.printf "facet count (closed form): %d@." (Psph.facet_count ps);
+    describe ~show_facets:facets ~integral ?dot ?svg ?save "complex"
+      (Psph.realize ~vertex:Psph.default_vertex ps)
+  in
+  Cmd.v
+    (Cmd.info "pseudosphere" ~doc:"Build psi(P^n; {0..V-1}) (Definition 3).")
+    Term.(
+      const run $ n_arg $ values_arg $ facets_arg $ integral_arg $ dot_arg
+      $ svg_arg $ save_arg)
+
+let build_complex model ~n ~f ~k ~p ~r ~values ~over =
+  let step s =
+    match model with
+    | `Async -> Async_complex.rounds ~n ~f ~r s
+    | `Sync -> Sync_complex.rounds ~k ~r s
+    | `Semi -> Semi_sync_complex.rounds ~k ~p ~n ~r s
+  in
+  if over then
+    Carrier.over_facets step (Input_complex.make ~n ~values:(Value.domain (values - 1)))
+  else step (input_simplex n)
+
+let model_cmd name doc model =
+  let run n f k p r values over facets integral dot svg save =
+    let c = build_complex model ~n ~f ~k ~p ~r ~values ~over in
+    describe ~show_facets:facets ~integral ?dot ?svg ?save name c;
+    match model with
+    | `Async ->
+        Format.printf "Lemma 12 claims connectivity >= %d@."
+          (Async_complex.lemma12_expected_connectivity ~m:n ~n ~f)
+    | `Sync ->
+        if n >= (r * k) + k then
+          Format.printf "Lemma 16/17 claims connectivity >= %d@."
+            (Sync_complex.lemma16_expected_connectivity ~m:n ~n ~k)
+    | `Semi ->
+        if n >= (r + 1) * k then
+          Format.printf "Lemma 21 claims connectivity >= %d@."
+            (Semi_sync_complex.lemma21_expected_connectivity ~m:n ~n ~k)
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const run $ n_arg $ f_arg $ k_arg $ p_arg $ r_arg $ values_arg
+      $ over_inputs_arg $ facets_arg $ integral_arg $ dot_arg $ svg_arg
+      $ save_arg)
+
+let async_cmd = model_cmd "async" "Build the asynchronous complex A^r (Section 6)." `Async
+
+let sync_cmd = model_cmd "sync" "Build the synchronous complex S^r (Section 7)." `Sync
+
+let semi_cmd =
+  model_cmd "semi" "Build the semi-synchronous complex M^r (Section 8)." `Semi
+
+let iis_cmd =
+  let run n r facets integral dot svg save =
+    let c = Iis_complex.rounds ~r (input_simplex n) in
+    describe ~show_facets:facets ~integral ?dot ?svg ?save "iis" c;
+    if r = 1 then
+      Format.printf "isomorphic to the chromatic subdivision: %b@."
+        (Iis_complex.isomorphic_to_chromatic (input_simplex n))
+  in
+  Cmd.v
+    (Cmd.info "iis"
+       ~doc:"Build the iterated immediate snapshot complex (Borowsky-Gafni).")
+    Term.(
+      const run $ n_arg $ r_arg $ facets_arg $ integral_arg $ dot_arg $ svg_arg
+      $ save_arg)
+
+let decide_cmd =
+  let run model n f k p r task_k =
+    let values = task_k + 1 in
+    let c = build_complex model ~n ~f ~k ~p ~r ~values ~over:true in
+    Format.printf "complex: %a@." Complex.pp_summary c;
+    match Decision.solve ~complex:c ~allowed:Task.allowed ~k:task_k () with
+    | Decision.Solution _ -> Format.printf "a %d-set decision map EXISTS@." task_k
+    | Decision.Impossible ->
+        Format.printf "NO %d-set decision map exists (exhaustive search)@." task_k
+    | Decision.Unknown -> Format.printf "search budget exhausted@."
+  in
+  Cmd.v
+    (Cmd.info "decide"
+       ~doc:"Search for a k-set agreement decision map on a protocol complex.")
+    Term.(const run $ model_arg $ n_arg $ f_arg $ k_arg $ p_arg $ r_arg $ task_k_arg)
+
+let bound_cmd =
+  let run n f k c1 c2 d =
+    Format.printf "Corollary 13 (async): %d-set agreement with f=%d is %s@." k f
+      (if Lower_bound.corollary13_impossible ~f ~k then "impossible"
+       else "not excluded");
+    Format.printf "Theorem 18 (sync): %d rounds@."
+      (Lower_bound.theorem18_rounds ~n ~f ~k);
+    Format.printf "Corollary 22 (semi, wait-free): time %.2f@."
+      (Lower_bound.corollary22_time ~f ~k ~c1 ~c2 ~d)
+  in
+  let c1_arg = Arg.(value & opt int 1 & info [ "c1" ] ~doc:"Min step interval.") in
+  let c2_arg = Arg.(value & opt int 2 & info [ "c2" ] ~doc:"Max step interval.") in
+  let d_arg = Arg.(value & opt int 10 & info [ "d" ] ~doc:"Max message delay.") in
+  Cmd.v
+    (Cmd.info "bound" ~doc:"Evaluate the paper's closed-form lower bounds.")
+    Term.(const run $ n_arg $ f_arg $ k_arg $ c1_arg $ c2_arg $ d_arg)
+
+let mv_cmd =
+  let run model n k p =
+    let s = input_simplex n in
+    let pss =
+      match model with
+      | `Sync -> List.map snd (Sync_complex.pseudospheres ~k s)
+      | `Semi -> List.map snd (Semi_sync_complex.pseudospheres ~k ~p ~n s)
+      | `Async -> [ Async_complex.pseudosphere ~n ~f:k s ]
+    in
+    let proof = Mayer_vietoris.union_connectivity pss in
+    Format.printf "%a@.@." Mayer_vietoris.pp proof;
+    Format.printf "derived connectivity >= %d (%d inference steps)@."
+      (Mayer_vietoris.conn proof) (Mayer_vietoris.size proof);
+    Format.printf "numeric validation: %b@." (Mayer_vietoris.validate pss proof)
+  in
+  Cmd.v
+    (Cmd.info "mv"
+       ~doc:"Print a Mayer-Vietoris connectivity derivation (Theorem 2).")
+    Term.(const run $ model_arg $ n_arg $ k_arg $ p_arg)
+
+let run_cmd =
+  let run n f crash_round victim heard =
+    let protocol = Protocols.flood_consensus ~f in
+    let plan =
+      if victim < 0 then [] else [ (crash_round, victim, Pid.Set.of_list heard) ]
+    in
+    let report =
+      Runner.run_sync ~protocol ~inputs:(inputs n)
+        ~schedule:(Runner.crash_schedule ~plan) ~max_rounds:(f + 3)
+    in
+    List.iter
+      (fun (q, round, v) ->
+        Format.printf "%a decides %d in round %d@." Pid.pp q v round)
+      report.Runner.decisions
+  in
+  let crash_round_arg =
+    Arg.(value & opt int 1 & info [ "crash-round" ] ~doc:"Round of the crash.")
+  in
+  let victim_arg =
+    Arg.(value & opt int (-1) & info [ "victim" ] ~doc:"Pid to crash (-1: none).")
+  in
+  let heard_arg =
+    Arg.(
+      value & opt (list int) []
+      & info [ "heard-by" ] ~doc:"Pids still receiving the final send.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run flooding consensus under a crash plan.")
+    Term.(const run $ n_arg $ f_arg $ crash_round_arg $ victim_arg $ heard_arg)
+
+let () =
+  let doc = "pseudosphere calculator (Herlihy-Rajsbaum-Tuttle, PODC 1998)" in
+  let info = Cmd.info "psc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ pseudosphere_cmd; async_cmd; sync_cmd; semi_cmd; iis_cmd;
+            decide_cmd; bound_cmd; mv_cmd; run_cmd ]))

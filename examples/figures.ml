@@ -1,0 +1,63 @@
+(* Walk through the paper's three figures, printing every construction.
+
+   Run with: dune exec examples/figures.exe *)
+
+open Psph_topology
+open Psph_model
+open Pseudosphere
+
+let show name c =
+  Format.printf "%s@.  %a@." name Complex.pp_summary c;
+  List.iter (fun s -> Format.printf "  %a@." Simplex.pp s) (Complex.facets c);
+  Format.printf "@."
+
+let () =
+  (* -------- Figure 1: three-process binary pseudosphere ------------- *)
+  Format.printf "Figure 1 - constructing psi(P^2; {0,1})@.@.";
+  (* left: the bare process triangle *)
+  show "the base simplex (P, Q, R):" (Complex.of_simplex (Simplex.proc_simplex 2));
+  (* centre: two copies labelled with constants *)
+  let constant v =
+    Psph.realize ~vertex:Psph.default_vertex
+      (Psph.uniform ~base:(Simplex.proc_simplex 2) [ Label.Int v ])
+  in
+  show "all-zero copy:" (constant 0);
+  show "all-one copy:" (constant 1);
+  (* right: the full pseudosphere *)
+  let full = Psph.realize ~vertex:Psph.default_vertex (Psph.binary 2) in
+  show "every combination - the pseudosphere (an octahedral 2-sphere):" full;
+
+  (* -------- Figure 2: two smaller pseudospheres --------------------- *)
+  Format.printf "Figure 2 - psi(S^1;{0,1}) and psi(S^0;{0,1,2})@.@.";
+  show "psi(S^1;{0,1}) - a 4-cycle (1-sphere):"
+    (Psph.realize ~vertex:Psph.default_vertex
+       (Psph.uniform ~base:(Simplex.proc_simplex 1) [ Label.Int 0; Label.Int 1 ]));
+  show "psi(S^0;{0,1,2}) - three isolated vertices:"
+    (Psph.realize ~vertex:Psph.default_vertex
+       (Psph.uniform ~base:(Simplex.proc_simplex 0)
+          [ Label.Int 0; Label.Int 1; Label.Int 2 ]));
+
+  (* -------- Figure 3: one-round synchronous protocol complex -------- *)
+  Format.printf
+    "Figure 3 - one-round synchronous executions of P, Q, R with at most one \
+     failure@.@.";
+  let s = Input_complex.simplex_of_inputs [ (0, 0); (1, 0); (2, 0) ] in
+  (* Vertices are printed as (process, heard set): the Lemma 14 labels. *)
+  let plainify c =
+    Complex.map
+      (fun v ->
+        match v with
+        | Vertex.Proc (q, l) -> (
+            match View.of_label l with
+            | View.Round { heard; _ } ->
+                Vertex.proc q (Label.Pid_set (Pid.Set.of_list (List.map fst heard)))
+            | _ -> v)
+        | _ -> v)
+      c
+  in
+  show "executions in which no process fails (one simplex):"
+    (plainify (Sync_complex.one_round_failing s Pid.Set.empty));
+  show "executions in which R (= P2) alone fails (a pseudosphere):"
+    (plainify (Sync_complex.one_round_failing s (Pid.Set.singleton 2)));
+  show "the whole one-faulty complex (union of four pseudospheres):"
+    (plainify (Sync_complex.one_round ~k:1 s))

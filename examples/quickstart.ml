@@ -1,0 +1,42 @@
+(* Quickstart: build a pseudosphere, inspect it, and measure its topology.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Psph_topology
+open Pseudosphere
+
+let () =
+  (* A pseudosphere assigns to each process of a base simplex an
+     independent set of values (Definition 3 of the paper).  Assigning
+     binary values to three processes gives the octahedron — a 2-sphere. *)
+  let ps = Psph.binary 2 in
+  Format.printf "symbolic form:   %a@." Psph.pp ps;
+
+  let complex = Psph.realize ~vertex:Psph.default_vertex ps in
+  Format.printf "realized:        %a@." Complex.pp_summary complex;
+  Format.printf "facets:          %d (one per value assignment)@."
+    (List.length (Complex.facets complex));
+
+  (* Z/2 Betti numbers certify the homotopy type: (1, 0, 1) is a 2-sphere. *)
+  let betti = Homology.betti complex in
+  Format.printf "betti numbers:   %a@."
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Format.pp_print_int)
+    (Array.to_list betti);
+
+  (* Corollary 6: an m-dimensional pseudosphere is (m-1)-connected. *)
+  Format.printf "connectivity:    %d (Corollary 6 promises >= %d)@."
+    (Homology.connectivity complex)
+    (Psph.connectivity_bound ps);
+
+  (* The pseudosphere algebra of Lemma 4 is available symbolically. *)
+  let base = Simplex.proc_simplex 2 in
+  let a = Psph.uniform ~base [ Label.Int 0; Label.Int 1 ] in
+  let b = Psph.uniform ~base [ Label.Int 1; Label.Int 2 ] in
+  let i = Psph.inter a b in
+  Format.printf "intersection:    %a@." Psph.pp i;
+  Format.printf "Lemma 4.3 check: %b@."
+    (Complex.equal
+       (Complex.inter (Psph.realize a) (Psph.realize b))
+       (Psph.realize i))

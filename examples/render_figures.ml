@@ -1,0 +1,46 @@
+(* Regenerate the paper's figures as SVG files.
+
+   Run with: dune exec examples/render_figures.exe
+   Output:   figure1.svg figure2a.svg figure2b.svg figure3.svg iis.svg *)
+
+open Psph_topology
+open Psph_model
+open Pseudosphere
+
+let plainify c =
+  (* replace full-view labels by heard-set labels for short captions *)
+  Complex.map
+    (fun v ->
+      match v with
+      | Vertex.Proc (q, l) -> (
+          match View.of_label l with
+          | View.Round { heard; _ } ->
+              Vertex.proc q (Label.Pid_set (Pid.Set.of_list (List.map fst heard)))
+          | _ -> v
+          | exception Invalid_argument _ -> v)
+      | _ -> v)
+    c
+
+let write name c =
+  Render.save_svg name c;
+  Format.printf "wrote %-14s %a@." name Complex.pp_summary c
+
+let () =
+  (* Figure 1: the binary pseudosphere on three processes *)
+  write "figure1.svg" (Psph.realize ~vertex:Psph.default_vertex (Psph.binary 2));
+
+  (* Figure 2: psi(S^1;{0,1}) and psi(S^0;{0,1,2}) *)
+  write "figure2a.svg"
+    (Psph.realize ~vertex:Psph.default_vertex
+       (Psph.uniform ~base:(Simplex.proc_simplex 1) [ Label.Int 0; Label.Int 1 ]));
+  write "figure2b.svg"
+    (Psph.realize ~vertex:Psph.default_vertex
+       (Psph.uniform ~base:(Simplex.proc_simplex 0)
+          [ Label.Int 0; Label.Int 1; Label.Int 2 ]));
+
+  (* Figure 3: the one-round one-faulty synchronous complex *)
+  let s = Input_complex.simplex_of_inputs [ (0, 0); (1, 0); (2, 0) ] in
+  write "figure3.svg" (plainify (Sync_complex.one_round ~k:1 s));
+
+  (* bonus: the chromatic subdivision = one-round IIS complex *)
+  write "iis.svg" (plainify (Iis_complex.one_round s))

@@ -1,0 +1,68 @@
+(* The semi-synchronous time lower bound (Corollary 22) in the timed
+   simulator: the stretch argument, and a timeout protocol's decision time.
+
+   Run with: dune exec examples/semi_sync_timing.exe *)
+
+open Psph_topology
+open Psph_model
+open Psph_agreement
+
+let () =
+  let cfg = { Sim.c1 = 1; c2 = 3; d = 3 } in
+  let p = Sim.microrounds cfg in
+  Format.printf
+    "timing: c1 = %d, c2 = %d, d = %d  ->  p = %d microrounds/round, C = %.1f@.@."
+    cfg.Sim.c1 cfg.Sim.c2 cfg.Sim.d p (Sim.uncertainty cfg);
+
+  (* -------- the stretch ------------------------------------------- *)
+  let r = 1 in
+  let after_step = r * p in
+  Format.printf
+    "Round %d ends at time %d.  Now kill everyone except P0, silently,@." r
+    (r * cfg.Sim.d);
+  Format.printf "and let P0 run as slowly as the model allows (every c2).@.@.";
+  let solo = Sim.run cfg ~n:2 (Sim.slow_solo cfg ~survivor:0 ~after_step) ~until:40 in
+  let fast = Sim.run cfg ~n:2 (Sim.lockstep cfg) ~until:40 in
+  let c = cfg.Sim.c2 / cfg.Sim.c1 in
+  let t_solo = (r * cfg.Sim.d) + (c * cfg.Sim.d) in
+  let t_fast = (r + 1) * cfg.Sim.d in
+  Format.printf
+    "P0's observations in the stretched run up to rd + Cd = %d are exactly@."
+    t_solo;
+  Format.printf
+    "its observations in the failure-free run up to (r+1)d = %d: %b@.@." t_fast
+    (Sim.indistinguishable_to 0 (solo, t_solo) (fast, t_fast));
+  Format.printf
+    "Since no decision is possible at (r+1)d - eps (the complex M^%d is@." r;
+  Format.printf
+    "(k-1)-connected), none is possible at rd + Cd - eps either:@.";
+  Format.printf "  Corollary 22 bound = rd + Cd = %.1f@.@."
+    (Lower_bound.corollary22_time ~f:2 ~k:1 ~c1:cfg.Sim.c1 ~c2:cfg.Sim.c2
+       ~d:cfg.Sim.d);
+
+  (* -------- a timeout protocol ------------------------------------- *)
+  let f = 1 in
+  let protocol = Protocols.semi_sync_consensus ~f in
+  Format.printf "Timeout consensus (decide min after f + 1 = %d rounds):@."
+    (f + 1);
+  let ds =
+    Sim.decision_time cfg ~n:2 (Sim.lockstep cfg) ~protocol
+      ~inputs:[ (0, 7); (1, 2); (2, 5) ] ~horizon:60
+  in
+  let bound =
+    Lower_bound.corollary22_time ~f ~k:1 ~c1:cfg.Sim.c1 ~c2:cfg.Sim.c2 ~d:cfg.Sim.d
+  in
+  List.iter
+    (fun (q, t, v) ->
+      Format.printf "  %a decides %d at time %d (lower bound %.1f)@." Pid.pp q v
+        t bound)
+    ds;
+
+  (* crash P1 (the minimum holder) mid-round and watch agreement hold *)
+  Format.printf "@.With P1 crashing at microround 1 of round 1, heard by P0 only:@.";
+  let crash = { Sim.at_step = 1; deliver_final_to = Pid.Set.singleton 0 } in
+  let adv = Sim.lockstep_with_crashes cfg [ (1, crash) ] in
+  let ds = Sim.decision_time cfg ~n:2 adv ~protocol ~inputs:[ (0, 7); (1, 2); (2, 5) ] ~horizon:60 in
+  List.iter
+    (fun (q, t, v) -> Format.printf "  %a decides %d at time %d@." Pid.pp q v t)
+    ds

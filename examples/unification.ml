@@ -1,0 +1,77 @@
+(* "Unifying" in action: the same one-round complexes through three lenses.
+
+   1. Gafni's round-by-round suspicion structures: one constructor, three
+      models (Related Work, Section 2).
+   2. Awerbuch's synchronizer: synchronous protocols on an asynchronous
+      network, failure-free (the translation approach).
+   3. Knowledge: what processes know, and why connectivity blocks
+      agreement (Section 1's similarity relation).
+
+   Run with: dune exec examples/unification.exe *)
+
+open Psph_topology
+open Psph_model
+open Pseudosphere
+open Psph_agreement
+
+let inputs = [ (0, 0); (1, 1); (2, 1) ]
+
+let s = Input_complex.simplex_of_inputs inputs
+
+let () =
+  (* ---- one abstraction, three models ------------------------------ *)
+  Format.printf "Round-by-round suspicion structures:@.";
+  Format.printf
+    "  async (suspect up to f):        RRFD complex = A^1:   %b@."
+    (Rrfd.agrees_with_async ~n:2 ~f:1 s);
+  Format.printf
+    "  sync (suspect a subset of K):   RRFD complex = S^1_K: %b@."
+    (Rrfd.agrees_with_sync s (Pid.Set.singleton 2));
+  let alive = Simplex.ids s in
+  let async_c = Rrfd.one_round s (Rrfd.async_structure ~n:2 ~f:1 ~alive) in
+  Format.printf
+    "  the structure IS the pseudosphere value assignment: %d facets = 3^3@.@."
+    (List.length (Complex.facets async_c));
+
+  (* ---- the synchronizer ------------------------------------------- *)
+  Format.printf "Synchronizer (asynchronous network, skewed delays):@.";
+  let delays ~src ~dst ~round = 1 + ((src + (2 * dst) + round) mod 4) in
+  let result = Synchronizer.run ~n:2 ~rounds:3 ~max_delay:4 ~delays ~inputs in
+  let reference = Synchronizer.synchronous_reference ~n:2 ~rounds:3 ~inputs in
+  Format.printf "  views equal the synchronous execution: %b@."
+    (Synchronizer.correct result ~reference);
+  Pid.Map.iter
+    (fun q times ->
+      Format.printf "  %a finished rounds at times %s (bound: r * %d)@." Pid.pp q
+        (String.concat ", " (List.map string_of_int times))
+        4)
+    result.Synchronizer.finish_times;
+  Format.printf "@.";
+
+  (* ---- knowledge --------------------------------------------------- *)
+  Format.printf "Knowledge in the one-round synchronous complex (<=1 crash):@.";
+  let c1 = Sync_complex.one_round ~k:1 s in
+  let fact0 = Knowledge.fact_value_present 0 in
+  let fact1 = Knowledge.fact_value_present 1 in
+  let heard_all =
+    List.find
+      (fun v ->
+        match v with
+        | Vertex.Proc (q, l) ->
+            q = 1 && Pid.Set.cardinal (View.heard_pids (View.of_label l)) = 3
+        | _ -> false)
+      (Complex.vertices c1)
+  in
+  Format.printf "  P1 heard everyone: knows value 0 is present: %b@."
+    (Knowledge.knows c1 heard_all fact0);
+  (match Complex.facets c1 with
+  | facet :: _ ->
+      Format.printf "  but common knowledge of value 0: %b  (complex is connected: %b)@."
+        (Knowledge.common_knowledge_at c1 facet fact0)
+        (Complex.is_connected c1);
+      Format.printf "  common knowledge of value 1 (held twice): %b@."
+        (Knowledge.common_knowledge_at c1 facet fact1)
+  | [] -> ());
+  Format.printf
+    "  the connected component is exactly the obstruction Theorem 9 turns@.";
+  Format.printf "  into the k-set agreement impossibility.@."

@@ -1,0 +1,68 @@
+(** Exhaustive decision-map search.
+
+    Theorems 9/10 and Corollaries 13/18/22 assert that no decision map
+    exists on sufficiently connected protocol complexes.  This module
+    decides the question {e directly} on concrete complexes: a backtracking
+    constraint search over vertex assignments with validity domains
+    ({!Task.allowed}) and the per-facet "at most [k] distinct values"
+    constraint.  [Impossible] results are exhaustive-search certificates of
+    the paper's lower bounds at the tested sizes; [Solution] results
+    witness solvability (e.g. one round beyond the bound). *)
+
+open Psph_topology
+open Psph_model
+
+type verdict =
+  | Solution of Value.t Vertex.Map.t
+  | Impossible
+  | Unknown  (** node budget exhausted *)
+
+val solve :
+  ?budget:int ->
+  ?forward_check:bool ->
+  complex:Complex.t ->
+  allowed:(Vertex.t -> Value.t list) ->
+  k:int ->
+  unit ->
+  verdict
+(** Search for a decision map.  [budget] bounds the number of search nodes
+    (default 20 million).  [forward_check] (default [true]) prunes branches
+    in which a saturated facet leaves some unassigned vertex without a
+    compatible value; disabling it is the ablation benchmarked in
+    [bench/main.ml]. *)
+
+val solvable :
+  ?budget:int ->
+  ?forward_check:bool ->
+  complex:Complex.t ->
+  allowed:(Vertex.t -> Value.t list) ->
+  k:int ->
+  unit ->
+  bool option
+(** [Some true] / [Some false] when the search completes, [None] on budget
+    exhaustion. *)
+
+val solve_general :
+  ?budget:int ->
+  complex:Complex.t ->
+  domains:(Vertex.t -> Value.t list) ->
+  partial_ok:(Value.t list -> bool) ->
+  unit ->
+  verdict
+(** Task-agnostic search: [partial_ok] is a monotone predicate on the
+    values assigned so far within one facet (it may return [false] only
+    when no completion can be valid).  [solve_general] with
+    {!kset_constraint} agrees with {!solve}; {!distinct_constraint} gives
+    renaming-style tasks. *)
+
+val kset_constraint : int -> Value.t list -> bool
+(** "At most k distinct values." *)
+
+val distinct_constraint : Value.t list -> bool
+(** "Pairwise distinct values." *)
+
+val consensus_components_solvable :
+  complex:Complex.t -> allowed:(Vertex.t -> Value.t list) -> bool
+(** Fast exact decision for [k = 1]: a consensus map exists iff every
+    connected component's vertices share a common allowed value.  Used as a
+    cross-check of {!solve}. *)

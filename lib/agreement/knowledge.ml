@@ -1,0 +1,44 @@
+open Psph_topology
+open Psph_model
+
+type fact = Simplex.t -> bool
+
+let facets_containing c v =
+  List.filter (fun s -> Simplex.mem v s) (Complex.facets c)
+
+let knows c v phi = List.for_all phi (facets_containing c v)
+
+let everyone_knows c facet phi =
+  List.for_all (fun v -> knows c v phi) (Simplex.vertices facet)
+
+let iterate_everyone_knows c k phi =
+  let rec go k (phi : fact) : fact =
+    if k <= 0 then phi else go (k - 1) (fun facet -> everyone_knows c facet phi)
+  in
+  go k phi
+
+let component_facets c facet =
+  match Simplex.vertices facet with
+  | [] -> []
+  | v :: _ ->
+      let comps = Complex.connected_components c in
+      let comp =
+        List.find_opt (fun vs -> Vertex.Set.mem v vs) comps
+        |> Option.value ~default:Vertex.Set.empty
+      in
+      List.filter
+        (fun s ->
+          match Simplex.vertices s with
+          | w :: _ -> Vertex.Set.mem w comp
+          | [] -> false)
+        (Complex.facets c)
+
+let common_knowledge_at c facet phi = List.for_all phi (component_facets c facet)
+
+let fact_value_present target facet =
+  List.exists
+    (fun v ->
+      match v with
+      | Vertex.Proc (_, l) -> Value.Set.mem target (View.seen_values (View.of_label l))
+      | Vertex.Anon _ | Vertex.Bary _ -> false)
+    (Simplex.vertices facet)

@@ -1,0 +1,46 @@
+(** Knowledge over protocol complexes.
+
+    Section 1 credits the notion of indistinguishability/similarity to the
+    knowledge literature [FLP85, HM90]: two global states are similar to a
+    process when its local state is the same in both.  In simplicial terms
+    this is the protocol complex itself, and the standard epistemic
+    operators have crisp geometric readings:
+
+    - a {e fact} is a property of global states (facets);
+    - process [P] {e knows} a fact at its vertex [v] iff the fact holds in
+      every facet containing [v];
+    - {e everyone knows} a fact at a facet iff every vertex of the facet
+      knows it; iterating gives [E^k];
+    - a fact is {e common knowledge} at a facet iff it holds at every facet
+      of the connected component — which is why connectivity is the
+      obstruction to agreement.
+
+    The module implements those operators and the classical corollary: in a
+    connected protocol complex, a fact that fails somewhere is nowhere
+    common knowledge (and consensus needs common knowledge of the decision
+    value's presence). *)
+
+open Psph_topology
+
+type fact = Simplex.t -> bool
+(** A property of global states (evaluated on facets). *)
+
+val knows : Complex.t -> Vertex.t -> fact -> bool
+(** [knows c v phi]: [phi] holds at every facet of [c] containing [v]. *)
+
+val everyone_knows : Complex.t -> Simplex.t -> fact -> bool
+(** Every vertex of the facet knows the fact. *)
+
+val iterate_everyone_knows : Complex.t -> int -> fact -> fact
+(** [E^k phi] as a fact on facets ([k = 0] is [phi] itself). *)
+
+val common_knowledge_at : Complex.t -> Simplex.t -> fact -> bool
+(** The fact holds at every facet of the connected component of the given
+    facet. *)
+
+val fact_value_present : Psph_model.Value.t -> fact
+(** "Some process in this global state has seen input [v]" — the fact whose
+    common knowledge consensus on [v] requires. *)
+
+val component_facets : Complex.t -> Simplex.t -> Simplex.t list
+(** All facets sharing the given facet's connected component. *)

@@ -1,0 +1,50 @@
+open Psph_topology
+open Psph_model
+
+let flood_consensus ~f =
+  { (Protocol.decide_after_rounds (f + 1)) with name = "flood-consensus" }
+
+let sync_kset_rounds ~f ~k = (f / k) + 1
+
+let sync_kset ~f ~k =
+  {
+    (Protocol.decide_after_rounds (sync_kset_rounds ~f ~k)) with
+    name = Printf.sprintf "sync-%d-set" k;
+  }
+
+let early_deciding_consensus ~n ~f =
+  ignore n;
+  Protocol.make ~name:"early-deciding-consensus" ~decide:(fun view ->
+      (* decide once the heard set is stable across two consecutive rounds
+         (no new failure observed), or unconditionally at round f + 1 *)
+      let r = View.rounds view in
+      let stable =
+        match view with
+        | View.Round { prev; heard } ->
+            Pid.Set.equal
+              (Pid.Set.of_list (List.map fst heard))
+              (View.heard_pids prev)
+            && View.rounds prev >= 1
+        | View.Init _ | View.Timed_round _ -> false
+      in
+      if (r >= 2 && stable) || r >= f + 1 then Some (Protocol.min_seen view)
+      else None)
+
+let semi_sync_consensus ~f =
+  { (Protocol.decide_after_rounds (f + 1)) with name = "semi-sync-consensus" }
+
+let async_never_terminating_adversary ~n ~victim =
+  List.fold_left
+    (fun acc q ->
+      let heard =
+        if Pid.equal q victim then Pid.universe n
+        else Pid.Set.remove victim (Pid.universe n)
+      in
+      Pid.Map.add q heard acc)
+    Pid.Map.empty (Pid.all n)
+
+let certainty_consensus ~n =
+  Protocol.make ~name:"certainty-consensus" ~decide:(fun view ->
+      let seen = View.seen_pids view in
+      if Pid.Set.cardinal seen >= n + 1 then Some (Protocol.min_seen view)
+      else None)

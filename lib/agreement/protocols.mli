@@ -1,0 +1,51 @@
+(** Executable agreement protocols: the upper bounds matching the paper's
+    lower bounds.
+
+    All are full-information protocols (the paper's normal form), differing
+    only in their decision rules. *)
+
+open Psph_model
+
+val flood_consensus : f:int -> Protocol.t
+(** Synchronous flooding consensus: decide the minimum seen input after
+    [f + 1] rounds.  Matches the [f/1 + 1] round bound of Theorem 18 with
+    [k = 1]. *)
+
+val sync_kset : f:int -> k:int -> Protocol.t
+(** Synchronous k-set agreement: decide the minimum seen input after
+    [floor (f/k) + 1] rounds — the protocol that makes Theorem 18 tight
+    (Chaudhuri et al.). *)
+
+val sync_kset_rounds : f:int -> k:int -> int
+(** The number of rounds {!sync_kset} runs: [floor (f/k) + 1]. *)
+
+val early_deciding_consensus : n:int -> f:int -> Protocol.t
+(** Early-stopping flooding consensus: decide the minimum seen value at the
+    first round [r >= 2] whose heard set equals the previous round's (a
+    round revealing no new failure), or unconditionally at round [f + 1].
+    Decides in [min (f' + 2, f + 1)] rounds when [f'] crashes actually
+    occur — round 2 in failure-free runs — and is exhaustively verified
+    safe by the test-suite.  (The naive rule "decide when fewer than [r]
+    failures are observed" is {e unsafe}: a process that received a
+    crashing minimum-holder's last message sees a seemingly failure-free
+    round, decides, and can die before relaying — the exhaustive checker
+    found exactly that execution.) *)
+
+val semi_sync_consensus : f:int -> Protocol.t
+(** Timeout-based semi-synchronous consensus on the round-structured
+    executions: decide the minimum seen value after [f + 1] rounds (time
+    [(f + 1) d]).  Corollary 22 with [k = 1] lower-bounds any such protocol
+    by [(f - 1) d + C d], so this simple protocol is within [2d - Cd] of
+    optimal. *)
+
+val async_never_terminating_adversary :
+  n:int -> victim:Psph_topology.Pid.t -> Round_schedule.async
+(** A one-round asynchronous schedule (for [f >= 1]) in which nobody hears
+    from [victim]; repeating it forever keeps any "wait until certain"
+    consensus protocol undecided — the executable face of Corollary 13 /
+    FLP. *)
+
+val certainty_consensus : n:int -> Protocol.t
+(** The natural-but-doomed asynchronous protocol: decide the minimum seen
+    input once the view contains {e every} process's input.  Safe, but the
+    adversary of {!async_never_terminating_adversary} starves it forever. *)

@@ -1,0 +1,127 @@
+open Psph_topology
+open Psph_model
+
+type report = {
+  rounds_used : int;
+  decisions : (Pid.t * int * Value.t) list;
+}
+
+let collect_decisions protocol globals_per_round =
+  (* globals_per_round: (round, global) in increasing round order *)
+  let decided = ref Pid.Set.empty in
+  let decisions = ref [] in
+  List.iter
+    (fun (round, g) ->
+      Pid.Map.iter
+        (fun q view ->
+          if not (Pid.Set.mem q !decided) then
+            match protocol.Protocol.decide view with
+            | Some value ->
+                decided := Pid.Set.add q !decided;
+                decisions := (q, round, value) :: !decisions
+            | None -> ())
+        g)
+    globals_per_round;
+  List.rev !decisions
+
+let run_sync ~protocol ~inputs ~schedule ~max_rounds =
+  let g0 = Execution.initial inputs in
+  let rec loop round g acc =
+    if round > max_rounds then List.rev acc
+    else begin
+      let sched = schedule ~round ~alive:(Execution.alive g) in
+      let g' = Execution.apply_sync g sched in
+      loop (round + 1) g' ((round, g') :: acc)
+    end
+  in
+  let history = loop 1 g0 [] in
+  let decisions = collect_decisions protocol history in
+  let rounds_used =
+    List.fold_left (fun acc (_, r, _) -> max acc r) 0 decisions
+  in
+  { rounds_used; decisions }
+
+let crash_schedule ~plan ~round ~alive =
+  let victims =
+    List.filter_map
+      (fun (r, q, _) -> if r = round && Pid.Set.mem q alive then Some q else None)
+      plan
+  in
+  let failed = Pid.Set.of_list victims in
+  let survivors = Pid.Set.diff alive failed in
+  let heard_faulty =
+    Pid.Set.fold
+      (fun q acc ->
+        let heard =
+          List.fold_left
+            (fun h (r, victim, dsts) ->
+              if r = round && Pid.Set.mem victim failed && Pid.Set.mem q dsts then
+                Pid.Set.add victim h
+              else h)
+            Pid.Set.empty plan
+        in
+        Pid.Map.add q heard acc)
+      survivors Pid.Map.empty
+  in
+  { Round_schedule.failed; heard_faulty }
+
+type violation = Agreement_violated | Validity_violated | Termination_violated
+
+let pp_violation ppf = function
+  | Agreement_violated -> Format.pp_print_string ppf "agreement violated"
+  | Validity_violated -> Format.pp_print_string ppf "validity violated"
+  | Termination_violated -> Format.pp_print_string ppf "termination violated"
+
+let check_sync_exhaustive ~protocol ~k_task ~total_crashes ~inputs ~max_rounds =
+  let input_values = Value.Set.of_list (List.map snd inputs) in
+  let violations = ref [] in
+  let note v = if not (List.mem v !violations) then violations := v :: !violations in
+  let rec explore round g decided budget =
+    (* decided: pid -> value for processes that have decided *)
+    let decided =
+      Pid.Map.fold
+        (fun q view acc ->
+          if Pid.Map.mem q acc then acc
+          else
+            match protocol.Protocol.decide view with
+            | Some value -> Pid.Map.add q value acc
+            | None -> acc)
+        g decided
+    in
+    let chosen =
+      Pid.Map.fold (fun _ v acc -> Value.Set.add v acc) decided Value.Set.empty
+    in
+    if Value.Set.cardinal chosen > k_task then note Agreement_violated;
+    if not (Value.Set.subset chosen input_values) then note Validity_violated;
+    if round >= max_rounds then begin
+      (* every survivor must have decided by the horizon *)
+      let undecided =
+        Pid.Map.exists (fun q _ -> not (Pid.Map.mem q decided)) g
+      in
+      if undecided then note Termination_violated
+    end
+    else
+      List.iter
+        (fun sched ->
+          let crashed = Pid.Set.cardinal sched.Round_schedule.failed in
+          explore (round + 1)
+            (Execution.apply_sync g sched)
+            decided (budget - crashed))
+        (Round_schedule.sync_schedules ~k:budget ~alive:(Execution.alive g))
+  in
+  explore 0 (Execution.initial inputs) Pid.Map.empty total_crashes;
+  List.rev !violations
+
+let run_async_with ~protocol ~inputs ~schedule ~rounds =
+  let g0 = Execution.initial inputs in
+  let rec loop round g acc =
+    if round > rounds then List.rev acc
+    else begin
+      let g' = Execution.apply_async g (schedule ~round) in
+      loop (round + 1) g' ((round, g') :: acc)
+    end
+  in
+  let history = loop 1 g0 [] in
+  let decisions = collect_decisions protocol history in
+  let rounds_used = List.fold_left (fun acc (_, r, _) -> max acc r) 0 decisions in
+  { rounds_used; decisions }

@@ -1,0 +1,56 @@
+(** Protocol execution and verification harness.
+
+    Runs full-information protocols over the round-based models with
+    failure injection, records decisions, and — for small systems —
+    exhaustively checks the task properties over {e every} well-behaved
+    execution, making the upper-bound claims as machine-checked as the
+    lower bounds. *)
+
+open Psph_topology
+open Psph_model
+
+type report = {
+  rounds_used : int;  (** max rounds before every survivor decided *)
+  decisions : (Pid.t * int * Value.t) list;
+      (** (process, decision round, value) *)
+}
+
+val run_sync :
+  protocol:Protocol.t ->
+  inputs:(Pid.t * Value.t) list ->
+  schedule:(round:int -> alive:Pid.Set.t -> Round_schedule.sync) ->
+  max_rounds:int ->
+  report
+(** Execute one synchronous execution with the given per-round failure
+    schedule. *)
+
+val crash_schedule :
+  plan:(int * Pid.t * Pid.Set.t) list ->
+  round:int -> alive:Pid.Set.t -> Round_schedule.sync
+(** A schedule from a crash plan: [(round, victim, still_delivered_to)]
+    triples. *)
+
+type violation = Agreement_violated | Validity_violated | Termination_violated
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_sync_exhaustive :
+  protocol:Protocol.t ->
+  k_task:int ->
+  total_crashes:int ->
+  inputs:(Pid.t * Value.t) list ->
+  max_rounds:int ->
+  violation list
+(** Run the protocol over {e all} synchronous executions with at most
+    [total_crashes] crashes overall and check k-set agreement's three
+    properties on each ([[]] means fully verified).  Exponential — use
+    small systems. *)
+
+val run_async_with :
+  protocol:Protocol.t ->
+  inputs:(Pid.t * Value.t) list ->
+  schedule:(round:int -> Round_schedule.async) ->
+  rounds:int ->
+  report
+(** Drive an asynchronous execution for a fixed number of rounds (decided
+    processes are reported; undecided ones are absent). *)

@@ -1,0 +1,35 @@
+open Psph_topology
+open Psph_model
+
+type t = { name : string; n : int; k : int; values : Value.t list }
+
+let kset ~n ~k ~values =
+  { name = Printf.sprintf "%d-set agreement" k; n; k; values }
+
+let consensus ~n ~values = { (kset ~n ~k:1 ~values) with name = "consensus" }
+
+let input_complex t = Pseudosphere.Input_complex.make ~n:t.n ~values:t.values
+
+let allowed v =
+  match v with
+  | Vertex.Proc (_, l) -> Value.Set.elements (View.seen_values (View.of_label l))
+  | Vertex.Anon _ | Vertex.Bary _ -> []
+
+let valid_decision_map t complex map =
+  let validity =
+    List.for_all
+      (fun v -> List.exists (Value.equal (map v)) (allowed v))
+      (Complex.vertices complex)
+  in
+  let agreement =
+    List.for_all
+      (fun s ->
+        let decisions =
+          List.fold_left
+            (fun acc v -> Value.Set.add (map v) acc)
+            Value.Set.empty (Simplex.vertices s)
+        in
+        Value.Set.cardinal decisions <= t.k)
+      (Complex.facets complex)
+  in
+  validity && agreement

@@ -1,0 +1,33 @@
+(** Decision tasks (Section 4).
+
+    In the k-set agreement task processes must (1) decide after finitely
+    many steps, (2) decide some process's input value, and (3) collectively
+    choose at most [k] distinct values.  [k = 1] is consensus. *)
+
+open Psph_topology
+open Psph_model
+
+type t = {
+  name : string;
+  n : int;  (** [n + 1] processes *)
+  k : int;  (** at most [k] distinct decisions *)
+  values : Value.t list;  (** the input domain [V] *)
+}
+
+val kset : n:int -> k:int -> values:Value.t list -> t
+
+val consensus : n:int -> values:Value.t list -> t
+
+val input_complex : t -> Complex.t
+(** [psi(P^n; V)] with initial-view labels. *)
+
+val allowed : Vertex.t -> Value.t list
+(** The decision values a protocol vertex may legally choose: the input
+    values present in its full-information view.  (For a full-information
+    protocol this equals the intersection of [vals S] over the input
+    simplexes [S] whose executions can produce the view, which is the
+    paper's validity condition.) *)
+
+val valid_decision_map : t -> Complex.t -> (Vertex.t -> Value.t) -> bool
+(** Does the map satisfy validity (every vertex decides a seen input) and
+    k-agreement (every facet carries at most [k] distinct decisions)? *)

@@ -1,0 +1,10 @@
+open Psph_topology
+
+let over_facets step c =
+  List.fold_left
+    (fun acc s -> Complex.union acc (step s))
+    Complex.empty (Complex.facets c)
+
+let iterate step r s =
+  let rec loop r c = if r <= 0 then c else loop (r - 1) (over_facets step c) in
+  loop r (Complex.of_simplex s)

@@ -1,0 +1,63 @@
+open Psph_topology
+
+type operator = Simplex.t -> Complex.t
+
+type instance = {
+  hypothesis_holds : bool;
+  conclusion_holds : bool;
+  faces_checked : int;
+}
+
+let hypothesis_on_faces ~op ~c base =
+  (* every nonempty face S^l of the base must map to an (l - c - 1)-
+     connected complex *)
+  let faces =
+    List.filter (fun f -> not (Simplex.is_empty f)) (Simplex.faces base)
+  in
+  let ok =
+    List.for_all
+      (fun face ->
+        let l = Simplex.dim face in
+        Homology.is_k_connected (op face) (l - c - 1))
+      faces
+  in
+  (ok, List.length faces)
+
+let image_of_union ~op complexes =
+  List.fold_left
+    (fun acc cx ->
+      List.fold_left
+        (fun acc facet -> Complex.union acc (op facet))
+        acc (Complex.facets cx))
+    Complex.empty complexes
+
+let check_theorem5 ~op ~c ~base ~values =
+  let hypothesis_holds, faces_checked = hypothesis_on_faces ~op ~c base in
+  let ps = Psph.create ~base ~values in
+  let image = image_of_union ~op [ Psph.realize ~vertex:Psph.default_vertex ps ] in
+  let m = Psph.dim ps in
+  let conclusion_holds = Homology.is_k_connected image (m - c - 1) in
+  { hypothesis_holds; conclusion_holds; faces_checked }
+
+let check_theorem7 ~op ~c ~base ~families =
+  let common =
+    match families with
+    | [] -> []
+    | first :: rest ->
+        List.fold_left
+          (fun acc family -> List.filter (fun u -> List.exists (Label.equal u) family) acc)
+          first rest
+  in
+  if common = [] then
+    invalid_arg "Connectivity_theorems.check_theorem7: empty common intersection";
+  let hypothesis_holds, faces_checked = hypothesis_on_faces ~op ~c base in
+  let pss = List.map (fun family -> Psph.uniform ~base family) families in
+  let image =
+    image_of_union ~op
+      (List.map (Psph.realize ~vertex:Psph.default_vertex) pss)
+  in
+  let m = Simplex.dim base in
+  let conclusion_holds = Homology.is_k_connected image (m - c - 1) in
+  { hypothesis_holds; conclusion_holds; faces_checked }
+
+let holds i = (not i.hypothesis_holds) || i.conclusion_holds

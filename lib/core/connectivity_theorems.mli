@@ -1,0 +1,46 @@
+(** Executable forms of Theorems 5 and 7.
+
+    Theorem 5: if a protocol [P] (viewed as a map from simplexes to
+    complexes) sends every face [S^l] of [S^m] to an [(l - c - 1)]-connected
+    complex, then [P(psi(S^m; U_0, ..., U_m))] is [(m - c - 1)]-connected
+    for all nonempty value sets.  Theorem 7 extends this to unions
+    [U_i psi(S^m; A_i)] with a common nonempty intersection.
+
+    These are statements about {e any} model of computation; this module
+    checks both hypothesis and conclusion numerically for a given one-round
+    operator on a given instance, so each experiment row is an observed
+    instance of the theorem (hypothesis verified, conclusion verified). *)
+
+open Psph_topology
+
+type operator = Simplex.t -> Complex.t
+(** A "protocol" in the theorem's sense. *)
+
+type instance = {
+  hypothesis_holds : bool;
+      (** every face [S^l] maps to an [(l - c - 1)]-connected complex *)
+  conclusion_holds : bool;
+      (** the image of the pseudosphere (or union) is
+          [(m - c - 1)]-connected *)
+  faces_checked : int;
+}
+
+val check_theorem5 :
+  op:operator -> c:int -> base:Simplex.t -> values:(Pid.t -> Label.t list) ->
+  instance
+(** Apply the operator to every facet of [psi(base; values)] and measure.
+    The pseudosphere image is the union of the operator over the
+    pseudosphere's facets.  The value labels replace the base labels
+    wholesale (plain labelling), so for the protocol-complex operators the
+    base should be an input simplex and the values encoded initial
+    views. *)
+
+val check_theorem7 :
+  op:operator -> c:int -> base:Simplex.t -> families:Label.t list list ->
+  instance
+(** Theorem 7 on [U_i psi(base; A_i)]; requires the [A_i] to have a
+    nonempty intersection.  @raise Invalid_argument otherwise. *)
+
+val holds : instance -> bool
+(** The theorem's implication was observed: hypothesis implies
+    conclusion.  (Vacuously true when the hypothesis fails.) *)

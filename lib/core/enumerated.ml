@@ -1,0 +1,19 @@
+open Psph_topology
+open Psph_model
+
+let of_globals globals =
+  Complex.of_facets
+    (List.map
+       (fun g ->
+         Simplex.of_procs
+           (List.map (fun (q, view) -> (q, View.to_label view)) (Pid.Map.bindings g)))
+       globals)
+
+let async ~n ~f ~r inputs =
+  of_globals (Execution.run_async ~n ~f ~rounds:r (Execution.initial inputs))
+
+let sync ~k ~r inputs =
+  of_globals (Execution.run_sync ~k ~rounds:r (Execution.initial inputs))
+
+let semi ~k ~p ~n ~r inputs =
+  of_globals (Execution.run_semi ~k ~p ~n ~rounds:r (Execution.initial inputs))

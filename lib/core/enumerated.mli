@@ -1,0 +1,27 @@
+(** Protocol complexes built by brute-force enumeration of executions.
+
+    The pseudosphere constructions ({!Async_complex}, {!Sync_complex},
+    {!Semi_sync_complex}) are formulas.  This module derives the same
+    complexes from an independent operational semantics — enumerating every
+    round schedule of {!Psph_model.Round_schedule} and applying it with
+    {!Psph_model.Execution} — and the test suite checks the two agree
+    {e exactly} (equal complexes, not merely isomorphic).  This is the
+    machine-checked content of Lemmas 11, 14 and 19 plus their [r]-round
+    iterations. *)
+
+open Psph_topology
+open Psph_model
+
+val of_globals : Execution.global list -> Complex.t
+(** One facet per reachable global state: vertices are (pid, encoded
+    view). *)
+
+val async : n:int -> f:int -> r:int -> (Pid.t * Value.t) list -> Complex.t
+(** All [r]-round asynchronous executions from the given inputs. *)
+
+val sync : k:int -> r:int -> (Pid.t * Value.t) list -> Complex.t
+(** All [r]-round synchronous executions with at most [k] crashes per
+    round. *)
+
+val semi : k:int -> p:int -> n:int -> r:int -> (Pid.t * Value.t) list -> Complex.t
+(** All [r]-round semi-synchronous executions. *)

@@ -1,0 +1,23 @@
+open Psph_topology
+open Psph_model
+
+let simplex_of_inputs assoc =
+  Simplex.of_procs
+    (List.map (fun (p, v) -> (p, View.to_label (View.init v))) assoc)
+
+let pseudosphere ~n ~values =
+  Psph.create
+    ~base:(Simplex.proc_simplex n)
+    ~values:(fun _ -> List.map (fun v -> View.to_label (View.init v)) values)
+
+let make ~n ~values =
+  (* base labels are Unit; the realized vertex keeps only the view label *)
+  Psph.realize ~vertex:Psph.default_vertex (pseudosphere ~n ~values)
+
+let plain ~n ~values =
+  Psph.realize ~vertex:Psph.default_vertex
+    (Psph.create
+       ~base:(Simplex.proc_simplex n)
+       ~values:(fun _ -> List.map Value.to_label values))
+
+let binary n = plain ~n ~values:[ 0; 1 ]

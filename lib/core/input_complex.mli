@@ -1,0 +1,26 @@
+(** Input complexes.
+
+    "Because any process can start with any input from V, the input complex
+    to k-set agreement is the pseudosphere [psi(P^n; V)]" (Section 5).
+    Vertices carry initial full-information views so the protocol-complex
+    constructions can be applied directly to input simplexes. *)
+
+open Psph_topology
+open Psph_model
+
+val simplex_of_inputs : (Pid.t * Value.t) list -> Simplex.t
+(** The input simplex for a fixed assignment: vertex labels are encoded
+    initial views. *)
+
+val make : n:int -> values:Value.t list -> Complex.t
+(** [psi(P^n; V)] with initial-view vertex labels: every assignment of
+    values to the [n + 1] processes is a facet. *)
+
+val pseudosphere : n:int -> values:Value.t list -> Psph.t
+(** The symbolic form of {!make}. *)
+
+val plain : n:int -> values:Value.t list -> Complex.t
+(** Same complex with bare [Int] labels (used for figures and display). *)
+
+val binary : int -> Complex.t
+(** [plain] with values [{0, 1}] — Figure 1's construction. *)

@@ -1,0 +1,87 @@
+open Psph_topology
+
+type proof =
+  | Empty
+  | Axiom of { ps : Psph.t; conn : int }
+  | Disjoint of { left : proof; right : proof }
+  | Glue of { conn : int; left : proof; right : proof; inter : proof }
+
+let conn = function
+  | Empty -> -2
+  | Axiom { conn; _ } -> conn
+  | Disjoint _ -> -1
+  | Glue { conn; _ } -> conn
+
+(* Drop pseudospheres subsumed by another element: the union is unchanged
+   and derivations stay small. *)
+let prune ?(subsume = true) pss =
+  let pss = List.filter (fun ps -> not (Psph.is_empty ps)) pss in
+  (* dedupe equal elements, keeping first occurrences *)
+  let deduped =
+    List.fold_left
+      (fun acc ps ->
+        if List.exists (Psph.equal ps) acc then acc else ps :: acc)
+      [] pss
+    |> List.rev
+  in
+  if not subsume then deduped
+  else
+    (* drop elements strictly subsumed by another remaining element *)
+    List.filter
+      (fun ps ->
+        not
+          (List.exists
+             (fun other -> (not (Psph.equal other ps)) && Psph.subsumes other ps)
+             deduped))
+      deduped
+
+let rec union_connectivity ?(prune_subsumed = true) pss =
+  match prune ~subsume:prune_subsumed pss with
+  | [] -> Empty
+  | [ ps ] -> Axiom { ps; conn = Psph.connectivity_bound ps }
+  | pss -> (
+      let rec split_last acc = function
+        | [] -> assert false
+        | [ x ] -> (List.rev acc, x)
+        | x :: rest -> split_last (x :: acc) rest
+      in
+      let prefix, last = split_last [] pss in
+      let left = union_connectivity ~prune_subsumed prefix in
+      let right = Axiom { ps = last; conn = Psph.connectivity_bound last } in
+      let inters =
+        prune ~subsume:prune_subsumed (List.map (fun ps -> Psph.inter ps last) prefix)
+      in
+      match inters with
+      | [] -> Disjoint { left; right }
+      | _ :: _ ->
+          let inter = union_connectivity ~prune_subsumed inters in
+          let c = min (min (conn left) (conn right)) (conn inter + 1) in
+          Glue { conn = c; left; right; inter })
+
+let union_realize ?vertex pss =
+  List.fold_left
+    (fun acc ps -> Complex.union acc (Psph.realize ?vertex ps))
+    Complex.empty pss
+
+let validate ?vertex pss proof =
+  let c = union_realize ?vertex pss in
+  Homology.is_k_connected c (conn proof)
+
+let rec size = function
+  | Empty -> 0
+  | Axiom _ -> 1
+  | Disjoint { left; right } -> 1 + size left + size right
+  | Glue { left; right; inter; _ } -> 1 + size left + size right + size inter
+
+let rec pp ppf = function
+  | Empty -> Format.fprintf ppf "empty (conn -2)"
+  | Axiom { ps; conn } ->
+      Format.fprintf ppf "@[<h>Cor6: %a is %d-connected@]" Psph.pp ps conn
+  | Disjoint { left; right } ->
+      Format.fprintf ppf
+        "@[<v 2>disjoint pieces: union is (-1)-connected@,left: %a@,right: %a@]"
+        pp left pp right
+  | Glue { conn; left; right; inter } ->
+      Format.fprintf ppf
+        "@[<v 2>Thm2: union is %d-connected@,K: %a@,L: %a@,K/\\L: %a@]" conn pp
+        left pp right pp inter

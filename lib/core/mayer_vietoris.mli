@@ -1,0 +1,53 @@
+(** The Mayer–Vietoris connectivity engine.
+
+    This module replays the paper's actual proof technique: Theorem 2 ("if
+    K and L are k-connected and K /\ L is nonempty and (k-1)-connected,
+    then K U L is k-connected"), applied inductively to unions of
+    pseudospheres whose pairwise intersections are computed by Lemma 4.3
+    and are again pseudospheres — so the whole derivation is a finite
+    combinatorial object.
+
+    {!union_connectivity} builds the derivation for an ordered list of
+    pseudospheres (the order matters, as in Lemmas 15 and 20: the paper
+    orders failure sets size-then-lex and failure patterns reverse-lex so
+    that each prefix intersection stays highly connected), and returns a
+    {!proof} tree whose every leaf is an instance of Corollary 6 and every
+    node an instance of Theorem 2.  {!validate} re-checks the conclusion
+    numerically with the homology engine. *)
+
+open Psph_topology
+
+type proof =
+  | Empty  (** the empty complex; connectivity [-2] by convention *)
+  | Axiom of { ps : Psph.t; conn : int }
+      (** Corollary 6: a pseudosphere of dimension [m] is
+          [(m-1)]-connected *)
+  | Disjoint of { left : proof; right : proof }
+      (** nonempty pieces with empty intersection: the union is exactly
+          [(-1)]-connected *)
+  | Glue of { conn : int; left : proof; right : proof; inter : proof }
+      (** Theorem 2 *)
+
+val conn : proof -> int
+(** The connectivity lower bound concluded by the derivation. *)
+
+val union_connectivity : ?prune_subsumed:bool -> Psph.t list -> proof
+(** Derive a connectivity lower bound for the union of the given
+    pseudospheres, splitting prefix/last as the paper does.
+    [prune_subsumed] (default [true]) drops pseudospheres contained in
+    another before recursing — an optimisation that leaves the union (and
+    so the conclusion) unchanged; disabling it is the ablation benchmarked
+    in [bench/main.ml]. *)
+
+val union_realize : ?vertex:Psph.vertex_builder -> Psph.t list -> Complex.t
+(** The actual union complex (for numeric validation). *)
+
+val validate : ?vertex:Psph.vertex_builder -> Psph.t list -> proof -> bool
+(** Does the realized union satisfy the derived homological
+    connectivity? *)
+
+val size : proof -> int
+(** Number of inference steps (axioms + glue + disjoint nodes). *)
+
+val pp : Format.formatter -> proof -> unit
+(** Render the derivation as an indented proof tree. *)

@@ -1,0 +1,110 @@
+open Psph_topology
+
+type t = {
+  base : Simplex.t;
+  values : (Pid.t * Label.t list) list;
+      (* aligned with ids of base, sorted by pid; value lists sorted,
+         deduplicated *)
+}
+
+let create ~base ~values =
+  if not (Simplex.is_chromatic base) then
+    invalid_arg "Psph.create: base simplex is not chromatic";
+  let vals =
+    Pid.Set.elements (Simplex.ids base)
+    |> List.map (fun p -> (p, List.sort_uniq Label.compare (values p)))
+  in
+  { base; values = vals }
+
+let uniform ~base us = create ~base ~values:(fun _ -> us)
+
+let base t = t.base
+
+let values t = t.values
+
+let normalize t =
+  let keep = List.filter (fun (_, us) -> us <> []) t.values in
+  let keep_pids = Pid.Set.of_list (List.map fst keep) in
+  { base = Simplex.restrict_ids keep_pids t.base; values = keep }
+
+let dim t = List.length (List.filter (fun (_, us) -> us <> []) t.values) - 1
+
+let is_empty t = dim t < 0
+
+let connectivity_bound t = dim t - 1
+
+let inter a b =
+  let common = Simplex.inter a.base b.base in
+  let lookup vals p = match List.assoc_opt p vals with Some us -> us | None -> [] in
+  let values p =
+    let ua = lookup a.values p and ub = lookup b.values p in
+    List.filter (fun u -> List.exists (Label.equal u) ub) ua
+  in
+  create ~base:common ~values
+
+let subsumes a b =
+  let a = normalize a and b = normalize b in
+  Simplex.subset b.base a.base
+  && List.for_all
+       (fun (p, us) ->
+         match List.assoc_opt p a.values with
+         | None -> false
+         | Some us' -> List.for_all (fun u -> List.exists (Label.equal u) us') us)
+       b.values
+
+let equal a b =
+  let a = normalize a and b = normalize b in
+  Simplex.equal a.base b.base
+  && List.length a.values = List.length b.values
+  && List.for_all2
+       (fun (p, us) (q, vs) ->
+         Pid.equal p q
+         && List.length us = List.length vs
+         && List.for_all2 Label.equal us vs)
+       a.values b.values
+
+type vertex_builder = Pid.t -> Label.t -> Label.t -> Vertex.t
+
+let default_vertex p _base u = Vertex.proc p u
+
+let paired_vertex p base u = Vertex.proc p (Label.Pair (base, u))
+
+let realize ?(vertex = paired_vertex) t =
+  let t = normalize t in
+  let base_label p =
+    match Simplex.label_of p t.base with Some l -> l | None -> assert false
+  in
+  (* facets: one value per base vertex *)
+  let rec facets = function
+    | [] -> [ [] ]
+    | (p, us) :: rest ->
+        let tails = facets rest in
+        List.concat_map
+          (fun u -> List.map (fun tl -> vertex p (base_label p) u :: tl) tails)
+          us
+  in
+  Complex.of_facets (List.map Simplex.of_list (facets t.values))
+
+let facet_count t =
+  let t = normalize t in
+  if is_empty t then 0
+  else List.fold_left (fun acc (_, us) -> acc * List.length us) 1 t.values
+
+let simplex_count t =
+  let t = normalize t in
+  List.fold_left (fun acc (_, us) -> acc * (1 + List.length us)) 1 t.values - 1
+
+let binary n =
+  uniform ~base:(Simplex.proc_simplex n) [ Label.Int 0; Label.Int 1 ]
+
+let pp ppf t =
+  Format.fprintf ppf "psi(%a; %a)" Simplex.pp t.base
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (p, us) ->
+         Format.fprintf ppf "%a:{%a}" Pid.pp p
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+              Label.pp)
+           us))
+    t.values

@@ -1,0 +1,51 @@
+(** Crash failures.
+
+    Sections 7 and 8 of the paper parameterise executions by the set [K] of
+    processes failing in a round and — in the semi-synchronous model — by a
+    {e failure pattern} [F] mapping each process of [K] to the microround in
+    which it fails.  A view consistent with [F] records, per sender, the
+    microround of the last message received: [F(Pj) - 1] or [F(Pj)] for a
+    faulty sender, [p] for a live one, and [0] for a process that never
+    sent. *)
+
+open Psph_topology
+
+val subsets_of_size_at_most : Pid.Set.t -> int -> Pid.Set.t list
+(** All subsets of cardinality [<= k], in the paper's size-then-lex order
+    (Lemma 15): empty set first, then singletons, then pairs, ... *)
+
+val subsets_of_size : Pid.Set.t -> int -> Pid.Set.t list
+(** All subsets of exactly the given cardinality, lexicographically. *)
+
+val power_set : Pid.Set.t -> Pid.Set.t list
+(** All subsets ([2^K]), in size-then-lex order. *)
+
+(** Semi-synchronous failure patterns. *)
+type pattern = {
+  failed : Pid.Set.t;  (** the set [K] *)
+  at : int Pid.Map.t;  (** microround of failure, in [1..p], for each of [K] *)
+}
+
+val pattern : (Pid.t * int) list -> pattern
+
+val pp_pattern : Format.formatter -> pattern -> unit
+
+val all_patterns : p:int -> Pid.Set.t -> pattern list
+(** All failure patterns for a fixed failure set [K], in the paper's
+    reverse-lexicographic order: the first pattern fails every process at
+    microround [p], the last at microround 1. *)
+
+val views : p:int -> n:int -> alive:Pid.Set.t -> pattern -> int array list
+(** The view set [[F]] (Section 8): all vectors [(mu_0, ..., mu_n)] with
+    [mu_j = p] for [j] in [alive \ K], [mu_j] in [{F(j) - 1, F(j)}] for [j]
+    in [K], and [mu_j = 0] for processes outside [alive] (failed before the
+    round).  [alive] includes [K]. *)
+
+val views_up : p:int -> n:int -> alive:Pid.Set.t -> pattern -> Pid.t -> int array list
+(** The view set [[F ^ j]]: the subset of [[F]] in which [mu_j = F(j)]
+    (process [j]'s final message {e is} delivered).
+    @raise Invalid_argument if [j] is not in the pattern's failure set. *)
+
+val compare_pattern : pattern -> pattern -> int
+(** Reverse-lexicographic order on patterns over the same failure set (the
+    order used to sequence the pseudospheres of Section 8). *)

@@ -1,0 +1,41 @@
+(* Pairing heap keyed by (key, seq); seq preserves FIFO order among equal
+   keys.  The seq counter lives in the queue value to keep the structure
+   purely functional from the caller's point of view. *)
+
+type 'a heap = Empty | Node of (int * int * 'a) * 'a heap list
+
+type 'a t = { heap : 'a heap; next_seq : int; size : int }
+
+let empty = { heap = Empty; next_seq = 0; size = 0 }
+
+let is_empty q = q.size = 0
+
+let key_le (k1, s1, _) (k2, s2, _) = k1 < k2 || (k1 = k2 && s1 <= s2)
+
+let merge a b =
+  match (a, b) with
+  | Empty, h | h, Empty -> h
+  | Node (ka, ca), Node (kb, cb) ->
+      if key_le ka kb then Node (ka, b :: ca) else Node (kb, a :: cb)
+
+let rec merge_pairs = function
+  | [] -> Empty
+  | [ h ] -> h
+  | a :: b :: rest -> merge (merge a b) (merge_pairs rest)
+
+let push key x q =
+  {
+    heap = merge (Node ((key, q.next_seq, x), [])) q.heap;
+    next_seq = q.next_seq + 1;
+    size = q.size + 1;
+  }
+
+let pop q =
+  match q.heap with
+  | Empty -> None
+  | Node ((key, _, x), children) ->
+      Some
+        ( (key, x),
+          { heap = merge_pairs children; next_seq = q.next_seq; size = q.size - 1 } )
+
+let size q = q.size

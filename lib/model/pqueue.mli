@@ -1,0 +1,17 @@
+(** A minimal priority queue (pairing heap) used by the discrete-event
+    simulator.  Elements are ordered by an integer key; ties are broken by
+    insertion order, making simulation runs deterministic. *)
+
+type 'a t
+
+val empty : 'a t
+
+val is_empty : 'a t -> bool
+
+val push : int -> 'a -> 'a t -> 'a t
+(** [push key x q]: insert [x] with priority [key] (smaller pops first). *)
+
+val pop : 'a t -> ((int * 'a) * 'a t) option
+(** Remove the minimum-key, earliest-inserted element. *)
+
+val size : 'a t -> int

@@ -1,0 +1,17 @@
+type t = { name : string; decide : View.t -> Value.t option }
+
+let make ~name ~decide = { name; decide }
+
+let min_seen view =
+  match Value.Set.min_elt_opt (View.seen_values view) with
+  | Some v -> v
+  | None -> invalid_arg "Protocol.min_seen: view contains no input value"
+
+let decide_after_rounds r =
+  {
+    name = Printf.sprintf "flood-decide-after-%d" r;
+    decide = (fun view -> if View.rounds view >= r then Some (min_seen view) else None);
+  }
+
+let full_information_never_decide =
+  { name = "full-information"; decide = (fun _ -> None) }

@@ -1,0 +1,31 @@
+(** Protocols.
+
+    Section 4: a protocol is determined by its message function and its
+    decision function, and without loss of generality every protocol is a
+    full-information protocol — each process always sends its entire local
+    state.  A protocol is therefore just a named decision function on
+    views. *)
+
+type t = {
+  name : string;
+  decide : View.t -> Value.t option;
+      (** [None] while undecided; once [Some v], the process halts with
+          decision [v]. *)
+}
+
+val make : name:string -> decide:(View.t -> Value.t option) -> t
+
+val min_seen : View.t -> Value.t
+(** The smallest input value present in a view — the canonical decision
+    rule of flooding protocols.  @raise Invalid_argument on an impossible
+    empty view. *)
+
+val decide_after_rounds : int -> t
+(** The protocol that decides [min_seen] once the view contains the given
+    number of rounds: with [f + 1] rounds this is synchronous flooding
+    consensus, with [floor (f/k) + 1] rounds it is the synchronous k-set
+    agreement protocol matching Theorem 18. *)
+
+val full_information_never_decide : t
+(** The bare full-information protocol with no decision rule (used to build
+    protocol complexes). *)

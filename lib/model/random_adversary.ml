@@ -1,0 +1,74 @@
+open Psph_topology
+
+let make ~seed ?(crash_probability = 0.3) (cfg : Sim.config) ~n =
+  let st = Random.State.make [| seed |] in
+  (* precompute per-process crash plans so the adversary is a pure
+     function of (pid, step) *)
+  let crash_of =
+    List.map
+      (fun q ->
+        if Random.State.float st 1.0 < crash_probability then begin
+          let at_step = 1 + Random.State.int st (3 * Sim.microrounds cfg) in
+          let dsts =
+            List.filter
+              (fun r -> (not (Pid.equal r q)) && Random.State.bool st)
+              (Pid.all n)
+          in
+          (q, Some { Sim.at_step; deliver_final_to = Pid.Set.of_list dsts })
+        end
+        else (q, None))
+      (Pid.all n)
+  in
+  (* hash-based deterministic choices per (pid, step) *)
+  let pick lo hi q step salt =
+    let h = Hashtbl.hash (seed, q, step, salt) in
+    lo + (h mod (hi - lo + 1))
+  in
+  {
+    Sim.step_interval = (fun q step -> pick cfg.Sim.c1 cfg.Sim.c2 q step 0);
+    delay = (fun ~src ~dst ~step -> pick 1 cfg.Sim.d src (step + (1000 * dst)) 1);
+    crash = (fun q -> Option.join (List.assoc_opt q crash_of));
+  }
+
+let random_subset st set =
+  Pid.Set.filter (fun _ -> Random.State.bool st) set
+
+let schedules_sync ~seed ~k ~alive =
+  let st = Random.State.make [| seed |] in
+  let candidates = Pid.Set.elements alive in
+  let failed =
+    List.filter (fun _ -> Random.State.int st (List.length candidates) < k) candidates
+    |> List.filteri (fun i _ -> i < k)
+    |> Pid.Set.of_list
+  in
+  let failed =
+    if Pid.Set.cardinal failed >= Pid.Set.cardinal alive then Pid.Set.empty
+    else failed
+  in
+  let survivors = Pid.Set.diff alive failed in
+  {
+    Round_schedule.failed;
+    heard_faulty =
+      Pid.Set.fold
+        (fun q m -> Pid.Map.add q (random_subset st failed) m)
+        survivors Pid.Map.empty;
+  }
+
+let schedules_semi ~seed ~k ~p ~n ~alive =
+  let st = Random.State.make [| seed; 17 |] in
+  let sync = schedules_sync ~seed:(seed * 31) ~k ~alive in
+  let failed = sync.Round_schedule.failed in
+  let pat =
+    Failure.pattern
+      (List.map (fun q -> (q, 1 + Random.State.int st p)) (Pid.Set.elements failed))
+  in
+  let survivors = Pid.Set.diff alive failed in
+  let choice =
+    Pid.Set.fold
+      (fun q m ->
+        let options = Failure.views ~p ~n ~alive pat in
+        let i = Random.State.int st (List.length options) in
+        Pid.Map.add q (List.nth options i) m)
+      survivors Pid.Map.empty
+  in
+  { Round_schedule.pat; choice }

@@ -1,0 +1,24 @@
+(** Seeded random adversaries.
+
+    Property tests sample the execution space beyond the canned lockstep /
+    slow-solo adversaries: a seeded PRNG picks step intervals in [[c1, c2]],
+    message delays in [[1, d]], and an optional crash per process.  Every
+    generated trace must satisfy {!Trace_check.validate} — that is the
+    property the test-suite checks. *)
+
+open Psph_topology
+
+val make : seed:int -> ?crash_probability:float -> Sim.config -> n:int -> Sim.adversary
+(** A deterministic pseudo-random adversary for the given seed.
+    [crash_probability] (default 0.3) is the chance, per process, of being
+    assigned a crash (at a random step within the first three rounds, with
+    a random subset of destinations receiving the final send). *)
+
+val schedules_sync : seed:int -> k:int -> alive:Pid.Set.t -> Round_schedule.sync
+(** A uniformly random synchronous one-round schedule with at most [k]
+    crashes (for spot-checking formula membership without full
+    enumeration). *)
+
+val schedules_semi :
+  seed:int -> k:int -> p:int -> n:int -> alive:Pid.Set.t -> Round_schedule.semi
+(** A random semi-synchronous one-round schedule. *)

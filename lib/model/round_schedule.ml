@@ -1,0 +1,97 @@
+open Psph_topology
+
+type async = Pid.Set.t Pid.Map.t
+
+type sync = { failed : Pid.Set.t; heard_faulty : Pid.Set.t Pid.Map.t }
+
+type semi = { pat : Failure.pattern; choice : int array Pid.Map.t }
+
+(* cartesian product of per-pid option lists, as maps *)
+let product_map (options : (Pid.t * 'a list) list) : 'a Pid.Map.t list =
+  List.fold_left
+    (fun acc (q, opts) ->
+      List.concat_map (fun m -> List.map (fun o -> Pid.Map.add q o m) opts) acc)
+    [ Pid.Map.empty ] options
+
+let binom n k =
+  if k < 0 || k > n then 0
+  else begin
+    let rec loop acc i = if i > k then acc else loop (acc * (n - i + 1) / i) (i + 1) in
+    loop 1 1
+  end
+
+let async_schedules ~n ~f ~alive =
+  let need = n - f + 1 in
+  if Pid.Set.cardinal alive < need then []
+  else begin
+    let options_for q =
+      let others = Pid.Set.remove q alive in
+      Failure.power_set others
+      |> List.filter_map (fun m ->
+             let m = Pid.Set.add q m in
+             if Pid.Set.cardinal m >= need then Some m else None)
+    in
+    product_map (List.map (fun q -> (q, options_for q)) (Pid.Set.elements alive))
+  end
+
+let async_count ~n ~f ~alive_count =
+  let need = n - f + 1 in
+  if alive_count < need then 0
+  else begin
+    let per_proc = ref 0 in
+    for j = need - 1 to alive_count - 1 do
+      (* hear from j other processes plus self *)
+      per_proc := !per_proc + binom (alive_count - 1) j
+    done;
+    let total = ref 1 in
+    for _ = 1 to alive_count do
+      total := !total * !per_proc
+    done;
+    !total
+  end
+
+let sync_schedules_for ~failed ~alive =
+  let survivors = Pid.Set.diff alive failed in
+  let options = Failure.power_set failed in
+  product_map (List.map (fun q -> (q, options)) (Pid.Set.elements survivors))
+  |> List.map (fun heard_faulty -> { failed; heard_faulty })
+
+let sync_schedules ~k ~alive =
+  Failure.subsets_of_size_at_most alive k
+  |> List.concat_map (fun failed ->
+         if Pid.Set.cardinal failed = Pid.Set.cardinal alive then []
+         else sync_schedules_for ~failed ~alive)
+
+let pow b e =
+  let rec loop acc i = if i >= e then acc else loop (acc * b) (i + 1) in
+  loop 1 0
+
+let sync_count ~k ~alive_count =
+  let total = ref 0 in
+  for j = 0 to min k (alive_count - 1) do
+    total := !total + binom alive_count j * pow (pow 2 j) (alive_count - j)
+  done;
+  !total
+
+let semi_schedules_for ~pat ~p ~n ~alive =
+  let survivors = Pid.Set.diff alive pat.Failure.failed in
+  let options = Failure.views ~p ~n ~alive pat in
+  product_map (List.map (fun q -> (q, options)) (Pid.Set.elements survivors))
+  |> List.map (fun choice -> { pat; choice })
+
+let semi_schedules ~k ~p ~n ~alive =
+  Failure.subsets_of_size_at_most alive k
+  |> List.concat_map (fun failed ->
+         if Pid.Set.cardinal failed = Pid.Set.cardinal alive then []
+         else
+           Failure.all_patterns ~p failed
+           |> List.concat_map (fun pat -> semi_schedules_for ~pat ~p ~n ~alive))
+
+let semi_count ~k ~p ~alive_count =
+  let total = ref 0 in
+  for j = 0 to min k (alive_count - 1) do
+    (* choose the failure set, a pattern (p^j), then per survivor a view
+       from [F] (2^j views) *)
+    total := !total + binom alive_count j * pow p j * pow (pow 2 j) (alive_count - j)
+  done;
+  !total

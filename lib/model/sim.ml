@@ -1,0 +1,210 @@
+open Psph_topology
+
+type config = { c1 : int; c2 : int; d : int }
+
+let microrounds cfg = (cfg.d + cfg.c1 - 1) / cfg.c1
+
+let uncertainty cfg = float_of_int cfg.c2 /. float_of_int cfg.c1
+
+type crash_spec = { at_step : int; deliver_final_to : Pid.Set.t }
+
+type adversary = {
+  step_interval : Pid.t -> int -> int;
+  delay : src:Pid.t -> dst:Pid.t -> step:int -> int;
+  crash : Pid.t -> crash_spec option;
+}
+
+type obs_event =
+  | Stepped of { time : int; step : int }
+  | Received of { time : int; src : Pid.t; sent_step : int }
+
+type trace = obs_event list Pid.Map.t
+
+type event = EStep of Pid.t * int | EDeliver of { src : Pid.t; dst : Pid.t; sent_step : int }
+
+let clamp lo hi x = max lo (min hi x)
+
+let run cfg ~n adv ~until =
+  let traces = Array.make (n + 1) [] in
+  let crashed = Array.make (n + 1) false in
+  (* FIFO watermark per channel *)
+  let last_delivery = Hashtbl.create 64 in
+  let queue = ref Pqueue.empty in
+  let schedule t ev = if t <= until then queue := Pqueue.push t ev !queue in
+  List.iter
+    (fun q ->
+      let dt = clamp cfg.c1 cfg.c2 (adv.step_interval q 1) in
+      schedule dt (EStep (q, 1)))
+    (Pid.all n);
+  let send time src step dsts =
+    List.iter
+      (fun dst ->
+        let requested = time + clamp 0 cfg.d (adv.delay ~src ~dst ~step) in
+        let channel = (src, dst) in
+        let watermark =
+          Option.value ~default:0 (Hashtbl.find_opt last_delivery channel)
+        in
+        let delivery = max requested watermark in
+        Hashtbl.replace last_delivery channel delivery;
+        if delivery <= until then
+          queue := Pqueue.push delivery (EDeliver { src; dst; sent_step = step }) !queue)
+      dsts
+  in
+  let rec loop () =
+    match Pqueue.pop !queue with
+    | None -> ()
+    | Some ((time, ev), rest) ->
+        queue := rest;
+        (match ev with
+        | EStep (q, step) ->
+            if not crashed.(q) then begin
+              traces.(q) <- Stepped { time; step } :: traces.(q);
+              let others = List.filter (fun r -> not (Pid.equal r q)) (Pid.all n) in
+              (match adv.crash q with
+              | Some { at_step; deliver_final_to } when step = at_step ->
+                  crashed.(q) <- true;
+                  send time q step
+                    (List.filter (fun r -> Pid.Set.mem r deliver_final_to) others)
+              | Some _ | None ->
+                  send time q step others;
+                  let dt = clamp cfg.c1 cfg.c2 (adv.step_interval q (step + 1)) in
+                  schedule (time + dt) (EStep (q, step + 1)))
+            end
+        | EDeliver { src; dst; sent_step } ->
+            if not crashed.(dst) then
+              traces.(dst) <- Received { time; src; sent_step } :: traces.(dst));
+        loop ()
+  in
+  loop ();
+  List.fold_left
+    (fun m q -> Pid.Map.add q (List.rev traces.(q)) m)
+    Pid.Map.empty (Pid.all n)
+
+let round_end_after cfg t =
+  (* the smallest multiple of d that is >= t *)
+  (t + cfg.d - 1) / cfg.d * cfg.d
+
+let lockstep cfg =
+  {
+    step_interval = (fun _ _ -> cfg.c1);
+    delay =
+      (fun ~src:_ ~dst:_ ~step ->
+        (* sent at time step * c1; deliver at the end of that round *)
+        let sent = step * cfg.c1 in
+        let boundary = round_end_after cfg sent in
+        boundary - sent);
+    crash = (fun _ -> None);
+  }
+
+let lockstep_with_crashes cfg crashes =
+  let base = lockstep cfg in
+  { base with crash = (fun q -> List.assoc_opt q crashes) }
+
+let slow_solo cfg ~survivor ~after_step =
+  (* everyone completes step [after_step] (e.g. the last microround of a
+     round), then every process except [survivor] dies silently while the
+     survivor continues as slowly as allowed *)
+  let base = lockstep cfg in
+  {
+    base with
+    step_interval =
+      (fun q step ->
+        if Pid.equal q survivor && step > after_step then cfg.c2 else cfg.c1);
+    crash =
+      (fun q ->
+        if Pid.equal q survivor then None
+        else Some { at_step = after_step + 1; deliver_final_to = Pid.Set.empty });
+  }
+
+let untimed events =
+  List.map
+    (function
+      | Stepped { step; _ } -> ("step", None, step)
+      | Received { src; sent_step; _ } -> ("recv", Some src, sent_step))
+    events
+
+let observations_before trace q time =
+  match Pid.Map.find_opt q trace with
+  | None -> []
+  | Some evs ->
+      List.filter
+        (function
+          | Stepped { time = t; _ } | Received { time = t; _ } -> t < time)
+        evs
+
+let indistinguishable_to q (t1, time1) (t2, time2) =
+  untimed (observations_before t1 q time1) = untimed (observations_before t2 q time2)
+
+let decision_time cfg ~n adv ~protocol ~inputs ~horizon =
+  let p = microrounds cfg in
+  let trace = run cfg ~n adv ~until:horizon in
+  let views =
+    ref
+      (List.fold_left
+         (fun m (q, v) -> Pid.Map.add q (View.init v) m)
+         Pid.Map.empty inputs)
+  in
+  let decisions = ref [] in
+  let decided = ref Pid.Set.empty in
+  let rounds = horizon / cfg.d in
+  let stepped_during q lo hi =
+    match Pid.Map.find_opt q trace with
+    | None -> false
+    | Some evs ->
+        List.exists
+          (function
+            | Stepped { time; _ } -> time > lo && time <= hi
+            | Received _ -> false)
+          evs
+  in
+  for r = 1 to rounds do
+    let lo = (r - 1) * cfg.d and hi = r * cfg.d in
+    (* a process that took no step during the round has crashed: it stops
+       computing views and never decides *)
+    let start_views = !views in
+    let alive_views =
+      Pid.Map.filter (fun q _ -> stepped_during q lo hi) start_views
+    in
+    let next =
+      Pid.Map.mapi
+        (fun q prev ->
+          let received =
+            observations_before trace q (hi + 1)
+            |> List.filter_map (function
+                 | Received { time; src; sent_step } when time > lo && time <= hi ->
+                     Some (src, sent_step)
+                 | Received _ | Stepped _ -> None)
+          in
+          (* keep, per sender, the last step heard; convert to microround *)
+          let last_per_src =
+            List.fold_left
+              (fun m (src, step) ->
+                Pid.Map.update src
+                  (function None -> Some step | Some s -> Some (max s step))
+                  m)
+              Pid.Map.empty received
+          in
+          let heard =
+            Pid.Map.bindings last_per_src
+            |> List.filter_map (fun (src, step) ->
+                   match Pid.Map.find_opt src start_views with
+                   | None -> None
+                   | Some state ->
+                       let mu = clamp 1 p (step - ((r - 1) * p)) in
+                       Some (src, mu, state))
+          in
+          View.timed_round ~p ~prev ~heard)
+        alive_views
+    in
+    views := next;
+    Pid.Map.iter
+      (fun q view ->
+        if not (Pid.Set.mem q !decided) then
+          match protocol.Protocol.decide view with
+          | Some value ->
+              decided := Pid.Set.add q !decided;
+              decisions := (q, hi, value) :: !decisions
+          | None -> ())
+      !views
+  done;
+  List.rev !decisions

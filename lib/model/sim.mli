@@ -1,0 +1,96 @@
+(** Discrete-event simulator for the semi-synchronous timing model.
+
+    Section 8: the time between two consecutive steps of a process is at
+    least [c1] and at most [c2], and a message is delivered at most [d]
+    after it is sent.  The synchronous model is the limiting case
+    [c1 = c2] with fixed delivery time, and the asynchronous model the case
+    of unbounded intervals.
+
+    The simulator executes the full-information protocol: at every step a
+    process sends its state to every other process (a process always knows
+    its own state, so self-messages carry no information and are elided).  The adversary chooses each step
+    interval (clamped to [[c1, c2]]), each message delay (clamped to
+    [[0, d]], with FIFO order enforced per channel; a delay of 0 models the
+    paper's delivery exactly at a round boundary), and crashes.  A crash
+    at step [s] lets the final send reach only a chosen subset of
+    destinations — exactly the semi-synchronous failure-pattern semantics
+    of Section 8.
+
+    The output is, per process, the chronological list of observable
+    events.  Two executions are indistinguishable to a process up to given
+    times when its untimed observation prefixes coincide — the relation
+    driving the time-stretching argument of Corollary 22. *)
+
+open Psph_topology
+
+type config = { c1 : int; c2 : int; d : int }
+(** Timing constants (integers; think of [c1] as the tick). *)
+
+val microrounds : config -> int
+(** [p = ceil (d / c1)], the number of microrounds per round. *)
+
+val uncertainty : config -> float
+(** [C = c2 /. c1]. *)
+
+type crash_spec = {
+  at_step : int;  (** the process crashes while taking this step (1-based) *)
+  deliver_final_to : Pid.Set.t;
+      (** destinations still receiving the send of step [at_step] *)
+}
+
+type adversary = {
+  step_interval : Pid.t -> int -> int;
+      (** interval before a process's [n]th step (1-based); clamped to
+          [[c1, c2]] *)
+  delay : src:Pid.t -> dst:Pid.t -> step:int -> int;
+      (** requested delivery delay for the message sent at the source's
+          given step; clamped to [[0, d]] and raised as needed to keep the
+          channel FIFO *)
+  crash : Pid.t -> crash_spec option;
+}
+
+type obs_event =
+  | Stepped of { time : int; step : int }
+  | Received of { time : int; src : Pid.t; sent_step : int }
+
+type trace = obs_event list Pid.Map.t
+(** Chronological observations per process. *)
+
+val run : config -> n:int -> adversary -> until:int -> trace
+(** Simulate processes [P0 ... Pn] from time 0 to [until] (inclusive). *)
+
+val lockstep : config -> adversary
+(** The failure-free round-structured adversary of Section 8: every process
+    steps every [c1] ticks, and every message is delivered at the end of
+    the round ([the next multiple of d]). *)
+
+val lockstep_with_crashes : config -> (Pid.t * crash_spec) list -> adversary
+(** {!lockstep} plus the given crashes. *)
+
+val slow_solo : config -> survivor:Pid.t -> after_step:int -> adversary
+(** The Corollary-22 "stretch" adversary: every process completes step
+    [after_step] (set it to [r * microrounds] so round [r] finishes
+    cleanly), then every process except [survivor] dies silently and the
+    survivor steps as slowly as possible (every [c2] ticks). *)
+
+val untimed : obs_event list -> (string * Pid.t option * int) list
+(** Forget absolute times, keeping the order and content of observations —
+    the indistinguishability alphabet. *)
+
+val observations_before : trace -> Pid.t -> int -> obs_event list
+(** A process's observations strictly before the given time. *)
+
+val indistinguishable_to :
+  Pid.t -> trace * int -> trace * int -> bool
+(** [indistinguishable_to q (t1, time1) (t2, time2)]: are [q]'s untimed
+    observation prefixes before [time1] in the first run and before [time2]
+    in the second identical?  (The paper's similarity relation, Section 1.) *)
+
+val decision_time :
+  config -> n:int -> adversary -> protocol:Protocol.t ->
+  inputs:(Pid.t * Value.t) list -> horizon:int -> (Pid.t * int * Value.t) list
+(** Run a full-information protocol under the adversary: at the end of each
+    round (multiples of [d]) surviving processes fold their messages into
+    views; a process that took no step during a round is considered crashed
+    and stops deciding.  The result lists each decided process with its
+    decision time and value.  [horizon] bounds simulated time. *)

@@ -1,0 +1,70 @@
+open Psph_topology
+
+type schedule = Pid.t list list
+
+let schedules participants =
+  Psph_topology.Subdivision.ordered_partitions (Pid.Set.elements participants)
+
+let rec schedule_count m =
+  if m <= 0 then 1
+  else begin
+    let binom n k =
+      let rec loop acc i = if i > k then acc else loop (acc * (n - i + 1) / i) (i + 1) in
+      loop 1 1
+    in
+    let total = ref 0 in
+    for j = 1 to m do
+      total := !total + (binom m j * schedule_count (m - j))
+    done;
+    !total
+  end
+
+let views_of_schedule schedule =
+  let rec loop seen acc = function
+    | [] -> acc
+    | block :: rest ->
+        let seen = Pid.Set.union seen (Pid.Set.of_list block) in
+        let acc =
+          List.fold_left (fun acc q -> Pid.Map.add q seen acc) acc block
+        in
+        loop seen acc rest
+  in
+  loop Pid.Set.empty Pid.Map.empty schedule
+
+let valid_views views =
+  let bindings = Pid.Map.bindings views in
+  let self_inclusion = List.for_all (fun (q, s) -> Pid.Set.mem q s) bindings in
+  let containment =
+    List.for_all
+      (fun (_, s1) ->
+        List.for_all
+          (fun (_, s2) -> Pid.Set.subset s1 s2 || Pid.Set.subset s2 s1)
+          bindings)
+      bindings
+  in
+  let immediacy =
+    List.for_all
+      (fun (p, sp) ->
+        List.for_all
+          (fun (_, sq) -> (not (Pid.Set.mem p sq)) || Pid.Set.subset sp sq)
+          (List.filter (fun (q, _) -> not (Pid.equal p q)) bindings))
+      bindings
+  in
+  self_inclusion && containment && immediacy
+
+let apply g schedule =
+  let views = views_of_schedule schedule in
+  Pid.Map.mapi
+    (fun q prev ->
+      let seen = Pid.Map.find q views in
+      let heard =
+        Pid.Set.elements seen |> List.map (fun r -> (r, Pid.Map.find r g))
+      in
+      View.round ~prev ~heard)
+    g
+
+let rec run ~rounds g =
+  if rounds <= 0 then [ g ]
+  else
+    schedules (Execution.alive g)
+    |> List.concat_map (fun schedule -> run ~rounds:(rounds - 1) (apply g schedule))

@@ -1,0 +1,42 @@
+(** One-shot immediate snapshot objects (Borowsky–Gafni).
+
+    Section 6 notes that the paper's asynchronous round structure "looks
+    something like a message-passing analog of the executions arising in
+    the iterated immediate snapshot model" [BG97].  This module supplies
+    that shared-memory substrate so the analogy can be checked: an
+    immediate-snapshot execution is an ordered partition
+    [(B_1, ..., B_m)] of the participating processes — the processes of
+    block [B_j] write concurrently and then snapshot, seeing exactly
+    [B_1 U ... U B_j].
+
+    The resulting view sets satisfy the classical immediate-snapshot
+    axioms, which {!valid_views} checks:
+    - self-inclusion: [p in S_p];
+    - containment: the [S_p] are totally ordered by inclusion;
+    - immediacy: [p in S_q] implies [S_p subseteq S_q]. *)
+
+open Psph_topology
+
+type schedule = Pid.t list list
+(** An ordered partition of the participants into nonempty blocks. *)
+
+val schedules : Pid.Set.t -> schedule list
+(** All immediate-snapshot schedules of the given participants. *)
+
+val schedule_count : int -> int
+(** Number of schedules of [m] processes (the Fubini numbers: 1, 1, 3, 13,
+    75, 541, ...). *)
+
+val views_of_schedule : schedule -> Pid.Set.t Pid.Map.t
+(** Per participant, the set of processes its snapshot saw. *)
+
+val valid_views : Pid.Set.t Pid.Map.t -> bool
+(** The three immediate-snapshot axioms. *)
+
+val apply : Execution.global -> schedule -> Execution.global
+(** One immediate-snapshot round on full-information states: each
+    participant's new view records the states of the processes it saw. *)
+
+val run : rounds:int -> Execution.global -> Execution.global list
+(** All iterated immediate-snapshot executions (full participation,
+    wait-free). *)

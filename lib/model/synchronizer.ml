@@ -1,0 +1,100 @@
+open Psph_topology
+
+type delays = src:Pid.t -> dst:Pid.t -> round:int -> int
+
+type result = {
+  views : View.t Pid.Map.t;
+  finish_times : int list Pid.Map.t;
+}
+
+type event = Deliver of { src : Pid.t; dst : Pid.t; round : int; state : View.t }
+
+let clamp lo hi x = max lo (min hi x)
+
+let run ~n ~rounds ~max_delay ~delays ~inputs =
+  let views = Array.make (n + 1) (View.init 0) in
+  List.iter (fun (q, v) -> views.(q) <- View.init v) inputs;
+  let finish = Array.make (n + 1) [] in
+  let current_round = Array.make (n + 1) 1 in
+  (* mailbox.(q): per round, the (src, state) pairs received so far *)
+  let mailbox : (int, (Pid.t * View.t) list) Hashtbl.t array =
+    Array.init (n + 1) (fun _ -> Hashtbl.create 8)
+  in
+  let queue = ref Pqueue.empty in
+  let send time q round =
+    List.iter
+      (fun dst ->
+        let dt = clamp 1 max_delay (delays ~src:q ~dst ~round) in
+        queue :=
+          Pqueue.push (time + dt)
+            (Deliver { src = q; dst; round; state = views.(q) })
+            !queue)
+      (Pid.all n)
+  in
+  (* everyone starts round 1 at time 0 *)
+  List.iter (fun q -> send 0 q 1) (Pid.all n);
+  let try_advance time q =
+    let r = current_round.(q) in
+    if r <= rounds then begin
+      let inbox = Option.value ~default:[] (Hashtbl.find_opt mailbox.(q) r) in
+      if List.length inbox = n + 1 then begin
+        (* round complete: fold into the view, advance, send round r+1 *)
+        views.(q) <- View.round ~prev:views.(q) ~heard:inbox;
+        finish.(q) <- time :: finish.(q);
+        current_round.(q) <- r + 1;
+        if r + 1 <= rounds then send time q (r + 1)
+      end
+    end
+  in
+  let rec loop () =
+    match Pqueue.pop !queue with
+    | None -> ()
+    | Some ((time, Deliver { src; dst; round; state }), rest) ->
+        queue := rest;
+        let inbox = Option.value ~default:[] (Hashtbl.find_opt mailbox.(dst) round) in
+        Hashtbl.replace mailbox.(dst) round ((src, state) :: inbox);
+        try_advance time dst;
+        loop ()
+  in
+  loop ();
+  {
+    views =
+      List.fold_left
+        (fun m q -> Pid.Map.add q views.(q) m)
+        Pid.Map.empty (Pid.all n);
+    finish_times =
+      List.fold_left
+        (fun m q -> Pid.Map.add q (List.rev finish.(q)) m)
+        Pid.Map.empty (Pid.all n);
+  }
+
+let synchronous_reference ~n ~rounds ~inputs =
+  let g0 = Execution.initial inputs in
+  let all = Pid.universe n in
+  let sched = { Round_schedule.failed = Pid.Set.empty; heard_faulty = Pid.Map.empty } in
+  let sched =
+    {
+      sched with
+      Round_schedule.heard_faulty =
+        Pid.Set.fold (fun q m -> Pid.Map.add q Pid.Set.empty m) all Pid.Map.empty;
+    }
+  in
+  let rec loop r g = if r >= rounds then g else loop (r + 1) (Execution.apply_sync g sched) in
+  loop 0 g0
+
+let correct result ~reference =
+  Pid.Map.for_all
+    (fun q view ->
+      match Pid.Map.find_opt q reference with
+      | Some v -> View.equal v view
+      | None -> false)
+    result.views
+
+let within_time_bound result ~max_delay =
+  Pid.Map.for_all
+    (fun _ times ->
+      List.for_all2
+        (fun t r -> t <= r * max_delay)
+        times
+        (List.init (List.length times) (fun i -> i + 1)))
+    result.finish_times

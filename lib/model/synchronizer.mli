@@ -1,0 +1,42 @@
+(** An Awerbuch-style synchronizer (Related Work, Section 2).
+
+    Awerbuch's synchronizer lets synchronous protocols run in asynchronous
+    systems in the absence of faults: each process buffers incoming round-r
+    messages and advances to round r+1 once it holds a round-r message from
+    every process.  This module implements the simplest ("alpha"-like,
+    all-to-all) variant on top of an asynchronous network with
+    adversary-chosen per-message delays, and checks the two classical
+    properties on concrete runs:
+
+    - {e correctness}: the views computed equal the synchronous failure-free
+      views (the translation approach the paper contrasts itself with);
+    - {e time}: process [q] finishes round [r] by time [r * max_delay]. *)
+
+open Psph_topology
+
+type delays = src:Pid.t -> dst:Pid.t -> round:int -> int
+(** Requested delay for each message, clamped to [[1, max_delay]]. *)
+
+type result = {
+  views : View.t Pid.Map.t;  (** full-information views after [rounds] *)
+  finish_times : int list Pid.Map.t;
+      (** per process, the time it completed each round (index 0 = round 1) *)
+}
+
+val run :
+  n:int ->
+  rounds:int ->
+  max_delay:int ->
+  delays:delays ->
+  inputs:(Pid.t * Value.t) list ->
+  result
+(** Simulate the synchronizer over an asynchronous network. *)
+
+val synchronous_reference :
+  n:int -> rounds:int -> inputs:(Pid.t * Value.t) list -> View.t Pid.Map.t
+(** The failure-free synchronous views the synchronizer must reproduce. *)
+
+val correct : result -> reference:View.t Pid.Map.t -> bool
+
+val within_time_bound : result -> max_delay:int -> bool
+(** Every round [r] completes by [r * max_delay] at every process. *)

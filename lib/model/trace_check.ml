@@ -1,0 +1,128 @@
+open Psph_topology
+
+type violation = { process : Pid.t; message : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%a: %s" Pid.pp v.process v.message
+
+let steps_of events =
+  List.filter_map
+    (function
+      | Sim.Stepped { time; step } -> Some (step, time)
+      | Sim.Received _ -> None)
+    events
+
+let check_step_intervals cfg trace =
+  Pid.Map.fold
+    (fun q events acc ->
+      let steps = steps_of events in
+      let rec walk prev_time = function
+        | [] -> []
+        | (step, time) :: rest ->
+            let gap = time - prev_time in
+            if gap < cfg.Sim.c1 || gap > cfg.Sim.c2 then
+              {
+                process = q;
+                message =
+                  Printf.sprintf "step %d: interval %d outside [%d,%d]" step gap
+                    cfg.Sim.c1 cfg.Sim.c2;
+              }
+              :: walk time rest
+            else walk time rest
+      in
+      walk 0 steps @ acc)
+    trace []
+
+let sender_step_times trace =
+  (* (src, step) -> time *)
+  let tbl = Hashtbl.create 256 in
+  Pid.Map.iter
+    (fun q events ->
+      List.iter
+        (function
+          | Sim.Stepped { time; step } -> Hashtbl.replace tbl (q, step) time
+          | Sim.Received _ -> ())
+        events)
+    trace;
+  tbl
+
+let check_delivery_bound cfg trace =
+  let sent = sender_step_times trace in
+  Pid.Map.fold
+    (fun q events acc ->
+      List.filter_map
+        (function
+          | Sim.Received { time; src; sent_step } -> (
+              match Hashtbl.find_opt sent (src, sent_step) with
+              | None -> None (* spoofing is reported separately *)
+              | Some t when time - t > cfg.Sim.d ->
+                  Some
+                    {
+                      process = q;
+                      message =
+                        Printf.sprintf
+                          "message from %s step %d delivered after %d > d = %d"
+                          (Format.asprintf "%a" Pid.pp src)
+                          sent_step (time - t) cfg.Sim.d;
+                    }
+              | Some t when time < t ->
+                  Some
+                    {
+                      process = q;
+                      message = "message delivered before it was sent";
+                    }
+              | Some _ -> None)
+          | Sim.Stepped _ -> None)
+        events
+      @ acc)
+    trace []
+
+let check_fifo trace =
+  Pid.Map.fold
+    (fun q events acc ->
+      let last = Hashtbl.create 8 in
+      List.filter_map
+        (function
+          | Sim.Received { src; sent_step; _ } ->
+              let prev = Option.value ~default:0 (Hashtbl.find_opt last src) in
+              Hashtbl.replace last src sent_step;
+              if sent_step <= prev then
+                Some
+                  {
+                    process = q;
+                    message =
+                      Printf.sprintf "FIFO violation on channel from %s"
+                        (Format.asprintf "%a" Pid.pp src);
+                  }
+              else None
+          | Sim.Stepped _ -> None)
+        events
+      @ acc)
+    trace []
+
+let check_no_spoofing trace =
+  let sent = sender_step_times trace in
+  Pid.Map.fold
+    (fun q events acc ->
+      List.filter_map
+        (function
+          | Sim.Received { src; sent_step; _ } ->
+              if Hashtbl.mem sent (src, sent_step) then None
+              else
+                Some
+                  {
+                    process = q;
+                    message =
+                      Printf.sprintf "received a message %s never sent"
+                        (Format.asprintf "%a" Pid.pp src);
+                  }
+          | Sim.Stepped _ -> None)
+        events
+      @ acc)
+    trace []
+
+let validate cfg trace =
+  check_step_intervals cfg trace
+  @ check_delivery_bound cfg trace
+  @ check_fifo trace
+  @ check_no_spoofing trace

@@ -1,0 +1,36 @@
+(** Validation of simulator traces against the timing model's axioms.
+
+    Section 8 constrains executions: consecutive steps of a process are
+    between [c1] and [c2] apart, messages arrive at most [d] after being
+    sent, and channels are FIFO (Section 4).  The simulator enforces these
+    by construction; this module re-checks them on the {e output}, so
+    adversary implementations (including user-supplied ones) cannot
+    silently violate the model. *)
+
+open Psph_topology
+
+type violation = {
+  process : Pid.t;
+  message : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_step_intervals : Sim.config -> Sim.trace -> violation list
+(** Every gap between consecutive [Stepped] events is in [[c1, c2]], and
+    the first step happens within [[c1, c2]] of time 0. *)
+
+val check_delivery_bound : Sim.config -> Sim.trace -> violation list
+(** Every [Received] event arrives no more than [d] after the sender's
+    recorded step (requires the sender's steps to be present in the
+    trace). *)
+
+val check_fifo : Sim.trace -> violation list
+(** Per channel, received messages appear in increasing sent-step order. *)
+
+val check_no_spoofing : Sim.trace -> violation list
+(** Every received message corresponds to a step its sender actually
+    took. *)
+
+val validate : Sim.config -> Sim.trace -> violation list
+(** All checks; [[]] means the trace satisfies the model. *)

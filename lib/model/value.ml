@@ -1,0 +1,17 @@
+type t = int
+
+let compare = Int.compare
+
+let equal = Int.equal
+
+let pp = Format.pp_print_int
+
+let to_label v = Psph_topology.Label.Int v
+
+let of_label = function
+  | Psph_topology.Label.Int v -> v
+  | _ -> invalid_arg "Value.of_label: not an Int label"
+
+let domain k = List.init (k + 1) (fun i -> i)
+
+module Set = Stdlib.Set.Make (Int)

@@ -1,0 +1,23 @@
+(** Input values.
+
+    Each process starts with an input value from a finite set [V]
+    (Section 4).  Values are small integers; [domain k] is the canonical
+    [k+1]-element domain used by the k-set agreement experiments. *)
+
+type t = int
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_label : t -> Psph_topology.Label.t
+
+val of_label : Psph_topology.Label.t -> t
+(** @raise Invalid_argument if the label is not an [Int]. *)
+
+val domain : int -> t list
+(** [domain k] is [[0; ...; k]]: the [k + 1] values of Theorem 9. *)
+
+module Set : Stdlib.Set.S with type elt = t

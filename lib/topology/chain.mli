@@ -1,0 +1,45 @@
+(** Chains over Z/2.
+
+    A [d]-chain is a formal sum of [d]-simplexes with Z/2 coefficients,
+    i.e. a finite set of simplexes under symmetric difference.  The
+    boundary operator satisfies the fundamental law [boundary (boundary c)
+    = zero], which the property suite checks on random chains; cycles and
+    boundaries give a hands-on counterpart to the matrix-based
+    {!Homology}. *)
+
+type t
+(** A chain; all member simplexes must share one dimension. *)
+
+val zero : t
+
+val of_simplices : Simplex.t list -> t
+(** Formal sum (duplicates cancel).  @raise Invalid_argument on mixed
+    dimensions. *)
+
+val simplices : t -> Simplex.t list
+
+val is_zero : t -> bool
+
+val dim : t -> int
+(** [-1] for the zero chain. *)
+
+val add : t -> t -> t
+(** Z/2 sum (symmetric difference).  @raise Invalid_argument on mixed
+    nonzero dimensions. *)
+
+val boundary : t -> t
+(** The boundary operator. *)
+
+val is_cycle : t -> bool
+(** [boundary c = zero]. *)
+
+val is_boundary_in : Complex.t -> t -> bool
+(** Is the chain the boundary of some chain of the complex?  (Solves a
+    linear system over Z/2.) *)
+
+val fundamental_class : Complex.t -> t
+(** The sum of all top-dimensional simplexes — a cycle exactly when the
+    complex is a Z/2-cycle (e.g. any closed pseudomanifold, such as a
+    pseudosphere realization). *)
+
+val pp : Format.formatter -> t -> unit

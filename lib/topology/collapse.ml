@@ -1,0 +1,57 @@
+module SSet = Set.Make (Simplex)
+module SMap = Map.Make (Simplex)
+
+(* Count, for every simplex, its cofaces of dimension dim+1.  Because the
+   complex is closed under containment, a simplex with exactly one such
+   coface has exactly one proper coface overall, i.e. it is a free face. *)
+let coface_map simplices =
+  List.fold_left
+    (fun acc t ->
+      if Simplex.dim t = 0 then acc
+      else
+        List.fold_left
+          (fun acc f ->
+            SMap.update f
+              (function None -> Some [ t ] | Some ts -> Some (t :: ts))
+              acc)
+          acc (Simplex.facets t))
+    SMap.empty simplices
+
+let free_faces_of_set set =
+  let cofaces = coface_map (SSet.elements set) in
+  SSet.fold
+    (fun s acc ->
+      match SMap.find_opt s cofaces with
+      | Some [ t ] -> (s, t) :: acc
+      | None | Some _ -> acc)
+    set []
+
+let free_faces c = free_faces_of_set (SSet.of_list (Complex.simplices c))
+
+let collapse c =
+  let set = ref (SSet.of_list (Complex.simplices c)) in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    (* recompute cofaces, then greedily remove non-overlapping free pairs *)
+    let cofaces = coface_map (SSet.elements !set) in
+    let removed = ref SSet.empty in
+    SSet.iter
+      (fun s ->
+        if not (SSet.mem s !removed) then
+          match SMap.find_opt s cofaces with
+          | Some [ t ] when not (SSet.mem t !removed) ->
+              (* check [t] is still the unique coface after this sweep's
+                 removals: t itself intact is enough because removals only
+                 delete pairs, never add cofaces *)
+              removed := SSet.add s (SSet.add t !removed);
+              progress := true
+          | None | Some _ -> ())
+      !set;
+    set := SSet.diff !set !removed
+  done;
+  Complex.of_facets (SSet.elements !set)
+
+let is_collapsible_to_point c =
+  let r = collapse c in
+  Complex.num_simplices r = 1 && Complex.dim r = 0

@@ -1,0 +1,19 @@
+(** Elementary simplicial collapses.
+
+    A nonmaximal simplex [s] is a {e free face} when it is properly
+    contained in exactly one other simplex [t] (necessarily of dimension
+    [dim s + 1]).  Removing the pair [(s, t)] is an elementary collapse; it
+    preserves the homotopy type, hence homology and connectivity.  Protocol
+    complexes are highly collapsible, so collapsing before computing
+    homology ({!Homology}) can shrink them by orders of magnitude. *)
+
+val collapse : Complex.t -> Complex.t
+(** Greedily performs elementary collapses until none remains.  The result
+    is homotopy equivalent to the input. *)
+
+val is_collapsible_to_point : Complex.t -> bool
+(** Does greedy collapsing end at a single vertex?  (A sufficient but not
+    necessary condition for contractibility.) *)
+
+val free_faces : Complex.t -> (Simplex.t * Simplex.t) list
+(** The current free-face pairs [(s, t)] with [t] the unique coface. *)

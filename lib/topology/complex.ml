@@ -1,0 +1,195 @@
+module SSet = Set.Make (Simplex)
+
+type t = SSet.t
+(* invariant: all elements nonempty; closed under taking nonempty faces *)
+
+let empty = SSet.empty
+
+let is_empty = SSet.is_empty
+
+let add_facet s c =
+  if Simplex.is_empty s then c
+  else
+    List.fold_left
+      (fun acc f -> if Simplex.is_empty f then acc else SSet.add f acc)
+      c (Simplex.faces s)
+
+let of_facets fs = List.fold_left (fun acc s -> add_facet s acc) SSet.empty fs
+
+let of_simplex s = add_facet s SSet.empty
+
+let boundary_complex s = of_facets (Simplex.facets s)
+
+let mem s c = SSet.mem s c
+
+let mem_vertex v c = SSet.mem (Simplex.of_list [ v ]) c
+
+let simplices c = SSet.elements c
+
+let fold f c init = SSet.fold f c init
+
+let iter f c = SSet.iter f c
+
+let num_simplices = SSet.cardinal
+
+let dim c = SSet.fold (fun s acc -> max acc (Simplex.dim s)) c (-1)
+
+let facets c =
+  (* s is a facet iff no coface of dimension dim+1 is present; closure makes
+     this equivalent to maximality *)
+  let covered =
+    SSet.fold
+      (fun s acc ->
+        if Simplex.dim s = 0 then acc
+        else List.fold_left (fun acc f -> SSet.add f acc) acc (Simplex.facets s))
+      c SSet.empty
+  in
+  SSet.elements (SSet.diff c covered)
+
+let simplices_of_dim c d =
+  SSet.fold (fun s acc -> if Simplex.dim s = d then s :: acc else acc) c []
+  |> List.rev
+
+let count_of_dim c d =
+  SSet.fold (fun s acc -> if Simplex.dim s = d then acc + 1 else acc) c 0
+
+let f_vector c =
+  let d = dim c in
+  if d < 0 then [||]
+  else begin
+    let f = Array.make (d + 1) 0 in
+    SSet.iter (fun s -> f.(Simplex.dim s) <- f.(Simplex.dim s) + 1) c;
+    f
+  end
+
+let euler c =
+  let f = f_vector c in
+  let acc = ref 0 in
+  Array.iteri (fun d n -> acc := !acc + if d mod 2 = 0 then n else -n) f;
+  !acc
+
+let vertices c =
+  simplices_of_dim c 0
+  |> List.map (fun s ->
+         match Simplex.vertices s with
+         | [ v ] -> v
+         | [] | _ :: _ :: _ -> assert false)
+
+let num_vertices c = count_of_dim c 0
+
+let union = SSet.union
+
+let inter = SSet.inter
+
+let diff_facets a b = of_facets (List.filter (fun s -> not (SSet.mem s b)) (facets a))
+
+let equal = SSet.equal
+
+let subcomplex = SSet.subset
+
+let skeleton k c = SSet.filter (fun s -> Simplex.dim s <= k) c
+
+let star v c =
+  SSet.fold
+    (fun s acc -> if Simplex.mem v s then add_facet s acc else acc)
+    c SSet.empty
+
+let link v c =
+  SSet.fold
+    (fun s acc ->
+      if Simplex.mem v s then
+        let f = Simplex.remove v s in
+        if Simplex.is_empty f then acc else SSet.add f acc
+      else acc)
+    c SSet.empty
+
+let join a b =
+  let va = Vertex.Set.of_list (vertices a)
+  and vb = Vertex.Set.of_list (vertices b) in
+  if not (Vertex.Set.is_empty (Vertex.Set.inter va vb)) then
+    invalid_arg "Complex.join: vertex sets not disjoint";
+  if is_empty a then b
+  else if is_empty b then a
+  else
+    let pieces =
+      SSet.fold
+        (fun s acc ->
+          SSet.fold (fun t acc -> SSet.add (Simplex.union s t) acc) b acc)
+        a SSet.empty
+    in
+    SSet.union a (SSet.union b pieces)
+
+let map f c =
+  (* the image of a closed set is closed: the image of a face is a face of
+     the image *)
+  SSet.fold (fun s acc -> SSet.add (Simplex.map f s) acc) c SSet.empty
+
+let filter_vertices p c =
+  SSet.filter (fun s -> List.for_all p (Simplex.vertices s)) c
+
+let restrict_ids k c =
+  filter_vertices
+    (fun v -> match Vertex.pid v with Some p -> Pid.Set.mem p k | None -> false)
+    c
+
+let connected_components c =
+  (* union-find keyed by Vertex.compare: vertex labels may contain sets with
+     distinct internal shapes, so polymorphic equality is not usable *)
+  let verts = vertices c in
+  let parent =
+    ref (List.fold_left (fun m v -> Vertex.Map.add v v m) Vertex.Map.empty verts)
+  in
+  let rec find v =
+    let p = Vertex.Map.find v !parent in
+    if Vertex.equal p v then v
+    else begin
+      let r = find p in
+      parent := Vertex.Map.add v r !parent;
+      r
+    end
+  in
+  let union_vv u v =
+    let ru = find u and rv = find v in
+    if not (Vertex.equal ru rv) then parent := Vertex.Map.add ru rv !parent
+  in
+  List.iter
+    (fun s ->
+      match Simplex.vertices s with
+      | [ u; v ] -> union_vv u v
+      | [] | [ _ ] | _ :: _ :: _ -> assert false)
+    (simplices_of_dim c 1);
+  let comps =
+    List.fold_left
+      (fun m v ->
+        let r = find v in
+        let cur = Option.value ~default:Vertex.Set.empty (Vertex.Map.find_opt r m) in
+        Vertex.Map.add r (Vertex.Set.add v cur) m)
+      Vertex.Map.empty verts
+  in
+  Vertex.Map.fold (fun _ vs acc -> vs :: acc) comps []
+
+let is_connected c =
+  match connected_components c with [ _ ] -> true | [] | _ :: _ :: _ -> false
+
+let is_pure c =
+  match facets c with
+  | [] -> true
+  | f :: fs ->
+      let d = Simplex.dim f in
+      List.for_all (fun s -> Simplex.dim s = d) fs
+
+let ids c =
+  SSet.fold (fun s acc -> Pid.Set.union (Simplex.ids s) acc) c Pid.Set.empty
+
+let pp_summary ppf c =
+  Format.fprintf ppf "dim=%d f=(%a) chi=%d" (dim c)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (Array.to_list (f_vector c))
+    (euler c)
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Simplex.pp)
+    (facets c)

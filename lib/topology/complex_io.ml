@@ -1,0 +1,268 @@
+(* A hand-rolled recursive-descent reader over a string cursor. *)
+
+type cursor = { text : string; mutable pos : int }
+
+let peek cur = if cur.pos < String.length cur.text then Some cur.text.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  let rec loop () =
+    match peek cur with
+    | Some (' ' | '\t') ->
+        advance cur;
+        loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let fail cur msg =
+  failwith
+    (Printf.sprintf "Complex_io: %s at position %d in %S" msg cur.pos cur.text)
+
+let expect cur ch =
+  skip_ws cur;
+  match peek cur with
+  | Some c when c = ch -> advance cur
+  | _ -> fail cur (Printf.sprintf "expected '%c'" ch)
+
+let read_int cur =
+  skip_ws cur;
+  let start = cur.pos in
+  if peek cur = Some '-' then advance cur;
+  let rec loop () =
+    match peek cur with
+    | Some ('0' .. '9') ->
+        advance cur;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  if cur.pos = start then fail cur "expected an integer";
+  int_of_string (String.sub cur.text start (cur.pos - start))
+
+let read_string_literal cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | Some '"' -> advance cur
+    | Some '\\' ->
+        advance cur;
+        (match peek cur with
+        | Some c ->
+            Buffer.add_char buf c;
+            advance cur
+        | None -> fail cur "unterminated escape");
+        loop ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance cur;
+        loop ()
+    | None -> fail cur "unterminated string"
+  in
+  loop ();
+  Buffer.contents buf
+
+let read_int_list cur ~stop =
+  let rec loop acc =
+    skip_ws cur;
+    match peek cur with
+    | Some c when c = stop ->
+        advance cur;
+        List.rev acc
+    | Some ',' ->
+        advance cur;
+        loop acc
+    | Some _ -> loop (read_int cur :: acc)
+    | None -> fail cur "unterminated list"
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* labels                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let rec label_to_string = function
+  | Label.Unit -> "u"
+  | Label.Bool b -> "b" ^ string_of_bool b
+  | Label.Int i -> "i" ^ string_of_int i
+  | Label.Str s -> Printf.sprintf "s\"%s\"" (escape s)
+  | Label.Pid p -> "p" ^ string_of_int (Pid.to_int p)
+  | Label.Pid_set s ->
+      Printf.sprintf "P{%s}"
+        (String.concat "," (List.map string_of_int (Pid.Set.elements s)))
+  | Label.Vec v ->
+      Printf.sprintf "V<%s>"
+        (String.concat "," (List.map string_of_int (Array.to_list v)))
+  | Label.Pair (a, b) ->
+      Printf.sprintf "(%s,%s)" (label_to_string a) (label_to_string b)
+  | Label.List ls ->
+      Printf.sprintf "[%s]" (String.concat ";" (List.map label_to_string ls))
+
+let rec read_label cur =
+  skip_ws cur;
+  match peek cur with
+  | Some 'u' ->
+      advance cur;
+      Label.Unit
+  | Some 'b' ->
+      advance cur;
+      skip_ws cur;
+      if cur.pos + 4 <= String.length cur.text && String.sub cur.text cur.pos 4 = "true"
+      then begin
+        cur.pos <- cur.pos + 4;
+        Label.Bool true
+      end
+      else if
+        cur.pos + 5 <= String.length cur.text && String.sub cur.text cur.pos 5 = "false"
+      then begin
+        cur.pos <- cur.pos + 5;
+        Label.Bool false
+      end
+      else fail cur "expected a boolean"
+  | Some 'i' ->
+      advance cur;
+      Label.Int (read_int cur)
+  | Some 's' ->
+      advance cur;
+      Label.Str (read_string_literal cur)
+  | Some 'p' ->
+      advance cur;
+      Label.Pid (Pid.of_int (read_int cur))
+  | Some 'P' ->
+      advance cur;
+      expect cur '{';
+      Label.Pid_set (Pid.Set.of_list (read_int_list cur ~stop:'}'))
+  | Some 'V' ->
+      advance cur;
+      expect cur '<';
+      Label.Vec (Array.of_list (read_int_list cur ~stop:'>'))
+  | Some '(' ->
+      advance cur;
+      let a = read_label cur in
+      expect cur ',';
+      let b = read_label cur in
+      expect cur ')';
+      Label.Pair (a, b)
+  | Some '[' ->
+      advance cur;
+      let rec loop acc =
+        skip_ws cur;
+        match peek cur with
+        | Some ']' ->
+            advance cur;
+            List.rev acc
+        | Some ';' ->
+            advance cur;
+            loop acc
+        | Some _ -> loop (read_label cur :: acc)
+        | None -> fail cur "unterminated label list"
+      in
+      Label.List (loop [])
+  | _ -> fail cur "expected a label"
+
+let label_of_string s =
+  let cur = { text = s; pos = 0 } in
+  let l = read_label cur in
+  skip_ws cur;
+  if cur.pos <> String.length s then fail cur "trailing garbage";
+  l
+
+(* ------------------------------------------------------------------ *)
+(* vertices                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec vertex_to_string = function
+  | Vertex.Anon i -> "#" ^ string_of_int i
+  | Vertex.Proc (p, l) ->
+      Printf.sprintf "%d:%s" (Pid.to_int p) (label_to_string l)
+  | Vertex.Bary vs ->
+      Printf.sprintf "B(%s)" (String.concat ";" (List.map vertex_to_string vs))
+
+let rec read_vertex cur =
+  skip_ws cur;
+  match peek cur with
+  | Some '#' ->
+      advance cur;
+      Vertex.Anon (read_int cur)
+  | Some 'B' ->
+      advance cur;
+      expect cur '(';
+      let rec loop acc =
+        skip_ws cur;
+        match peek cur with
+        | Some ')' ->
+            advance cur;
+            List.rev acc
+        | Some ';' ->
+            advance cur;
+            loop acc
+        | Some _ -> loop (read_vertex cur :: acc)
+        | None -> fail cur "unterminated barycentre"
+      in
+      Vertex.Bary (loop [])
+  | Some ('0' .. '9') ->
+      let p = read_int cur in
+      expect cur ':';
+      Vertex.Proc (Pid.of_int p, read_label cur)
+  | _ -> fail cur "expected a vertex"
+
+let vertex_of_string s =
+  let cur = { text = s; pos = 0 } in
+  let v = read_vertex cur in
+  skip_ws cur;
+  if cur.pos <> String.length s then fail cur "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* simplexes and complexes                                             *)
+(* ------------------------------------------------------------------ *)
+
+let simplex_to_string s =
+  String.concat " ; " (List.map vertex_to_string (Simplex.vertices s))
+
+let simplex_of_string text =
+  let cur = { text; pos = 0 } in
+  let rec loop acc =
+    let v = read_vertex cur in
+    skip_ws cur;
+    match peek cur with
+    | Some ';' ->
+        advance cur;
+        loop (v :: acc)
+    | None -> List.rev (v :: acc)
+    | Some _ -> fail cur "expected ';' or end of simplex"
+  in
+  Simplex.of_list (loop [])
+
+let complex_to_string c =
+  Complex.facets c
+  |> List.sort Simplex.compare
+  |> List.map simplex_to_string
+  |> String.concat "\n"
+
+let complex_of_string text =
+  String.split_on_char '\n' text
+  |> List.filter (fun line -> String.trim line <> "")
+  |> List.map simplex_of_string
+  |> Complex.of_facets
+
+let save path c =
+  let oc = open_out path in
+  output_string oc (complex_to_string c);
+  output_char oc '\n';
+  close_out oc
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  complex_of_string text

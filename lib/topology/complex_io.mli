@@ -1,0 +1,41 @@
+(** Textual serialization of labels, vertices, simplexes and complexes.
+
+    Protocol complexes can take a while to build; this module round-trips
+    them through a compact, stable, human-greppable text format, one facet
+    per line, so computed complexes can be cached, diffed and shipped.
+
+    Grammar (whitespace-insensitive inside a line):
+    {v
+      label   ::= 'u' | 'b' bool | 'i' int | 's' string-literal
+                | 'p' int | 'P{' ints '}' | 'V<' ints '>'
+                | '(' label ',' label ')' | '[' labels ']'
+      vertex  ::= '#' int                (anonymous)
+                | int ':' label          (process)
+                | 'B(' vertices ')'      (barycentre)
+      simplex ::= vertex (';' vertex)*
+      complex ::= one simplex per nonempty line
+    v} *)
+
+val label_to_string : Label.t -> string
+
+val label_of_string : string -> Label.t
+(** @raise Failure on malformed input. *)
+
+val vertex_to_string : Vertex.t -> string
+
+val vertex_of_string : string -> Vertex.t
+
+val simplex_to_string : Simplex.t -> string
+
+val simplex_of_string : string -> Simplex.t
+
+val complex_to_string : Complex.t -> string
+(** Facets only (the closure is implied), sorted, one per line. *)
+
+val complex_of_string : string -> Complex.t
+
+val save : string -> Complex.t -> unit
+(** Write to a file. *)
+
+val load : string -> Complex.t
+(** Read from a file.  @raise Sys_error / Failure. *)

@@ -1,0 +1,60 @@
+type certificate =
+  | Empty_complex
+  | Contractible_by_collapse
+  | Shellable_wedge of { spheres : int; dim : int }
+  | Homological of { betti_z2 : int array; torsion_free : bool }
+
+let pp_certificate ppf = function
+  | Empty_complex -> Format.pp_print_string ppf "empty"
+  | Contractible_by_collapse -> Format.pp_print_string ppf "contractible (collapse)"
+  | Shellable_wedge { spheres; dim } ->
+      Format.fprintf ppf "shellable: wedge of %d %d-spheres" spheres dim
+  | Homological { betti_z2; torsion_free } ->
+      Format.fprintf ppf "homological: reduced Z/2 betti (%s)%s"
+        (String.concat ","
+           (List.map string_of_int (Array.to_list betti_z2)))
+        (if torsion_free then ", torsion-free" else "")
+
+let certify ?level c =
+  if Complex.is_empty c then Empty_complex
+  else begin
+    let dim = Complex.dim c in
+    let level = match level with None -> dim | Some l -> min l dim in
+    if Collapse.is_collapsible_to_point c then Contractible_by_collapse
+    else begin
+      let try_shelling =
+        Complex.is_pure c && List.length (Complex.facets c) <= 64
+      in
+      match
+        if try_shelling then Shelling.find_shelling ~budget:200_000 c else None
+      with
+      | Some _ ->
+          (* a shellable pure d-complex is a wedge of b~_d d-spheres *)
+          let b = Homology.reduced_betti c in
+          Shellable_wedge { spheres = b.(dim); dim }
+      | None ->
+          let betti_z2 = Homology.reduced_betti ~max_dim:(max 0 level) c in
+          let torsion_free = Homology_z.is_torsion_free ~max_dim:(max 0 level) c in
+          Homological { betti_z2; torsion_free }
+    end
+  end
+
+let certifies_k_connected cert k =
+  if k <= -2 then true
+  else
+    match cert with
+    | Empty_complex -> false
+    | Contractible_by_collapse -> true
+    | Shellable_wedge { spheres; dim } -> spheres = 0 || k <= dim - 1
+    | Homological { betti_z2; _ } ->
+        if k = -1 then true
+        else if k > Array.length betti_z2 - 1 then
+          (* claims beyond the computed range are not certified *)
+          false
+        else begin
+          let ok = ref true in
+          for d = 0 to k do
+            if betti_z2.(d) <> 0 then ok := false
+          done;
+          !ok
+        end

@@ -1,0 +1,39 @@
+(** Connectivity certificates.
+
+    Different tools give different strengths of evidence that a complex is
+    k-connected (Definition 1 of the paper):
+
+    - a collapse to a point proves contractibility, hence k-connectivity
+      for every k;
+    - a shelling order proves the complex is homotopy equivalent to a
+      wedge of top-dimensional spheres, so vanishing reduced homology
+      below the top dimension is genuine connectivity;
+    - torsion-free vanishing integral homology through dimension k is
+      strong numerical evidence (and exact for the wedge-of-spheres
+      complexes of this paper);
+    - vanishing reduced Z/2 homology is the fast check.
+
+    [certify] returns the strongest certificate it can find, cheapest
+    first; every constructor records which notion backs the claim. *)
+
+type certificate =
+  | Empty_complex  (** not even (-1)-connected *)
+  | Contractible_by_collapse
+      (** collapses to a point: k-connected for every k *)
+  | Shellable_wedge of { spheres : int; dim : int }
+      (** shelling found: homotopy-wedge of [spheres] [dim]-spheres
+          ([spheres = 0] means contractible); k-connected for
+          [k <= dim - 1] *)
+  | Homological of { betti_z2 : int array; torsion_free : bool }
+      (** reduced Z/2 Betti numbers (and whether integral homology is
+          torsion-free in the checked range) *)
+
+val pp_certificate : Format.formatter -> certificate -> unit
+
+val certify : ?level:int -> Complex.t -> certificate
+(** Produce the strongest certificate for connectivity claims up to
+    [level] (default: the complex's dimension).  Tries collapse, then
+    shelling (on pure complexes of modest size), then homology. *)
+
+val certifies_k_connected : certificate -> int -> bool
+(** Does the certificate establish k-connectivity? *)

@@ -1,0 +1,17 @@
+let cone ~apex c =
+  if Complex.mem_vertex apex c then
+    invalid_arg "Constructions.cone: apex already occurs in the complex";
+  let apex_cx = Complex.of_facets [ Simplex.of_list [ apex ] ] in
+  if Complex.is_empty c then apex_cx else Complex.join apex_cx c
+
+let suspension ~north ~south c =
+  if Vertex.equal north south then
+    invalid_arg "Constructions.suspension: poles must differ";
+  Complex.union (cone ~apex:north c) (cone ~apex:south c)
+
+let solid n =
+  Complex.of_simplex (Simplex.of_list (List.init (n + 1) Vertex.anon))
+
+let sphere n =
+  if n < 0 then Complex.empty
+  else Complex.boundary_complex (Simplex.of_list (List.init (n + 2) Vertex.anon))

@@ -1,0 +1,23 @@
+(** Classical complex constructions: cones, suspensions, spheres.
+
+    Used throughout the test-suite as reference spaces, and by the
+    extension experiments: a cone is contractible (so collapsible to a
+    point and with trivial reduced homology), suspension shifts reduced
+    homology up by one — handy sanity laws for the homology engines. *)
+
+val cone : apex:Vertex.t -> Complex.t -> Complex.t
+(** [cone ~apex c]: the join of [c] with a fresh apex vertex (which must
+    not occur in [c]).  The cone over the empty complex is the apex
+    point. *)
+
+val suspension : north:Vertex.t -> south:Vertex.t -> Complex.t -> Complex.t
+(** Join with two fresh points: [susp X] has
+    [H~_{d+1}(susp X) = H~_d(X)]. *)
+
+val sphere : int -> Complex.t
+(** [sphere n]: the boundary of an [(n+1)]-simplex on anonymous vertices —
+    the minimal triangulation of the [n]-sphere.  [sphere (-1)] is the
+    empty complex. *)
+
+val solid : int -> Complex.t
+(** [solid n]: a solid [n]-simplex on anonymous vertices. *)

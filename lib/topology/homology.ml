@@ -1,0 +1,91 @@
+module SMap = Map.Make (Simplex)
+
+let index_of_dim c d =
+  List.sort Simplex.compare (Complex.simplices_of_dim c d)
+  |> List.mapi (fun i s -> (s, i))
+  |> List.to_seq |> SMap.of_seq
+
+let boundary_matrix c d =
+  if d <= 0 then
+    (* d = 0: the augmentation map handles this case in [ranks] *)
+    invalid_arg "Homology.boundary_matrix: dimension must be >= 1"
+  else
+    let rows = index_of_dim c (d - 1) in
+    let cols = List.sort Simplex.compare (Complex.simplices_of_dim c d) in
+    List.map
+      (fun s ->
+        Simplex.facets s
+        |> List.map (fun f -> SMap.find f rows)
+        |> List.sort Int.compare)
+      cols
+
+(* ranks.(d) = rank of the boundary operator from d-chains to (d-1)-chains,
+   where the operator at d = 0 is the augmentation (so its rank is 1 on any
+   nonempty complex). *)
+let ranks ?max_dim c =
+  let dim = Complex.dim c in
+  let top = match max_dim with None -> dim | Some m -> min m dim in
+  if dim < 0 then [||]
+  else begin
+    (* rank of boundary_{top+1} is needed for betti at top *)
+    let upper = min (top + 1) dim in
+    let r = Array.make (upper + 1) 0 in
+    r.(0) <- (if Complex.is_empty c then 0 else 1);
+    for d = 1 to upper do
+      r.(d) <- Z2_matrix.rank (boundary_matrix c d)
+    done;
+    r
+  end
+
+let reduced_betti ?max_dim c =
+  let dim = Complex.dim c in
+  let top = match max_dim with None -> dim | Some m -> min m dim in
+  if dim < 0 then [||]
+  else begin
+    let r = ranks ?max_dim c in
+    let betti = Array.make (top + 1) 0 in
+    for d = 0 to top do
+      let chains = Complex.count_of_dim c d in
+      let rank_d = r.(d) in
+      let rank_above = if d + 1 <= Complex.dim c then r.(d + 1) else 0 in
+      betti.(d) <- chains - rank_d - rank_above
+    done;
+    betti
+  end
+
+let betti ?max_dim c =
+  let b = reduced_betti ?max_dim c in
+  if Array.length b > 0 then b.(0) <- b.(0) + 1;
+  b
+
+let is_k_connected c k =
+  if k <= -2 then true
+  else if Complex.is_empty c then false
+  else if k = -1 then true
+  else begin
+    let b = reduced_betti ~max_dim:k c in
+    let ok = ref true in
+    for d = 0 to min k (Array.length b - 1) do
+      if b.(d) <> 0 then ok := false
+    done;
+    !ok
+  end
+
+let connectivity ?cap c =
+  if Complex.is_empty c then -2
+  else begin
+    let cap = match cap with None -> Complex.dim c | Some k -> k in
+    let b = reduced_betti ~max_dim:cap c in
+    let rec loop k =
+      if k > cap then cap
+      else if k <= Array.length b - 1 && b.(k) <> 0 then k - 1
+      else loop (k + 1)
+    in
+    loop 0
+  end
+
+let euler_from_betti c =
+  let b = betti c in
+  let acc = ref 0 in
+  Array.iteri (fun d n -> acc := !acc + if d mod 2 = 0 then n else -n) b;
+  !acc

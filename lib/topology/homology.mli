@@ -1,0 +1,40 @@
+(** Reduced simplicial homology over Z/2, and homological connectivity.
+
+    Connectivity in the paper (Definition 1) is topological
+    [k]-connectivity.  We compute the homological counterpart: vanishing of
+    the reduced Z/2 homology groups through dimension [k].  For the
+    complexes the paper manipulates — pseudospheres and the shellable unions
+    built from them, all homotopy equivalent to wedges of spheres — the two
+    notions agree, and the Mayer–Vietoris engine ({!Mayer_vietoris})
+    independently replays the paper's genuine connectivity proofs. *)
+
+val boundary_matrix : Complex.t -> int -> Z2_matrix.col list
+(** [boundary_matrix c d] is the matrix of the boundary operator from
+    [d]-chains to [(d-1)]-chains, with columns indexed by [d]-simplexes and
+    rows by [(d-1)]-simplexes (both in {!Simplex.compare} order). *)
+
+val reduced_betti : ?max_dim:int -> Complex.t -> int array
+(** [reduced_betti c] is the array of reduced Z/2 Betti numbers
+    [b~_0 .. b~_dim].  For the empty complex the result is [[||]].  If
+    [max_dim] is given, only dimensions [<= max_dim] are computed (entries
+    above are absent). *)
+
+val betti : ?max_dim:int -> Complex.t -> int array
+(** Ordinary (unreduced) Betti numbers: [betti.(0)] counts components. *)
+
+val connectivity : ?cap:int -> Complex.t -> int
+(** The largest [k] such that the complex is homologically [k]-connected:
+    [-2] if empty, otherwise the largest [k] with reduced Betti numbers
+    vanishing in dimensions [0..k] (so a nonempty disconnected complex has
+    connectivity [-1]).  Searches up to [cap] (default: the complex's
+    dimension); a complex whose reduced homology vanishes through its
+    dimension is reported with connectivity [cap]. *)
+
+val is_k_connected : Complex.t -> int -> bool
+(** [is_k_connected c k]: homologically [k]-connected in the paper's sense —
+    [k <= -2] always holds, [k = -1] means nonempty, and [k >= 0] means
+    nonempty with vanishing reduced homology through dimension [k]. *)
+
+val euler_from_betti : Complex.t -> int
+(** Alternating sum of unreduced Betti numbers; equals {!Complex.euler} on
+    every complex (a consistency check used by tests). *)

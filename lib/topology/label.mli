@@ -1,0 +1,35 @@
+(** Universal vertex labels.
+
+    The paper decorates simplex vertices with values "taken from an arbitrary
+    domain": input values, sets of processes heard from (Lemmas 11 and 14),
+    microround view vectors (Lemma 19), and — for iterated multi-round
+    complexes — full-information views nesting all of the above.  A single
+    ordered, printable universal type keeps every complex in one concrete
+    representation that all libraries can share. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pid of Pid.t
+  | Pid_set of Pid.Set.t
+  | Vec of int array  (** e.g. the semi-synchronous views (mu_0, ..., mu_n) *)
+  | Pair of t * t
+  | List of t list
+
+val compare : t -> t -> int
+(** Total structural order.  Constructors are ranked in declaration order;
+    equal constructors compare componentwise. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val pid_set : Pid.t list -> t
+(** [pid_set ps] is [Pid_set] of the given pids. *)
+
+val ints : int list -> t
+(** [ints xs] is [List [Int x; ...]]. *)

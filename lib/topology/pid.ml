@@ -1,0 +1,49 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Pid.of_int: negative pid" else i
+
+let to_int i = i
+
+let compare = Int.compare
+
+let equal = Int.equal
+
+let pp ppf i = Format.fprintf ppf "P%d" i
+
+module Set = struct
+  include Stdlib.Set.Make (Int)
+
+  let pp ppf s =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         pp)
+      (elements s)
+
+  let of_range lo hi =
+    let rec loop acc i = if i < lo then acc else loop (add i acc) (i - 1) in
+    loop empty hi
+
+  let compare_lex a b =
+    let rec loop a b =
+      match (a, b) with
+      | [], [] -> 0
+      | [], _ :: _ -> -1
+      | _ :: _, [] -> 1
+      | x :: a', y :: b' ->
+          let c = Int.compare x y in
+          if c <> 0 then c else loop a' b'
+    in
+    loop (elements a) (elements b)
+
+  let compare_size_lex a b =
+    let c = Int.compare (cardinal a) (cardinal b) in
+    if c <> 0 then c else compare_lex a b
+end
+
+module Map = Stdlib.Map.Make (Int)
+
+let universe n = Set.of_range 0 n
+
+let all n = List.init (n + 1) (fun i -> i)

@@ -1,0 +1,49 @@
+(** Process identities.
+
+    Processes are named [P0, P1, ..., Pn] following the paper's convention of
+    [n + 1] processes.  A pid is a small non-negative integer. *)
+
+type t = int
+
+val of_int : int -> t
+(** [of_int i] is the pid of process [Pi].  @raise Invalid_argument if
+    [i < 0]. *)
+
+val to_int : t -> int
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [P0], [P1], ... *)
+
+(** Finite sets of pids, ordered lexicographically when compared as sets
+    (smallest-element-first), as used for the failure-set orderings of
+    Sections 7 and 8. *)
+module Set : sig
+  include Stdlib.Set.S with type elt = t
+
+  val pp : Format.formatter -> t -> unit
+
+  val of_range : int -> int -> t
+  (** [of_range lo hi] is [{lo, ..., hi}] ([empty] if [hi < lo]). *)
+
+  val compare_lex : t -> t -> int
+  (** Lexicographic order on the sorted element sequences: the empty set
+      first, then by first element, etc.  This is a total order distinct
+      from the structural {!compare}. *)
+
+  val compare_size_lex : t -> t -> int
+  (** The order used by Lemma 15: sets ordered first by cardinality, then
+      lexicographically ({!compare_lex}).  The empty set comes first,
+      followed by singletons, then two-element sets, and so on. *)
+end
+
+module Map : Stdlib.Map.S with type key = t
+
+val universe : int -> Set.t
+(** [universe n] is the pid set [{0, ..., n}] of all [n + 1] processes. *)
+
+val all : int -> t list
+(** [all n] is the list [[0; ...; n]] of all [n + 1] pids. *)

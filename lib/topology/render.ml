@@ -1,0 +1,147 @@
+let layout ?(iterations = 300) ?(seed = 1) c =
+  let vertices = Array.of_list (Complex.vertices c) in
+  let n = Array.length vertices in
+  if n = 0 then []
+  else begin
+    let index =
+      let m = ref Vertex.Map.empty in
+      Array.iteri (fun i v -> m := Vertex.Map.add v i !m) vertices;
+      !m
+    in
+    let edges =
+      Complex.simplices_of_dim c 1
+      |> List.filter_map (fun s ->
+             match Simplex.vertices s with
+             | [ u; v ] ->
+                 Some (Vertex.Map.find u index, Vertex.Map.find v index)
+             | _ -> None)
+    in
+    (* deterministic jittered circle start *)
+    let pos =
+      Array.init n (fun i ->
+          let angle = 2.0 *. Float.pi *. float_of_int i /. float_of_int n in
+          let jitter = float_of_int ((Hashtbl.hash (seed, i) mod 100) - 50) /. 2000.0 in
+          (cos angle +. jitter, sin angle -. jitter))
+    in
+    let k = 1.6 /. sqrt (float_of_int n) in
+    for _ = 1 to iterations do
+      let disp = Array.make n (0.0, 0.0) in
+      (* repulsion between all pairs *)
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let xi, yi = pos.(i) and xj, yj = pos.(j) in
+          let dx = xi -. xj and dy = yi -. yj in
+          let d2 = max 1e-6 ((dx *. dx) +. (dy *. dy)) in
+          let f = k *. k /. d2 in
+          let fx = dx *. f and fy = dy *. f in
+          let dxi, dyi = disp.(i) in
+          disp.(i) <- (dxi +. fx, dyi +. fy);
+          let dxj, dyj = disp.(j) in
+          disp.(j) <- (dxj -. fx, dyj -. fy)
+        done
+      done;
+      (* attraction along edges *)
+      List.iter
+        (fun (i, j) ->
+          let xi, yi = pos.(i) and xj, yj = pos.(j) in
+          let dx = xi -. xj and dy = yi -. yj in
+          let d = max 1e-6 (sqrt ((dx *. dx) +. (dy *. dy))) in
+          let f = d /. k *. 0.05 in
+          let fx = dx *. f and fy = dy *. f in
+          let dxi, dyi = disp.(i) in
+          disp.(i) <- (dxi -. fx, dyi -. fy);
+          let dxj, dyj = disp.(j) in
+          disp.(j) <- (dxj +. fx, dyj +. fy))
+        edges;
+      (* apply with cooling *)
+      Array.iteri
+        (fun i (dx, dy) ->
+          let x, y = pos.(i) in
+          let limit = 0.05 in
+          let d = max 1e-6 (sqrt ((dx *. dx) +. (dy *. dy))) in
+          let scale = Float.min limit d /. d in
+          pos.(i) <- (x +. (dx *. scale), y +. (dy *. scale)))
+        disp
+    done;
+    (* normalize to the unit box *)
+    let xs = Array.map fst pos and ys = Array.map snd pos in
+    let minx = Array.fold_left min xs.(0) xs and maxx = Array.fold_left max xs.(0) xs in
+    let miny = Array.fold_left min ys.(0) ys and maxy = Array.fold_left max ys.(0) ys in
+    let spanx = max 1e-6 (maxx -. minx) and spany = max 1e-6 (maxy -. miny) in
+    Array.to_list
+      (Array.mapi
+         (fun i v ->
+           let x, y = pos.(i) in
+           (v, ((x -. minx) /. spanx, (y -. miny) /. spany)))
+         vertices)
+  end
+
+let svg ?(width = 640) ?(height = 640) ?iterations c =
+  let positions = layout ?iterations c in
+  let coords =
+    List.fold_left
+      (fun m (v, (x, y)) ->
+        let margin = 60.0 in
+        let px = margin +. (x *. (float_of_int width -. (2.0 *. margin))) in
+        let py = margin +. (y *. (float_of_int height -. (2.0 *. margin))) in
+        Vertex.Map.add v (px, py) m)
+      Vertex.Map.empty positions
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\">\n"
+       width height width height);
+  Buffer.add_string buf
+    "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  (* triangles *)
+  List.iter
+    (fun s ->
+      match Simplex.vertices s with
+      | [ a; b; c3 ] ->
+          let xa, ya = Vertex.Map.find a coords in
+          let xb, yb = Vertex.Map.find b coords in
+          let xc, yc = Vertex.Map.find c3 coords in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<polygon points=\"%.1f,%.1f %.1f,%.1f %.1f,%.1f\" \
+                fill=\"#4a90d9\" fill-opacity=\"0.18\" stroke=\"none\"/>\n"
+               xa ya xb yb xc yc)
+      | _ -> ())
+    (Complex.simplices_of_dim c 2);
+  (* edges *)
+  List.iter
+    (fun s ->
+      match Simplex.vertices s with
+      | [ a; b ] ->
+          let xa, ya = Vertex.Map.find a coords in
+          let xb, yb = Vertex.Map.find b coords in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+                stroke=\"#2c3e50\" stroke-width=\"1.2\"/>\n"
+               xa ya xb yb)
+      | _ -> ())
+    (Complex.simplices_of_dim c 1);
+  (* vertices with labels *)
+  List.iter
+    (fun (v, _) ->
+      let x, y = Vertex.Map.find v coords in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"4.5\" fill=\"#e74c3c\"/>\n" x y);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" \
+            font-family=\"monospace\" fill=\"#333\">%s</text>\n"
+           (x +. 6.0) (y -. 6.0)
+           (Format.asprintf "%a" Vertex.pp v)))
+    positions;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let save_svg path ?width ?height c =
+  let oc = open_out path in
+  output_string oc (svg ?width ?height c);
+  close_out oc

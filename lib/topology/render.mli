@@ -1,0 +1,18 @@
+(** SVG rendering of small complexes.
+
+    The paper's figures are drawings of low-dimensional complexes; this
+    module regenerates them as standalone SVG files.  Vertices are placed
+    with a deterministic force-directed layout (circle start, spring
+    iterations), triangles are drawn translucent, edges solid, vertices
+    labelled.  Intended for complexes with at most a few hundred
+    simplexes. *)
+
+val layout :
+  ?iterations:int -> ?seed:int -> Complex.t -> (Vertex.t * (float * float)) list
+(** Deterministic 2-D positions for the vertices (unit-box coordinates). *)
+
+val svg : ?width:int -> ?height:int -> ?iterations:int -> Complex.t -> string
+(** A complete SVG document: 2-simplexes as translucent triangles, edges as
+    lines, vertices as labelled dots. *)
+
+val save_svg : string -> ?width:int -> ?height:int -> Complex.t -> unit

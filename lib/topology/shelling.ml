@@ -1,0 +1,60 @@
+let meets_previous_properly prefix f =
+  (* every earlier facet's intersection with f must sit inside some
+     codimension-1 earlier intersection *)
+  let d = Simplex.dim f in
+  let inters = List.map (fun g -> Simplex.inter g f) prefix in
+  List.for_all
+    (fun i ->
+      Simplex.dim i = d - 1
+      || List.exists
+           (fun l -> Simplex.dim l = d - 1 && Simplex.subset i l)
+           inters)
+    inters
+  && List.exists (fun i -> Simplex.dim i = d - 1) inters
+
+let is_shelling_order = function
+  | [] -> true
+  | first :: rest ->
+      let d = Simplex.dim first in
+      List.for_all (fun f -> Simplex.dim f = d) rest
+      &&
+      let rec loop prefix = function
+        | [] -> true
+        | f :: later ->
+            meets_previous_properly prefix f && loop (f :: prefix) later
+      in
+      (match rest with [] -> true | _ -> loop [ first ] rest)
+
+exception Out_of_budget
+
+let find_shelling ?(budget = 2_000_000) c =
+  if not (Complex.is_pure c) then None
+  else
+    match Complex.facets c with
+    | [] -> Some []
+    | [ f ] -> Some [ f ]
+    | facets ->
+        let nodes = ref 0 in
+        let rec go prefix remaining =
+          incr nodes;
+          if !nodes > budget then raise Out_of_budget;
+          match remaining with
+          | [] -> Some (List.rev prefix)
+          | _ ->
+              let rec try_each seen = function
+                | [] -> None
+                | f :: rest -> (
+                    let candidate_ok =
+                      prefix = [] || meets_previous_properly prefix f
+                    in
+                    if candidate_ok then
+                      match go (f :: prefix) (List.rev_append seen rest) with
+                      | Some order -> Some order
+                      | None -> try_each (f :: seen) rest
+                    else try_each (f :: seen) rest)
+              in
+              try_each [] remaining
+        in
+        (try go [] facets with Out_of_budget -> None)
+
+let is_shellable ?budget c = Option.is_some (find_shelling ?budget c)

@@ -1,0 +1,22 @@
+(** Shellability.
+
+    A pure [d]-complex is {e shellable} if its facets can be ordered
+    [F_1, ..., F_t] such that each [F_j] (for [j >= 2]) meets the union of
+    its predecessors in a nonempty union of codimension-1 faces of [F_j].
+    Shellable complexes are homotopy equivalent to wedges of [d]-spheres —
+    precisely the class for which homological and topological connectivity
+    agree, which is why the test-suite checks shellability of the paper's
+    pseudospheres and one-round complexes. *)
+
+val is_shelling_order : Simplex.t list -> bool
+(** Is the given facet sequence a shelling?  (Uses the standard pairwise
+    criterion: for every [i < j] there is [l < j] with
+    [F_i /\ F_j <= F_l /\ F_j] and [dim (F_l /\ F_j) = dim F_j - 1].) *)
+
+val find_shelling : ?budget:int -> Complex.t -> Simplex.t list option
+(** Backtracking search for a shelling order of a pure complex.  Returns
+    [None] if the complex is not pure, no shelling exists, or the node
+    budget (default 2 million) is exhausted. *)
+
+val is_shellable : ?budget:int -> Complex.t -> bool
+(** [find_shelling] succeeds. *)

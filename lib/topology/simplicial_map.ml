@@ -1,0 +1,102 @@
+type vertex_map = Vertex.t -> Vertex.t
+
+let is_simplicial mu dom cod =
+  List.for_all
+    (fun s -> Complex.mem (Simplex.map mu s) cod)
+    (Complex.facets dom)
+
+let image = Complex.map
+
+let is_injective_on mu dom =
+  let vs = Complex.vertices dom in
+  let images = List.map mu vs in
+  Vertex.Set.cardinal (Vertex.Set.of_list images) = List.length vs
+
+let is_isomorphism_via mu dom cod =
+  is_simplicial mu dom cod
+  && is_injective_on mu dom
+  && Complex.equal (image mu dom) cod
+
+(* Backtracking isomorphism search.  Vertices of the domain are processed in
+   a fixed order; candidate images must match on (degree profile, pid when
+   [respect_pids]); a partial assignment is extended only if every
+   fully-assigned domain simplex maps to a codomain simplex and the map
+   stays injective.  Finally the full map must be an isomorphism (checked by
+   facet counts + image equality). *)
+let find_isomorphism ?(respect_pids = true) dom cod =
+  let fd = Complex.f_vector dom and fc = Complex.f_vector cod in
+  if fd <> fc then None
+  else begin
+    let dom_vertices = Complex.vertices dom in
+    let cod_vertices = Complex.vertices cod in
+    (* degree profile: for each vertex, number of simplices containing it,
+       bucketed by dimension *)
+    let profile cx v =
+      let st = Complex.star v cx in
+      (Array.to_list (Complex.f_vector st), if respect_pids then Vertex.pid v else None)
+    in
+    let dom_prof = List.map (fun v -> (v, profile dom v)) dom_vertices in
+    let cod_prof = List.map (fun v -> (v, profile cod v)) cod_vertices in
+    (* order domain vertices by decreasing constraint (rarest profile
+       first) *)
+    let count_prof p l = List.length (List.filter (fun (_, q) -> q = p) l) in
+    let ordered =
+      List.sort
+        (fun (_, p1) (_, p2) ->
+          Int.compare (count_prof p1 cod_prof) (count_prof p2 cod_prof))
+        dom_prof
+    in
+    let edges = Complex.simplices_of_dim dom 1 in
+    let assignment : Vertex.t Vertex.Map.t ref = ref Vertex.Map.empty in
+    let used = ref Vertex.Set.empty in
+    let consistent v img =
+      (* every domain edge {v, u} with u already assigned must map to a
+         codomain edge *)
+      List.for_all
+        (fun e ->
+          if not (Simplex.mem v e) then true
+          else
+            match List.filter (fun u -> not (Vertex.equal u v)) (Simplex.vertices e) with
+            | [ u ] -> (
+                match Vertex.Map.find_opt u !assignment with
+                | None -> true
+                | Some iu -> Complex.mem (Simplex.of_list [ img; iu ]) cod)
+            | [] | _ :: _ :: _ -> true)
+        edges
+    in
+    let rec go = function
+      | [] ->
+          let mu v =
+            match Vertex.Map.find_opt v !assignment with
+            | Some w -> w
+            | None -> v
+          in
+          if is_isomorphism_via mu dom cod then Some mu else None
+      | (v, p) :: rest ->
+          let candidates =
+            List.filter_map
+              (fun (w, q) ->
+                if q = p && (not (Vertex.Set.mem w !used)) && consistent v w then
+                  Some w
+                else None)
+              cod_prof
+          in
+          let rec try_candidates = function
+            | [] -> None
+            | w :: ws -> (
+                assignment := Vertex.Map.add v w !assignment;
+                used := Vertex.Set.add w !used;
+                match go rest with
+                | Some mu -> Some mu
+                | None ->
+                    assignment := Vertex.Map.remove v !assignment;
+                    used := Vertex.Set.remove w !used;
+                    try_candidates ws)
+          in
+          try_candidates candidates
+    in
+    go ordered
+  end
+
+let are_isomorphic ?respect_pids dom cod =
+  Option.is_some (find_isomorphism ?respect_pids dom cod)

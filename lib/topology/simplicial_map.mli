@@ -1,0 +1,36 @@
+(** Simplicial maps and isomorphisms.
+
+    A vertex map [mu] between complexes is {e simplicial} when the image of
+    every simplex is a simplex of the codomain.  Lemmas 11, 14 and 19 of the
+    paper exhibit explicit vertex maps and argue that they are simplicial,
+    one-to-one and onto; {!is_isomorphism_via} checks exactly that.  A
+    generic backtracking isomorphism search is provided for cross-checking
+    complexes whose vertex labels differ (e.g. enumerated-execution
+    complexes vs pseudosphere formulas). *)
+
+type vertex_map = Vertex.t -> Vertex.t
+
+val is_simplicial : vertex_map -> Complex.t -> Complex.t -> bool
+(** [is_simplicial mu dom cod]: does [mu] send every simplex of [dom] to a
+    simplex of [cod]? *)
+
+val image : vertex_map -> Complex.t -> Complex.t
+(** The image complex (same as {!Complex.map}). *)
+
+val is_injective_on : vertex_map -> Complex.t -> bool
+(** Is [mu] injective on the vertices of the complex? *)
+
+val is_isomorphism_via : vertex_map -> Complex.t -> Complex.t -> bool
+(** [is_isomorphism_via mu dom cod]: [mu] is simplicial, injective on
+    vertices, and its image is exactly [cod] — witnessing [dom ~= cod]
+    through [mu]. *)
+
+val find_isomorphism :
+  ?respect_pids:bool -> Complex.t -> Complex.t -> vertex_map option
+(** Backtracking search for a simplicial isomorphism.  With
+    [respect_pids] (default [true]) only maps preserving the process id of
+    [Proc] vertices are considered — the right notion for chromatic
+    (coloured) complexes, and a large pruning win.  Returns a total map on
+    the domain's vertices. *)
+
+val are_isomorphic : ?respect_pids:bool -> Complex.t -> Complex.t -> bool

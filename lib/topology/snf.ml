@@ -1,0 +1,116 @@
+type t = int array array
+
+let pp ppf m =
+  Array.iter
+    (fun r ->
+      Format.fprintf ppf "[%s]@."
+        (String.concat " " (Array.to_list (Array.map string_of_int r))))
+    m
+
+(* Standard Smith reduction: repeatedly bring the minimal-magnitude nonzero
+   entry of the remaining block to the pivot, clear its row and column with
+   Euclidean steps, ensure divisibility, recurse on the sub-block. *)
+let smith_diagonal m =
+  let m = Array.map Array.copy m in
+  let rows = Array.length m in
+  let cols = if rows = 0 then 0 else Array.length m.(0) in
+  let swap_rows i j =
+    let tmp = m.(i) in
+    m.(i) <- m.(j);
+    m.(j) <- tmp
+  in
+  let swap_cols i j =
+    for r = 0 to rows - 1 do
+      let tmp = m.(r).(i) in
+      m.(r).(i) <- m.(r).(j);
+      m.(r).(j) <- tmp
+    done
+  in
+  let add_row_multiple dst src q =
+    (* row dst <- row dst - q * row src *)
+    for c = 0 to cols - 1 do
+      m.(dst).(c) <- m.(dst).(c) - (q * m.(src).(c))
+    done
+  in
+  let add_col_multiple dst src q =
+    for r = 0 to rows - 1 do
+      m.(r).(dst) <- m.(r).(dst) - (q * m.(r).(src))
+    done
+  in
+  let find_min_pivot t =
+    (* minimal |entry| <> 0 in the block starting at (t, t) *)
+    let best = ref None in
+    for r = t to rows - 1 do
+      for c = t to cols - 1 do
+        let v = abs m.(r).(c) in
+        if v <> 0 then
+          match !best with
+          | Some (bv, _, _) when bv <= v -> ()
+          | _ -> best := Some (v, r, c)
+      done
+    done;
+    !best
+  in
+  let diagonal = ref [] in
+  let t = ref 0 in
+  let continue = ref true in
+  while !continue && !t < min rows cols do
+    match find_min_pivot !t with
+    | None -> continue := false
+    | Some (_, pr, pc) ->
+        swap_rows !t pr;
+        swap_cols !t pc;
+        (* clear column and row; pivot may need several Euclid rounds *)
+        let clean = ref false in
+        while not !clean do
+          clean := true;
+          for r = !t + 1 to rows - 1 do
+            if m.(r).(!t) <> 0 then begin
+              let q = m.(r).(!t) / m.(!t).(!t) in
+              add_row_multiple r !t q;
+              if m.(r).(!t) <> 0 then begin
+                (* remainder smaller than pivot: swap it up and restart *)
+                swap_rows r !t;
+                clean := false
+              end
+            end
+          done;
+          for c = !t + 1 to cols - 1 do
+            if m.(!t).(c) <> 0 then begin
+              let q = m.(!t).(c) / m.(!t).(!t) in
+              add_col_multiple c !t q;
+              if m.(!t).(c) <> 0 then begin
+                swap_cols c !t;
+                clean := false
+              end
+            end
+          done
+        done;
+        (* divisibility: if some entry of the remaining block is not
+           divisible by the pivot, fold its row in and redo this step *)
+        let pivot = abs m.(!t).(!t) in
+        let offender = ref None in
+        (try
+           for r = !t + 1 to rows - 1 do
+             for c = !t + 1 to cols - 1 do
+               if m.(r).(c) mod pivot <> 0 then begin
+                 offender := Some r;
+                 raise Exit
+               end
+             done
+           done
+         with Exit -> ());
+        (match !offender with
+        | Some r ->
+            (* add row r to row t, creating a smaller minimum; redo *)
+            for c = 0 to cols - 1 do
+              m.(!t).(c) <- m.(!t).(c) + m.(r).(c)
+            done
+        | None -> begin
+            diagonal := pivot :: !diagonal;
+            incr t
+          end)
+  done;
+  List.rev !diagonal
+
+let rank m = List.length (smith_diagonal m)

@@ -1,0 +1,19 @@
+(** Smith normal form of integer matrices.
+
+    Used by {!Homology_z} for integral simplicial homology: the diagonal of
+    the Smith form of a boundary matrix gives its rank and the torsion
+    coefficients of the homology group below it.  Matrices here are small
+    and dense; entries use native [int]s with minimal-pivot selection to
+    keep growth tame. *)
+
+type t = int array array
+(** Row-major matrix (possibly empty). *)
+
+val smith_diagonal : t -> int list
+(** The nonzero diagonal entries [d_1 | d_2 | ... | d_r] of the Smith
+    normal form, each positive, each dividing the next.  The length is the
+    rank. *)
+
+val rank : t -> int
+
+val pp : Format.formatter -> t -> unit

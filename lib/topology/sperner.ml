@@ -1,0 +1,40 @@
+type colouring = Vertex.t -> int
+
+let is_sperner_colouring ~allowed chi c =
+  List.for_all (fun v -> List.mem (chi v) (allowed v)) (Complex.vertices c)
+
+module ISet = Set.Make (Int)
+
+let colours_of chi s =
+  List.fold_left (fun acc v -> ISet.add (chi v) acc) ISet.empty (Simplex.vertices s)
+
+let panchromatic chi n c =
+  let full = ISet.of_list (List.init (n + 1) (fun i -> i)) in
+  List.filter
+    (fun s -> ISet.equal (colours_of chi s) full)
+    (Complex.simplices_of_dim c n)
+
+let count_panchromatic chi n c = List.length (panchromatic chi n c)
+
+let lemma_holds ~allowed chi n c =
+  is_sperner_colouring ~allowed chi c
+  && count_panchromatic chi n c mod 2 = 1
+
+let barycentric_allowed base =
+  let base_vertices = Simplex.vertices base in
+  let colour_of_base v =
+    let rec idx i = function
+      | [] -> None
+      | u :: us -> if Vertex.equal u v then Some i else idx (i + 1) us
+    in
+    idx 0 base_vertices
+  in
+  let rec allowed v =
+    match v with
+    | Vertex.Bary vs -> List.concat_map allowed vs
+    | Vertex.Proc _ | Vertex.Anon _ -> (
+        match colour_of_base v with Some i -> [ i ] | None -> [])
+  in
+  fun v -> List.sort_uniq Int.compare (allowed v)
+
+let distinct_colours chi s = ISet.cardinal (colours_of chi s)

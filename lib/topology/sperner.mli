@@ -1,0 +1,38 @@
+(** Sperner colourings and Sperner's lemma.
+
+    Theorem 9 of the paper is proved with Sperner's Lemma
+    [Lef49, Lemma 5.5]: if the vertices of a subdivided [n]-simplex are
+    coloured with [n + 1] colours such that each vertex only receives a
+    colour of a corner of its carrier, then an odd number of [n]-simplexes
+    of the subdivision are panchromatic.  This module provides the checker
+    used by the Theorem-9 experiments: decision maps on highly connected
+    complexes induce Sperner-like colourings, which forces a simplex with
+    [k + 1] distinct decisions. *)
+
+type colouring = Vertex.t -> int
+
+val is_sperner_colouring :
+  allowed:(Vertex.t -> int list) -> colouring -> Complex.t -> bool
+(** Every vertex receives one of its allowed (carrier-corner) colours. *)
+
+val panchromatic : colouring -> int -> Complex.t -> Simplex.t list
+(** [panchromatic chi n c]: the [n]-simplexes whose vertices carry all of
+    the colours [0..n]. *)
+
+val count_panchromatic : colouring -> int -> Complex.t -> int
+
+val lemma_holds : allowed:(Vertex.t -> int list) -> colouring -> int -> Complex.t -> bool
+(** Sperner's conclusion: a valid colouring of a subdivided [n]-simplex has
+    an odd number of panchromatic [n]-simplexes (in particular at least
+    one). *)
+
+val barycentric_allowed : Simplex.t -> Vertex.t -> int list
+(** Carrier colours for vertices of (iterated) barycentric subdivisions of
+    the given base simplex, where the base vertex of index [i] (in
+    {!Simplex.vertices} order) has colour [i]: a [Bary] vertex may use the
+    colours of the base vertices spanning its carrier. *)
+
+val distinct_colours : colouring -> Simplex.t -> int
+(** Number of distinct colours on a simplex (used by the k-set agreement
+    experiments: a decision map is a colouring and a simplex with more than
+    [k] colours violates the task). *)

@@ -1,0 +1,98 @@
+(* Barycentric subdivision: simplexes of sd(C) are chains
+   s_0 < s_1 < ... < s_k of simplexes of C ordered by proper inclusion. *)
+
+let bary_vertex s = Vertex.Bary (Simplex.vertices s)
+
+let barycentric c =
+  let simplices = Complex.simplices c in
+  (* chains ending at s: extend chains of proper faces of s *)
+  let module SMap = Map.Make (Simplex) in
+  let sorted = List.sort (fun a b -> Int.compare (Simplex.dim a) (Simplex.dim b)) simplices in
+  let chains_ending =
+    List.fold_left
+      (fun acc s ->
+        let sub_chains =
+          List.concat_map
+            (fun f ->
+              match SMap.find_opt f acc with None -> [] | Some cs -> cs)
+            (Simplex.proper_faces s)
+        in
+        let here = [ s ] :: List.map (fun ch -> s :: ch) sub_chains in
+        SMap.add s here acc)
+      SMap.empty sorted
+  in
+  let all_chains = SMap.fold (fun _ cs acc -> List.rev_append cs acc) chains_ending [] in
+  Complex.of_facets
+    (List.map (fun ch -> Simplex.of_list (List.map bary_vertex ch)) all_chains)
+
+let barycentric_iter r c =
+  let rec loop i acc = if i >= r then acc else loop (i + 1) (barycentric acc) in
+  loop 0 c
+
+(* Chromatic (standard) subdivision of a single chromatic simplex, built by
+   enumerating ordered partitions (immediate-snapshot schedules): a schedule
+   is an ordered partition (B_1, ..., B_t) of ids(S); process P in block B_i
+   sees sigma_P = union of B_1..B_i.  Facets of the subdivision are exactly
+   the schedules' vertex sets. *)
+let ordered_partitions (xs : 'a list) : 'a list list list =
+  let rec parts = function
+    | [] -> [ [] ]
+    | xs ->
+        (* choose a nonempty first block, recurse on the rest *)
+        let rec nonempty_subsets = function
+          | [] -> [ ([], []) ]
+          | y :: ys ->
+              let rest = nonempty_subsets ys in
+              List.concat_map
+                (fun (chosen, left) -> [ (y :: chosen, left); (chosen, y :: left) ])
+                rest
+        in
+        List.concat_map
+          (fun (block, rest) ->
+            if block = [] then []
+            else List.map (fun p -> block :: p) (parts rest))
+          (nonempty_subsets xs)
+  in
+  List.filter (fun p -> p <> [ [] ]) (parts xs)
+
+let chromatic_of_simplex s =
+  if not (Simplex.is_chromatic s) then
+    invalid_arg "Subdivision.chromatic_of_simplex: simplex is not chromatic";
+  let pids = Pid.Set.elements (Simplex.ids s) in
+  let label_of p =
+    match Simplex.label_of p s with Some l -> l | None -> assert false
+  in
+  let facet_of_schedule blocks =
+    let rec loop seen acc = function
+      | [] -> acc
+      | block :: rest ->
+          let seen = Pid.Set.union seen (Pid.Set.of_list block) in
+          let vs =
+            List.map
+              (fun p ->
+                Vertex.proc p (Label.Pair (label_of p, Label.Pid_set seen)))
+              block
+          in
+          loop seen (List.rev_append vs acc) rest
+    in
+    Simplex.of_list (loop Pid.Set.empty [] blocks)
+  in
+  Complex.of_facets (List.map facet_of_schedule (ordered_partitions pids))
+
+let rec facet_count_chromatic n =
+  (* number of immediate-snapshot schedules of n+1 processes: ordered
+     partitions of an (n+1)-set = Fubini number a(n+1);
+     a(m) = sum_{j=1..m} C(m,j) a(m-j), a(0) = 1. *)
+  let m = n + 1 in
+  if m <= 0 then 1
+  else begin
+    let binom m j =
+      let rec loop acc i = if i > j then acc else loop (acc * (m - i + 1) / i) (i + 1) in
+      loop 1 1
+    in
+    let total = ref 0 in
+    for j = 1 to m do
+      total := !total + (binom m j * facet_count_chromatic (m - j - 1))
+    done;
+    !total
+  end

@@ -1,0 +1,34 @@
+(** Subdivisions.
+
+    Barycentric subdivision replaces every simplex by the complex of chains
+    of its faces; vertices of the subdivision are {!Vertex.Bary}
+    barycentres.  The chromatic (standard) subdivision of a single simplex
+    is the subdivision underlying the one-round immediate-snapshot complex;
+    it is included as the classical comparison point for the paper's
+    asynchronous construction (Section 2 relates the two). *)
+
+val barycentric : Complex.t -> Complex.t
+(** First barycentric subdivision.  Preserves geometric realisation, hence
+    Euler characteristic, homology and connectivity. *)
+
+val barycentric_iter : int -> Complex.t -> Complex.t
+(** [barycentric_iter r c]: [r]-fold barycentric subdivision. *)
+
+val chromatic_of_simplex : Simplex.t -> Complex.t
+(** Standard chromatic subdivision of one chromatic simplex [S]: vertices
+    are pairs [(P, sigma)] with [sigma] a face of [S] containing [P]'s
+    vertex; simplexes are compatible sets of such pairs (faces ordered by
+    containment, and [P in ids(sigma_Q)] implies [sigma_P subset sigma_Q]).
+    For an [n]-simplex this is the one-round wait-free immediate-snapshot
+    complex.  Vertex labels are [Pair (original label, Pid_set (ids sigma))].
+    @raise Invalid_argument if the simplex is not chromatic. *)
+
+val ordered_partitions : 'a list -> 'a list list list
+(** All ordered partitions of a list into nonempty blocks (the
+    immediate-snapshot schedules); the empty list has the single empty
+    partition. *)
+
+val facet_count_chromatic : int -> int
+(** Number of facets of the chromatic subdivision of an [n]-simplex,
+    computed recursively (OEIS A000670-style ordered-partition sum over
+    immediate-snapshot schedules). *)

@@ -1,0 +1,38 @@
+type col = int list
+
+let rec sym_diff a b =
+  match (a, b) with
+  | [], c | c, [] -> c
+  | x :: a', y :: b' ->
+      if x < y then x :: sym_diff a' b
+      else if y < x then y :: sym_diff a b'
+      else sym_diff a' b'
+
+let rec low = function
+  | [] -> None
+  | [ x ] -> Some x
+  | _ :: rest -> low rest
+
+let is_zero c = c = []
+
+let reduce cols =
+  let pivot : (int, col) Hashtbl.t = Hashtbl.create 64 in
+  let reduce_one col =
+    let rec loop col =
+      match low col with
+      | None -> col
+      | Some l -> (
+          match Hashtbl.find_opt pivot l with
+          | None ->
+              Hashtbl.replace pivot l col;
+              col
+          | Some other -> loop (sym_diff col other))
+    in
+    loop col
+  in
+  List.map reduce_one cols
+
+let rank cols =
+  List.fold_left
+    (fun acc col -> if is_zero col then acc else acc + 1)
+    0 (reduce cols)

@@ -1,0 +1,174 @@
+(* Tests for Z/2 chains and the seeded random adversaries. *)
+
+open Psph_topology
+open Psph_model
+
+let v = Vertex.anon
+
+let sx l = Simplex.of_list (List.map v l)
+
+let cx ls = Complex.of_facets (List.map sx ls)
+
+let circle = cx [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ]
+
+let sphere2 = Constructions.sphere 2
+
+(* ------------------------------------------------------------------ *)
+(* Chains                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let chain_tests =
+  [
+    Alcotest.test_case "duplicates cancel" `Quick (fun () ->
+        let c = Chain.of_simplices [ sx [ 0; 1 ]; sx [ 0; 1 ] ] in
+        Alcotest.(check bool) "zero" true (Chain.is_zero c));
+    Alcotest.test_case "mixed dimensions rejected" `Quick (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Chain: mixed dimensions")
+          (fun () -> ignore (Chain.of_simplices [ sx [ 0 ]; sx [ 0; 1 ] ])));
+    Alcotest.test_case "boundary of an edge" `Quick (fun () ->
+        let b = Chain.boundary (Chain.of_simplices [ sx [ 0; 1 ] ]) in
+        Alcotest.(check int) "two vertices" 2 (List.length (Chain.simplices b));
+        Alcotest.(check int) "dim" 0 (Chain.dim b));
+    Alcotest.test_case "boundary of boundary is zero (triangle)" `Quick (fun () ->
+        let c = Chain.of_simplices [ sx [ 0; 1; 2 ] ] in
+        Alcotest.(check bool) "dd=0" true (Chain.is_zero (Chain.boundary (Chain.boundary c))));
+    Alcotest.test_case "the circle's fundamental class is a cycle" `Quick (fun () ->
+        let z = Chain.fundamental_class circle in
+        Alcotest.(check bool) "cycle" true (Chain.is_cycle z);
+        Alcotest.(check int) "3 edges" 3 (List.length (Chain.simplices z)));
+    Alcotest.test_case "the circle's cycle is not a boundary in the circle" `Quick
+      (fun () ->
+        let z = Chain.fundamental_class circle in
+        Alcotest.(check bool) "not boundary" false (Chain.is_boundary_in circle z));
+    Alcotest.test_case "it becomes a boundary in the solid triangle" `Quick (fun () ->
+        let solid = cx [ [ 0; 1; 2 ] ] in
+        let z = Chain.fundamental_class circle in
+        Alcotest.(check bool) "boundary" true (Chain.is_boundary_in solid z));
+    Alcotest.test_case "sphere's fundamental class is a nonbounding cycle" `Quick
+      (fun () ->
+        let z = Chain.fundamental_class sphere2 in
+        Alcotest.(check bool) "cycle" true (Chain.is_cycle z);
+        Alcotest.(check bool) "not boundary" false (Chain.is_boundary_in sphere2 z));
+    Alcotest.test_case "pseudosphere fundamental class is a cycle" `Quick (fun () ->
+        (* the 'sphere' in pseudosphere, witnessed chain-level *)
+        let c =
+          Pseudosphere.Psph.realize ~vertex:Pseudosphere.Psph.default_vertex
+            (Pseudosphere.Psph.binary 2)
+        in
+        Alcotest.(check bool) "cycle" true (Chain.is_cycle (Chain.fundamental_class c)));
+    Alcotest.test_case "zero chain conventions" `Quick (fun () ->
+        Alcotest.(check int) "dim" (-1) (Chain.dim Chain.zero);
+        Alcotest.(check bool) "cycle" true (Chain.is_cycle Chain.zero);
+        Alcotest.(check bool) "boundary" true (Chain.is_boundary_in circle Chain.zero));
+    Alcotest.test_case "add is xor" `Quick (fun () ->
+        let a = Chain.of_simplices [ sx [ 0; 1 ]; sx [ 1; 2 ] ] in
+        let b = Chain.of_simplices [ sx [ 1; 2 ]; sx [ 0; 2 ] ] in
+        let s = Chain.add a b in
+        Alcotest.(check int) "two edges" 2 (List.length (Chain.simplices s)));
+  ]
+
+let chain_props =
+  let open QCheck2 in
+  let triangles =
+    (* all 3-subsets of {0..6}: generated simplexes all have dimension 2 *)
+    List.concat_map
+      (fun a ->
+        List.concat_map
+          (fun b ->
+            List.filter_map
+              (fun c -> if a < b && b < c then Some (sx [ a; b; c ]) else None)
+              (List.init 7 Fun.id))
+          (List.init 7 Fun.id))
+      (List.init 7 Fun.id)
+  in
+  let gen_chain =
+    Gen.(list_size (int_range 1 6) (oneofl triangles) |> map Chain.of_simplices)
+  in
+  [
+    Test.make ~count:100 ~name:"boundary of boundary is zero" gen_chain (fun c ->
+        Chain.is_zero (Chain.boundary (Chain.boundary c)));
+    Test.make ~count:100 ~name:"add is associative" Gen.(triple gen_chain gen_chain gen_chain)
+      (fun (a, b, c) ->
+        Chain.simplices (Chain.add a (Chain.add b c))
+        = Chain.simplices (Chain.add (Chain.add a b) c));
+    Test.make ~count:100 ~name:"x + x = 0" gen_chain (fun c ->
+        Chain.is_zero (Chain.add c c));
+    Test.make ~count:100 ~name:"boundary is additive" Gen.(pair gen_chain gen_chain)
+      (fun (a, b) ->
+        Chain.simplices (Chain.boundary (Chain.add a b))
+        = Chain.simplices (Chain.add (Chain.boundary a) (Chain.boundary b)));
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Random adversaries                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let random_tests =
+  let cfg = { Sim.c1 = 2; c2 = 5; d = 6 } in
+  [
+    Alcotest.test_case "random adversaries produce valid traces" `Quick (fun () ->
+        List.iter
+          (fun seed ->
+            let adv = Random_adversary.make ~seed cfg ~n:3 in
+            let t = Sim.run cfg ~n:3 adv ~until:60 in
+            Alcotest.(check int)
+              (Printf.sprintf "seed %d" seed)
+              0
+              (List.length (Trace_check.validate cfg t)))
+          [ 1; 2; 3; 4; 5; 42; 1234 ]);
+    Alcotest.test_case "same seed, same trace" `Quick (fun () ->
+        let adv1 = Random_adversary.make ~seed:7 cfg ~n:2 in
+        let adv2 = Random_adversary.make ~seed:7 cfg ~n:2 in
+        let t1 = Sim.run cfg ~n:2 adv1 ~until:40 in
+        let t2 = Sim.run cfg ~n:2 adv2 ~until:40 in
+        Alcotest.(check bool) "equal" true (t1 = t2));
+    Alcotest.test_case "random sync schedules are valid and in the formula" `Quick
+      (fun () ->
+        let alive = Pid.universe 2 in
+        let inputs = [ (0, 0); (1, 1); (2, 0) ] in
+        let s = Pseudosphere.Input_complex.simplex_of_inputs inputs in
+        let formula = Pseudosphere.Sync_complex.one_round ~k:1 s in
+        List.iter
+          (fun seed ->
+            let sched = Random_adversary.schedules_sync ~seed ~k:1 ~alive in
+            Alcotest.(check bool) "<= k crashes" true
+              (Pid.Set.cardinal sched.Round_schedule.failed <= 1);
+            let g = Execution.apply_sync (Execution.initial inputs) sched in
+            let facet =
+              Simplex.of_procs
+                (List.map
+                   (fun (q, view) -> (q, View.to_label view))
+                   (Pid.Map.bindings g))
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "facet in formula (seed %d)" seed)
+              true (Complex.mem facet formula))
+          (List.init 25 (fun i -> i)));
+    Alcotest.test_case "random semi schedules land in the formula" `Quick (fun () ->
+        let alive = Pid.universe 2 in
+        let inputs = [ (0, 0); (1, 1); (2, 0) ] in
+        let s = Pseudosphere.Input_complex.simplex_of_inputs inputs in
+        let formula = Pseudosphere.Semi_sync_complex.one_round ~k:1 ~p:2 ~n:2 s in
+        List.iter
+          (fun seed ->
+            let sched = Random_adversary.schedules_semi ~seed ~k:1 ~p:2 ~n:2 ~alive in
+            let g = Execution.apply_semi ~p:2 ~n:2 (Execution.initial inputs) sched in
+            let facet =
+              Simplex.of_procs
+                (List.map
+                   (fun (q, view) -> (q, View.to_label view))
+                   (Pid.Map.bindings g))
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "facet in formula (seed %d)" seed)
+              true (Complex.mem facet formula))
+          (List.init 25 (fun i -> i)));
+  ]
+
+let suites =
+  [
+    ("topology.chain", chain_tests);
+    ("topology.chain_props", chain_props);
+    ("model.random_adversary", random_tests);
+  ]

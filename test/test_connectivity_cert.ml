@@ -1,0 +1,145 @@
+(* Tests for connectivity certificates and crash-tolerant protocols in the
+   timed simulator. *)
+
+open Psph_topology
+open Psph_model
+open Pseudosphere
+open Psph_agreement
+
+let input_simplex n =
+  Input_complex.simplex_of_inputs (List.init (n + 1) (fun i -> (i, i mod 2)))
+
+let cert_tests =
+  [
+    Alcotest.test_case "empty complex" `Quick (fun () ->
+        Alcotest.(check bool) "empty" true
+          (Connectivity.certify Complex.empty = Connectivity.Empty_complex);
+        Alcotest.(check bool) "not (-1)" false
+          (Connectivity.certifies_k_connected Connectivity.Empty_complex (-1));
+        Alcotest.(check bool) "-2 always" true
+          (Connectivity.certifies_k_connected Connectivity.Empty_complex (-2)));
+    Alcotest.test_case "solid simplex certifies by collapse" `Quick (fun () ->
+        let cert = Connectivity.certify (Constructions.solid 3) in
+        Alcotest.(check bool) "collapse" true
+          (cert = Connectivity.Contractible_by_collapse);
+        Alcotest.(check bool) "any k" true
+          (Connectivity.certifies_k_connected cert 17));
+    Alcotest.test_case "sphere certifies by shelling" `Quick (fun () ->
+        match Connectivity.certify (Constructions.sphere 2) with
+        | Connectivity.Shellable_wedge { spheres; dim } ->
+            Alcotest.(check int) "one sphere" 1 spheres;
+            Alcotest.(check int) "dim 2" 2 dim;
+            Alcotest.(check bool) "1-connected" true
+              (Connectivity.certifies_k_connected
+                 (Connectivity.Shellable_wedge { spheres; dim })
+                 1);
+            Alcotest.(check bool) "not 2-connected" false
+              (Connectivity.certifies_k_connected
+                 (Connectivity.Shellable_wedge { spheres; dim })
+                 2)
+        | other ->
+            Alcotest.failf "expected shelling, got %a" Connectivity.pp_certificate
+              other);
+    Alcotest.test_case "binary pseudosphere certifies by shelling" `Quick
+      (fun () ->
+        let c = Psph.realize ~vertex:Psph.default_vertex (Psph.binary 2) in
+        match Connectivity.certify c with
+        | Connectivity.Shellable_wedge { spheres = 1; dim = 2 } -> ()
+        | other ->
+            Alcotest.failf "expected wedge of one 2-sphere, got %a"
+              Connectivity.pp_certificate other);
+    Alcotest.test_case "non-pure sync complex falls back to homology" `Quick
+      (fun () ->
+        let c = Sync_complex.one_round ~k:1 (input_simplex 2) in
+        match Connectivity.certify c with
+        | Connectivity.Homological { torsion_free; _ } ->
+            Alcotest.(check bool) "torsion-free" true torsion_free;
+            Alcotest.(check bool) "certifies 0-connected" true
+              (Connectivity.certifies_k_connected (Connectivity.certify c) 0)
+        | other ->
+            Alcotest.failf "expected homological, got %a"
+              Connectivity.pp_certificate other);
+    Alcotest.test_case "IIS complex certifies contractible" `Quick (fun () ->
+        let c = Iis_complex.one_round (input_simplex 1) in
+        Alcotest.(check bool) "contractible or wedge-0" true
+          (Connectivity.certifies_k_connected (Connectivity.certify c) 5));
+    Alcotest.test_case "homological certificates are range-limited" `Quick
+      (fun () ->
+        let cert =
+          Connectivity.Homological { betti_z2 = [| 0; 0 |]; torsion_free = true }
+        in
+        Alcotest.(check bool) "within range" true
+          (Connectivity.certifies_k_connected cert 1);
+        Alcotest.(check bool) "beyond range refused" false
+          (Connectivity.certifies_k_connected cert 2));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* crash-tolerant decisions in the timed simulator                     *)
+(* ------------------------------------------------------------------ *)
+
+let sim_protocol_tests =
+  let cfg = { Sim.c1 = 1; c2 = 2; d = 3 } in
+  let inputs = [ (0, 4); (1, 1); (2, 7) ] in
+  [
+    Alcotest.test_case "crashed minimum-holder: survivors still agree" `Quick
+      (fun () ->
+        (* P1 (minimum) crashes at its first step of round 1, heard by P0
+           only; flooding for f+1 rounds still agrees *)
+        let crash = { Sim.at_step = 1; deliver_final_to = Pid.Set.singleton 0 } in
+        let adv = Sim.lockstep_with_crashes cfg [ (1, crash) ] in
+        let protocol = Protocols.semi_sync_consensus ~f:1 in
+        let ds =
+          Sim.decision_time cfg ~n:2 adv ~protocol ~inputs ~horizon:30
+        in
+        let values = List.sort_uniq Int.compare (List.map (fun (_, _, v) -> v) ds) in
+        Alcotest.(check int) "two deciders" 2 (List.length ds);
+        Alcotest.(check int) "agreement" 1 (List.length values));
+    Alcotest.test_case "silent crash: survivors decide on their own values" `Quick
+      (fun () ->
+        let crash = { Sim.at_step = 1; deliver_final_to = Pid.Set.empty } in
+        let adv = Sim.lockstep_with_crashes cfg [ (1, crash) ] in
+        let protocol = Protocols.semi_sync_consensus ~f:1 in
+        let ds = Sim.decision_time cfg ~n:2 adv ~protocol ~inputs ~horizon:30 in
+        List.iter (fun (_, _, v) -> Alcotest.(check int) "min of 4,7" 4 v) ds);
+    Alcotest.test_case "all decisions respect the Corollary 22 bound" `Quick
+      (fun () ->
+        let bound =
+          Lower_bound.corollary22_time ~f:1 ~k:1 ~c1:cfg.Sim.c1 ~c2:cfg.Sim.c2
+            ~d:cfg.Sim.d
+        in
+        List.iter
+          (fun seed ->
+            let adv = Random_adversary.make ~seed ~crash_probability:0.0 cfg ~n:2 in
+            let ds =
+              Sim.decision_time cfg ~n:2 adv
+                ~protocol:(Protocols.semi_sync_consensus ~f:1)
+                ~inputs ~horizon:30
+            in
+            List.iter
+              (fun (_, t, _) ->
+                Alcotest.(check bool) "above bound" true (float_of_int t >= bound))
+              ds)
+          [ 1; 2; 3 ]);
+    Alcotest.test_case "random adversary decisions are consistent" `Quick
+      (fun () ->
+        (* under random timing (no crashes), everyone decides the global
+           minimum *)
+        List.iter
+          (fun seed ->
+            let adv = Random_adversary.make ~seed ~crash_probability:0.0 cfg ~n:2 in
+            let ds =
+              Sim.decision_time cfg ~n:2 adv
+                ~protocol:(Protocols.semi_sync_consensus ~f:1)
+                ~inputs ~horizon:40
+            in
+            Alcotest.(check int) "three deciders" 3 (List.length ds);
+            List.iter (fun (_, _, v) -> Alcotest.(check int) "min" 1 v) ds)
+          [ 5; 6; 7 ]);
+  ]
+
+let suites =
+  [
+    ("topology.connectivity_cert", cert_tests);
+    ("agreement.sim_protocols", sim_protocol_tests);
+  ]

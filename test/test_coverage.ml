@@ -1,0 +1,139 @@
+(* Edge-case and small-API coverage: printers, orderings, misc helpers,
+   and a few cross-module properties not covered elsewhere. *)
+
+open Psph_topology
+open Psph_model
+open Pseudosphere
+
+let v = Vertex.anon
+
+let sx l = Simplex.of_list (List.map v l)
+
+let misc_tests =
+  [
+    Alcotest.test_case "failure pattern ordering is reverse-lex" `Quick (fun () ->
+        let a = Failure.pattern [ (0, 2) ] and b = Failure.pattern [ (0, 1) ] in
+        Alcotest.(check bool) "later microround first" true
+          (Failure.compare_pattern a b < 0));
+    Alcotest.test_case "pattern pretty printer" `Quick (fun () ->
+        let p = Failure.pattern [ (0, 2); (2, 1) ] in
+        Alcotest.(check string) "pp" "{P0@2,P2@1}"
+          (Format.asprintf "%a" Failure.pp_pattern p));
+    Alcotest.test_case "psph printer mentions base and values" `Quick (fun () ->
+        let s = Format.asprintf "%a" Psph.pp (Psph.binary 1) in
+        Alcotest.(check bool) "has psi" true (String.length s > 5));
+    Alcotest.test_case "simplex printer" `Quick (fun () ->
+        Alcotest.(check string) "pp" "{v0 v1}" (Format.asprintf "%a" Simplex.pp (sx [ 0; 1 ])));
+    Alcotest.test_case "complex summary printer" `Quick (fun () ->
+        let s = Format.asprintf "%a" Complex.pp_summary (Constructions.sphere 1) in
+        Alcotest.(check string) "summary" "dim=1 f=(3,3) chi=0" s);
+    Alcotest.test_case "view printer is total" `Quick (fun () ->
+        let view =
+          View.timed_round ~p:2 ~prev:(View.init 1) ~heard:[ (0, 2, View.init 0) ]
+        in
+        Alcotest.(check bool) "prints" true
+          (String.length (Format.asprintf "%a" View.pp view) > 0));
+    Alcotest.test_case "observations_before is a strict cutoff" `Quick (fun () ->
+        let cfg = { Sim.c1 = 1; c2 = 1; d = 2 } in
+        let trace = Sim.run cfg ~n:1 (Sim.lockstep cfg) ~until:6 in
+        let before_3 = Sim.observations_before trace 0 3 in
+        List.iter
+          (function
+            | Sim.Stepped { time; _ } | Sim.Received { time; _ } ->
+                Alcotest.(check bool) "< 3" true (time < 3))
+          before_3);
+    Alcotest.test_case "run_async_with counts rounds" `Quick (fun () ->
+        let open Psph_agreement in
+        let all = Pid.universe 1 in
+        let schedule ~round:_ =
+          List.fold_left (fun m q -> Pid.Map.add q all m) Pid.Map.empty (Pid.all 1)
+        in
+        let report =
+          Runner.run_async_with
+            ~protocol:(Protocol.decide_after_rounds 2)
+            ~inputs:[ (0, 5); (1, 3) ] ~schedule ~rounds:4
+        in
+        Alcotest.(check int) "rounds used" 2 report.Runner.rounds_used;
+        List.iter (fun (_, _, value) -> Alcotest.(check int) "min" 3 value)
+          report.Runner.decisions);
+    Alcotest.test_case "uncertainty and microrounds interplay" `Quick (fun () ->
+        let cfg = { Sim.c1 = 2; c2 = 6; d = 7 } in
+        Alcotest.(check int) "p=ceil(7/2)" 4 (Sim.microrounds cfg);
+        Alcotest.(check (float 0.001)) "C=3" 3.0 (Sim.uncertainty cfg));
+    Alcotest.test_case "input complex plain vs view-labelled sizes" `Quick
+      (fun () ->
+        let a = Input_complex.make ~n:2 ~values:[ 0; 1 ] in
+        let b = Input_complex.plain ~n:2 ~values:[ 0; 1 ] in
+        Alcotest.(check (list int))
+          "same f-vector"
+          (Array.to_list (Complex.f_vector a))
+          (Array.to_list (Complex.f_vector b)));
+    Alcotest.test_case "theorem18 edge: k > f" `Quick (fun () ->
+        (* floor(f/k) = 0: one round when n > f + k, zero when n <= f+k *)
+        Alcotest.(check int) "n>f+k" 1 (Sync_complex.theorem18_lower_bound ~n:5 ~f:1 ~k:2);
+        Alcotest.(check int) "n<=f+k" 0 (Sync_complex.theorem18_lower_bound ~n:3 ~f:1 ~k:2));
+    Alcotest.test_case "corollary22 at k >= f degenerates" `Quick (fun () ->
+        (* r = ceil(f/k) - 1 = 0: the bound is just Cd *)
+        Alcotest.(check (float 0.001)) "Cd" 20.0
+          (Semi_sync_complex.corollary22_time ~f:1 ~k:1 ~c1:1 ~c2:2 ~d:10));
+  ]
+
+let property_tests =
+  let open QCheck2 in
+  [
+    Test.make ~count:50 ~name:"SNF rank >= Z/2 rank of the same matrix"
+      Gen.(
+        list_size (int_range 1 4) (list_size (int_range 1 4) (int_range (-3) 3)))
+      (fun rows ->
+        let cols = List.fold_left max 0 (List.map List.length rows) in
+        let m =
+          Array.of_list
+            (List.map
+               (fun r ->
+                 Array.init cols (fun i ->
+                     match List.nth_opt r i with Some x -> x | None -> 0))
+               rows)
+        in
+        (* mod-2 columns *)
+        let z2_cols =
+          List.init cols (fun j ->
+              Array.to_list m
+              |> List.mapi (fun i row -> (i, row.(j)))
+              |> List.filter_map (fun (i, x) ->
+                     if (x mod 2 + 2) mod 2 = 1 then Some i else None))
+        in
+        Snf.rank m >= Z2_matrix.rank z2_cols);
+    Test.make ~count:50 ~name:"join with a point is a cone (betti trivial)"
+      Gen.(
+        list_size (int_range 1 4) (list_size (int_range 1 3) (int_range 0 5))
+        |> map (fun fs ->
+               Complex.of_facets
+                 (List.map (fun l -> Simplex.of_list (List.map Vertex.anon l)) fs)))
+      (fun c ->
+        if Complex.is_empty c then true
+        else begin
+          let cone = Constructions.cone ~apex:(Vertex.anon 99) c in
+          let b = Homology.reduced_betti cone in
+          Array.for_all (fun x -> x = 0) b
+        end);
+    Test.make ~count:40 ~name:"schedule counts: sync closed form"
+      Gen.(pair (int_range 1 3) (int_range 1 2))
+      (fun (n, k) ->
+        List.length (Round_schedule.sync_schedules ~k ~alive:(Pid.universe n))
+        = Round_schedule.sync_count ~k ~alive_count:(n + 1));
+    Test.make ~count:30 ~name:"semi schedule counts closed form"
+      Gen.(pair (int_range 1 2) (int_range 2 3))
+      (fun (n, p) ->
+        List.length (Round_schedule.semi_schedules ~k:1 ~p ~n ~alive:(Pid.universe n))
+        = Round_schedule.semi_count ~k:1 ~p ~alive_count:(n + 1));
+    Test.make ~count:30 ~name:"random traces validate (with crashes)"
+      Gen.(int_range 0 1000)
+      (fun seed ->
+        let cfg = { Sim.c1 = 1; c2 = 4; d = 5 } in
+        let adv = Random_adversary.make ~seed ~crash_probability:0.5 cfg ~n:2 in
+        Trace_check.validate cfg (Sim.run cfg ~n:2 adv ~until:40) = []);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [ ("coverage.misc", misc_tests); ("coverage.properties", property_tests) ]

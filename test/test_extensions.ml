@@ -1,0 +1,252 @@
+(* Tests for the extension layer: trace validation, the synchronizer, the
+   round-by-round suspicion structures, early-deciding consensus, and the
+   ablation flags. *)
+
+open Psph_topology
+open Psph_model
+open Pseudosphere
+open Psph_agreement
+
+let inputs n = List.init (n + 1) (fun i -> (i, i))
+
+let input_simplex n =
+  Input_complex.simplex_of_inputs (List.init (n + 1) (fun i -> (i, i mod 2)))
+
+(* ------------------------------------------------------------------ *)
+(* Trace validation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let trace_tests =
+  let cfg = { Sim.c1 = 1; c2 = 3; d = 3 } in
+  [
+    Alcotest.test_case "lockstep traces satisfy the model" `Quick (fun () ->
+        let t = Sim.run cfg ~n:2 (Sim.lockstep cfg) ~until:20 in
+        Alcotest.(check int) "no violations" 0 (List.length (Trace_check.validate cfg t)));
+    Alcotest.test_case "slow-solo traces satisfy the model" `Quick (fun () ->
+        let t = Sim.run cfg ~n:2 (Sim.slow_solo cfg ~survivor:0 ~after_step:3) ~until:30 in
+        Alcotest.(check int) "no violations" 0 (List.length (Trace_check.validate cfg t)));
+    Alcotest.test_case "crash traces satisfy the model" `Quick (fun () ->
+        let crash = { Sim.at_step = 2; deliver_final_to = Pid.Set.singleton 0 } in
+        let t = Sim.run cfg ~n:2 (Sim.lockstep_with_crashes cfg [ (1, crash) ]) ~until:20 in
+        Alcotest.(check int) "no violations" 0 (List.length (Trace_check.validate cfg t)));
+    Alcotest.test_case "clamping defeats a cheating adversary" `Quick (fun () ->
+        (* an adversary asking for absurd intervals/delays is clamped by
+           the engine, so the trace still validates *)
+        let adv =
+          {
+            (Sim.lockstep cfg) with
+            Sim.step_interval = (fun _ _ -> 1000);
+            delay = (fun ~src:_ ~dst:_ ~step:_ -> -50);
+          }
+        in
+        let t = Sim.run cfg ~n:1 adv ~until:20 in
+        Alcotest.(check int) "no violations" 0 (List.length (Trace_check.validate cfg t)));
+    Alcotest.test_case "a manufactured bad trace is rejected" `Quick (fun () ->
+        let bad =
+          Pid.Map.of_seq
+            (List.to_seq
+               [ (0, [ Sim.Stepped { time = 100; step = 1 } ]);
+                 (1, [ Sim.Received { time = 1; src = 0; sent_step = 9 } ]) ])
+        in
+        let violations = Trace_check.validate cfg bad in
+        Alcotest.(check bool) "bad interval caught" true
+          (List.exists (fun v -> v.Trace_check.process = 0) violations);
+        Alcotest.(check bool) "spoofed message caught" true
+          (List.exists (fun v -> v.Trace_check.process = 1) violations));
+    Alcotest.test_case "fifo check catches reordering" `Quick (fun () ->
+        let bad =
+          Pid.Map.of_seq
+            (List.to_seq
+               [ ( 0,
+                   [ Sim.Stepped { time = 1; step = 1 };
+                     Sim.Stepped { time = 2; step = 2 } ] );
+                 ( 1,
+                   [ Sim.Received { time = 3; src = 0; sent_step = 2 };
+                     Sim.Received { time = 4; src = 0; sent_step = 1 } ] ) ])
+        in
+        Alcotest.(check bool) "caught" true (Trace_check.check_fifo bad <> []));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Synchronizer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let synchronizer_tests =
+  [
+    Alcotest.test_case "uniform delays reproduce synchronous views" `Quick (fun () ->
+        let result =
+          Synchronizer.run ~n:2 ~rounds:2 ~max_delay:5
+            ~delays:(fun ~src:_ ~dst:_ ~round:_ -> 3)
+            ~inputs:(inputs 2)
+        in
+        let reference = Synchronizer.synchronous_reference ~n:2 ~rounds:2 ~inputs:(inputs 2) in
+        Alcotest.(check bool) "correct" true (Synchronizer.correct result ~reference);
+        Alcotest.(check bool) "in time" true
+          (Synchronizer.within_time_bound result ~max_delay:5));
+    Alcotest.test_case "skewed delays still reproduce synchronous views" `Quick
+      (fun () ->
+        (* asymmetric, round-dependent delays: the synchronizer's whole
+           point *)
+        let delays ~src ~dst ~round = 1 + ((src + (2 * dst) + (3 * round)) mod 5) in
+        let result = Synchronizer.run ~n:3 ~rounds:3 ~max_delay:5 ~delays ~inputs:(inputs 3) in
+        let reference = Synchronizer.synchronous_reference ~n:3 ~rounds:3 ~inputs:(inputs 3) in
+        Alcotest.(check bool) "correct" true (Synchronizer.correct result ~reference);
+        Alcotest.(check bool) "in time" true
+          (Synchronizer.within_time_bound result ~max_delay:5));
+    Alcotest.test_case "finish times are monotone per process" `Quick (fun () ->
+        let result =
+          Synchronizer.run ~n:2 ~rounds:3 ~max_delay:4
+            ~delays:(fun ~src:_ ~dst ~round -> 1 + ((dst + round) mod 4))
+            ~inputs:(inputs 2)
+        in
+        Pid.Map.iter
+          (fun _ times ->
+            Alcotest.(check int) "three rounds" 3 (List.length times);
+            let rec mono = function
+              | a :: (b :: _ as rest) ->
+                  Alcotest.(check bool) "increasing" true (a < b);
+                  mono rest
+              | _ -> ()
+            in
+            mono times)
+          result.Synchronizer.finish_times);
+    Alcotest.test_case "all-minimal delays finish in r rounds of time" `Quick
+      (fun () ->
+        let result =
+          Synchronizer.run ~n:2 ~rounds:2 ~max_delay:7
+            ~delays:(fun ~src:_ ~dst:_ ~round:_ -> 1)
+            ~inputs:(inputs 2)
+        in
+        Pid.Map.iter
+          (fun _ times -> Alcotest.(check (list int)) "times" [ 1; 2 ] times)
+          result.Synchronizer.finish_times);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Round-by-round suspicion (RRFD)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rrfd_tests =
+  [
+    Alcotest.test_case "async structures recover A^1 (grid)" `Quick (fun () ->
+        List.iter
+          (fun (n, f) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "n=%d f=%d" n f)
+              true
+              (Rrfd.agrees_with_async ~n ~f (input_simplex n)))
+          [ (1, 1); (2, 1); (2, 2); (3, 1) ]);
+    Alcotest.test_case "sync structures recover S^1_K (grid)" `Quick (fun () ->
+        List.iter
+          (fun (n, k) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "n=%d |K|=%d" n (Pid.Set.cardinal k))
+              true
+              (Rrfd.agrees_with_sync (input_simplex n) k))
+          [
+            (2, Pid.Set.empty);
+            (2, Pid.Set.singleton 0);
+            (2, Pid.Set.of_list [ 0; 1 ]);
+            (3, Pid.Set.singleton 2);
+          ]);
+    Alcotest.test_case "structure = value assignment: facet counts" `Quick (fun () ->
+        let s = input_simplex 2 in
+        let alive = Simplex.ids s in
+        let c = Rrfd.one_round s (Rrfd.async_structure ~n:2 ~f:1 ~alive) in
+        (* |allowed suspect sets| = 1 + 2 per process -> 27 facets *)
+        Alcotest.(check int) "facets" 27 (List.length (Complex.facets c)));
+    Alcotest.test_case "full participation requirement" `Quick (fun () ->
+        let face = Input_complex.simplex_of_inputs [ (0, 0); (1, 1) ] in
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Rrfd.agrees_with_async: requires full participation")
+          (fun () -> ignore (Rrfd.agrees_with_async ~n:2 ~f:1 face)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Early-deciding consensus                                            *)
+(* ------------------------------------------------------------------ *)
+
+let early_tests =
+  [
+    Alcotest.test_case "failure-free: decides in 2 rounds" `Quick (fun () ->
+        let protocol = Protocols.early_deciding_consensus ~n:2 ~f:2 in
+        let report =
+          Runner.run_sync ~protocol ~inputs:(inputs 2)
+            ~schedule:(Runner.crash_schedule ~plan:[]) ~max_rounds:5
+        in
+        Alcotest.(check int) "all decide" 3 (List.length report.Runner.decisions);
+        List.iter
+          (fun (_, r, v) ->
+            Alcotest.(check bool) "early" true (r <= 2);
+            Alcotest.(check int) "min" 0 v)
+          report.Runner.decisions);
+    Alcotest.test_case "exhaustively safe (n=2 f=1)" `Quick (fun () ->
+        let protocol = Protocols.early_deciding_consensus ~n:2 ~f:1 in
+        Alcotest.(check int) "no violations" 0
+          (List.length
+             (Runner.check_sync_exhaustive ~protocol ~k_task:1 ~total_crashes:1
+                ~inputs:(inputs 2) ~max_rounds:4)));
+    Alcotest.test_case "exhaustively safe (n=2 f=2)" `Quick (fun () ->
+        let protocol = Protocols.early_deciding_consensus ~n:2 ~f:2 in
+        Alcotest.(check int) "no violations" 0
+          (List.length
+             (Runner.check_sync_exhaustive ~protocol ~k_task:1 ~total_crashes:2
+                ~inputs:(inputs 2) ~max_rounds:5)));
+    Alcotest.test_case "exhaustively safe (n=3 f=1)" `Quick (fun () ->
+        let protocol = Protocols.early_deciding_consensus ~n:3 ~f:1 in
+        Alcotest.(check int) "no violations" 0
+          (List.length
+             (Runner.check_sync_exhaustive ~protocol ~k_task:1 ~total_crashes:1
+                ~inputs:(inputs 3) ~max_rounds:4)));
+    Alcotest.test_case "never later than plain flooding" `Quick (fun () ->
+        let early = Protocols.early_deciding_consensus ~n:2 ~f:2 in
+        let plan = [ (1, 1, Pid.Set.singleton 0) ] in
+        let report =
+          Runner.run_sync ~protocol:early ~inputs:(inputs 2)
+            ~schedule:(Runner.crash_schedule ~plan) ~max_rounds:6
+        in
+        List.iter
+          (fun (_, r, _) -> Alcotest.(check bool) "within f+1" true (r <= 3))
+          report.Runner.decisions);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation flags agree with the defaults                              *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_tests =
+  [
+    Alcotest.test_case "decision search: forward checking changes nothing" `Quick
+      (fun () ->
+        let cases =
+          [ (Async_complex.over_inputs ~n:2 ~f:1 ~r:1 (Input_complex.make ~n:2 ~values:[ 0; 1 ]), 1);
+            (Sync_complex.over_inputs ~k:1 ~r:2 (Input_complex.make ~n:2 ~values:[ 0; 1 ]), 1);
+            (Async_complex.over_inputs ~n:2 ~f:1 ~r:1 (Input_complex.make ~n:2 ~values:[ 0; 1; 2 ]), 2) ]
+        in
+        List.iter
+          (fun (complex, k) ->
+            let a = Decision.solvable ~complex ~allowed:Task.allowed ~k () in
+            let b =
+              Decision.solvable ~forward_check:false ~complex ~allowed:Task.allowed ~k ()
+            in
+            Alcotest.(check bool) "same verdict" true (a = b))
+          cases);
+    Alcotest.test_case "MV: pruning changes the proof, not the bound" `Quick
+      (fun () ->
+        let pss = List.map snd (Sync_complex.pseudospheres ~k:1 (input_simplex 2)) in
+        let fast = Mayer_vietoris.union_connectivity pss in
+        let slow = Mayer_vietoris.union_connectivity ~prune_subsumed:false pss in
+        Alcotest.(check int) "same conclusion" (Mayer_vietoris.conn fast)
+          (Mayer_vietoris.conn slow);
+        Alcotest.(check bool) "both valid" true
+          (Mayer_vietoris.validate pss fast && Mayer_vietoris.validate pss slow));
+  ]
+
+let suites =
+  [
+    ("ext.trace_check", trace_tests);
+    ("ext.synchronizer", synchronizer_tests);
+    ("ext.rrfd", rrfd_tests);
+    ("ext.early_deciding", early_tests);
+    ("ext.ablation", ablation_tests);
+  ]

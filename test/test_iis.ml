@@ -1,0 +1,184 @@
+(* Tests for the immediate-snapshot substrate, the IIS protocol complex,
+   and the SVG renderer. *)
+
+open Psph_topology
+open Psph_model
+open Pseudosphere
+
+let inputs n = List.init (n + 1) (fun i -> (i, i mod 2))
+
+let input_simplex n = Input_complex.simplex_of_inputs (inputs n)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot objects                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot_tests =
+  [
+    Alcotest.test_case "schedule counts are the Fubini numbers" `Quick (fun () ->
+        Alcotest.(check int) "1 proc" 1 (Snapshot.schedule_count 1);
+        Alcotest.(check int) "2 procs" 3 (Snapshot.schedule_count 2);
+        Alcotest.(check int) "3 procs" 13 (Snapshot.schedule_count 3);
+        Alcotest.(check int) "4 procs" 75 (Snapshot.schedule_count 4);
+        List.iter
+          (fun m ->
+            Alcotest.(check int)
+              (Printf.sprintf "enumerated %d" m)
+              (Snapshot.schedule_count m)
+              (List.length (Snapshot.schedules (Pid.universe (m - 1)))))
+          [ 1; 2; 3; 4 ]);
+    Alcotest.test_case "views satisfy the immediate-snapshot axioms" `Quick
+      (fun () ->
+        List.iter
+          (fun schedule ->
+            Alcotest.(check bool) "valid" true
+              (Snapshot.valid_views (Snapshot.views_of_schedule schedule)))
+          (Snapshot.schedules (Pid.universe 3)));
+    Alcotest.test_case "sequential schedule gives nested views" `Quick (fun () ->
+        let views = Snapshot.views_of_schedule [ [ 0 ]; [ 1 ]; [ 2 ] ] in
+        Alcotest.(check int) "P0 sees 1" 1 (Pid.Set.cardinal (Pid.Map.find 0 views));
+        Alcotest.(check int) "P1 sees 2" 2 (Pid.Set.cardinal (Pid.Map.find 1 views));
+        Alcotest.(check int) "P2 sees 3" 3 (Pid.Set.cardinal (Pid.Map.find 2 views)));
+    Alcotest.test_case "simultaneous schedule gives equal views" `Quick (fun () ->
+        let views = Snapshot.views_of_schedule [ [ 0; 1; 2 ] ] in
+        Pid.Map.iter
+          (fun _ s -> Alcotest.(check int) "all" 3 (Pid.Set.cardinal s))
+          views);
+    Alcotest.test_case "axiom checker rejects bad views" `Quick (fun () ->
+        (* two disjoint views violate containment *)
+        let bad =
+          Pid.Map.of_seq
+            (List.to_seq
+               [ (0, Pid.Set.singleton 0); (1, Pid.Set.singleton 1) ])
+        in
+        Alcotest.(check bool) "invalid" false (Snapshot.valid_views bad));
+    Alcotest.test_case "run counts multiply per round" `Quick (fun () ->
+        let gs = Snapshot.run ~rounds:2 (Execution.initial (inputs 1)) in
+        Alcotest.(check int) "3 * 3" 9 (List.length gs));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* IIS complexes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let iis_tests =
+  [
+    Alcotest.test_case "one round is the chromatic subdivision" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            Alcotest.(check bool)
+              (Printf.sprintf "n=%d" n)
+              true
+              (Iis_complex.isomorphic_to_chromatic (input_simplex n)))
+          [ 1; 2 ]);
+    Alcotest.test_case "facet count is the Fubini number" `Quick (fun () ->
+        let c = Iis_complex.one_round (input_simplex 2) in
+        Alcotest.(check int) "13" 13 (List.length (Complex.facets c)));
+    Alcotest.test_case "equals enumerated shared-memory executions" `Quick
+      (fun () ->
+        List.iter
+          (fun (n, r) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "n=%d r=%d" n r)
+              true
+              (Complex.equal
+                 (Iis_complex.rounds ~r (input_simplex n))
+                 (Iis_complex.enumerated ~r (inputs n))))
+          [ (1, 1); (2, 1); (1, 2) ]);
+    Alcotest.test_case "wait-free IIS is a subcomplex of wait-free A^1" `Quick
+      (fun () ->
+        List.iter
+          (fun n ->
+            Alcotest.(check bool)
+              (Printf.sprintf "n=%d" n)
+              true
+              (Iis_complex.subcomplex_of_async ~n (input_simplex n)))
+          [ 1; 2 ]);
+    Alcotest.test_case "IIS complexes are contractible (subdivisions)" `Quick
+      (fun () ->
+        List.iter
+          (fun (n, r) ->
+            let c = Iis_complex.rounds ~r (input_simplex n) in
+            let b = Homology.reduced_betti c in
+            Array.iteri
+              (fun d x ->
+                Alcotest.(check int) (Printf.sprintf "n=%d r=%d dim %d" n r d) 0 x)
+              b)
+          [ (1, 1); (2, 1); (1, 2) ]);
+    Alcotest.test_case "contrast: A^1 wait-free is only (f-1)-connected" `Quick
+      (fun () ->
+        (* the message-passing analog is NOT contractible: for n = f = 2 it
+           is 1-connected with nontrivial H_2, while IIS is contractible *)
+        let a1 = Async_complex.one_round ~n:2 ~f:2 (input_simplex 2) in
+        let b = Homology.reduced_betti a1 in
+        Alcotest.(check bool) "H_2 nontrivial" true (b.(2) > 0));
+    Alcotest.test_case "over_inputs covers every input facet" `Quick (fun () ->
+        let ic = Input_complex.make ~n:1 ~values:[ 0; 1 ] in
+        let c = Iis_complex.over_inputs ~r:1 ic in
+        List.iter
+          (fun (a, b) ->
+            let s = Input_complex.simplex_of_inputs [ (0, a); (1, b) ] in
+            Alcotest.(check bool) "contains" true
+              (Complex.subcomplex (Iis_complex.one_round s) c))
+          [ (0, 0); (0, 1); (1, 0); (1, 1) ]);
+    Alcotest.test_case "IIS consensus is impossible, 2-values 2-procs" `Quick
+      (fun () ->
+        let ic = Input_complex.make ~n:1 ~values:[ 0; 1 ] in
+        let c = Iis_complex.over_inputs ~r:1 ic in
+        Alcotest.(check bool) "impossible" true
+          (Psph_agreement.Decision.solve ~complex:c
+             ~allowed:Psph_agreement.Task.allowed ~k:1 ()
+          = Psph_agreement.Decision.Impossible));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let render_tests =
+  [
+    Alcotest.test_case "layout is deterministic and in the unit box" `Quick
+      (fun () ->
+        let c = Constructions.sphere 1 in
+        let l1 = Render.layout c and l2 = Render.layout c in
+        Alcotest.(check bool) "deterministic" true (l1 = l2);
+        List.iter
+          (fun (_, (x, y)) ->
+            Alcotest.(check bool) "in box" true
+              (x >= 0.0 && x <= 1.0 && y >= 0.0 && y <= 1.0))
+          l1);
+    Alcotest.test_case "svg contains all elements" `Quick (fun () ->
+        let c =
+          Psph.realize ~vertex:Psph.default_vertex (Psph.binary 2)
+        in
+        let doc = Render.svg c in
+        let count needle =
+          let n = String.length needle and h = String.length doc in
+          let rec loop i acc =
+            if i + n > h then acc
+            else if String.sub doc i n = needle then loop (i + 1) (acc + 1)
+            else loop (i + 1) acc
+          in
+          loop 0 0
+        in
+        Alcotest.(check int) "8 triangles" 8 (count "<polygon");
+        Alcotest.(check int) "12 edges" 12 (count "<line");
+        Alcotest.(check int) "6 vertices" 6 (count "<circle");
+        Alcotest.(check bool) "closes" true (count "</svg>" = 1));
+    Alcotest.test_case "empty complex renders an empty document" `Quick (fun () ->
+        let doc = Render.svg Complex.empty in
+        Alcotest.(check bool) "has svg tag" true (String.length doc > 0));
+    Alcotest.test_case "save_svg writes a file" `Quick (fun () ->
+        let path = Filename.temp_file "psph" ".svg" in
+        Render.save_svg path (Constructions.sphere 1);
+        let size = (Unix.stat path).Unix.st_size in
+        Sys.remove path;
+        Alcotest.(check bool) "nonempty" true (size > 100));
+  ]
+
+let suites =
+  [
+    ("model.snapshot", snapshot_tests);
+    ("core.iis", iis_tests);
+    ("topology.render", render_tests);
+  ]
