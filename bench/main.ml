@@ -268,6 +268,23 @@ let extension_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* homology engine: the scale frontier                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* S^2(S^4): 5 processes, 2 synchronous rounds, k = 1 — 6371 simplices.
+   Under the list-based engine this construction and its connectivity
+   check were out of reach in practice; the interned, bit-packed pipeline
+   handles both in well under a second. *)
+let engine_tests =
+  let s4 = input_simplex 4 in
+  [
+    t "engine: build S^2(S^4) k=1 (n=5, r=2)" (fun () ->
+        Sync_complex.rounds ~k:1 ~r:2 s4);
+    t "engine: connectivity of S^2(S^4) k=1 (n=5, r=2)" (fun () ->
+        Homology.is_k_connected (Sync_complex.rounds ~k:1 ~r:2 s4) 0);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* parameter sweeps: scaling in n for the core constructions           *)
 (* ------------------------------------------------------------------ *)
 
@@ -303,7 +320,8 @@ let () =
   in
   let tests =
     fig_tests @ psph_tests @ async_tests @ sync_tests @ semi_tests @ mv_tests
-    @ substrate_tests @ ablation_tests @ extension_tests @ sweep_tests
+    @ substrate_tests @ ablation_tests @ extension_tests @ engine_tests
+    @ sweep_tests
   in
   let grouped = Test.make_grouped ~name:"pseudosphere" tests in
   let cfg =
@@ -327,4 +345,32 @@ let () =
       in
       let r2 = Option.value ~default:nan (Analyze.OLS.r_square est) in
       Format.printf "%-75s %14.1f %8.4f@." name time r2)
-    rows
+    rows;
+  (* machine-readable mirror of the table, so successive PRs can diff the
+     perf trajectory: { "benchmark name": ns_per_run, ... } *)
+  let oc = open_out "BENCH_homology.json" in
+  let escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  Printf.fprintf oc "{\n";
+  List.iteri
+    (fun i (name, est) ->
+      let time =
+        match Analyze.OLS.estimates est with Some [ x ] -> x | _ -> nan
+      in
+      let num =
+        if Float.is_nan time then "null" else Printf.sprintf "%.1f" time
+      in
+      Printf.fprintf oc "  \"%s\": %s%s\n" (escape name) num
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  print_endline "wrote BENCH_homology.json"

@@ -2,13 +2,18 @@ open Psph_topology
 open Psph_model
 
 (* Heard-set options for an alive process: subsets [M] of the alive set
-   with [self in M] and [|M| >= n - f + 1]. *)
+   with [self in M] and [|M| >= n - f + 1].  Only subsets of feasible size
+   are enumerated (in the same size-then-lex order the filtered power set
+   produced), instead of generating all 2^|others| and filtering. *)
 let heard_options ~n ~f ~alive self =
   let others = Pid.Set.remove self alive in
-  Failure.power_set others
-  |> List.filter_map (fun m ->
-         let m = Pid.Set.add self m in
-         if Pid.Set.cardinal m >= n - f + 1 then Some m else None)
+  let card = Pid.Set.cardinal others in
+  let lo = max 0 (n - f) in
+  if card < lo then []
+  else
+    List.init (card - lo + 1) (fun i -> lo + i)
+    |> List.concat_map (fun size -> Failure.subsets_of_size others size)
+    |> List.map (fun m -> Pid.Set.add self m)
 
 let pseudosphere ~n ~f s =
   let alive = Simplex.ids s in

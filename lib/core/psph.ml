@@ -33,24 +33,64 @@ let is_empty t = dim t < 0
 
 let connectivity_bound t = dim t - 1
 
+(* [us] and [vs] sorted (and deduplicated) by Label.compare: intersection
+   and containment are single merge walks, not quadratic scans *)
+let rec inter_labels us vs =
+  match (us, vs) with
+  | [], _ | _, [] -> []
+  | u :: us', v :: vs' ->
+      let c = Label.compare u v in
+      if c = 0 then u :: inter_labels us' vs'
+      else if c < 0 then inter_labels us' vs
+      else inter_labels us vs'
+
+let rec sub_labels us vs =
+  (* us subseteq vs *)
+  match (us, vs) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | u :: us', v :: vs' ->
+      let c = Label.compare u v in
+      if c = 0 then sub_labels us' vs'
+      else if c > 0 then sub_labels us vs'
+      else false
+
 let inter a b =
   let common = Simplex.inter a.base b.base in
-  let lookup vals p = match List.assoc_opt p vals with Some us -> us | None -> [] in
-  let values p =
-    let ua = lookup a.values p and ub = lookup b.values p in
-    List.filter (fun u -> List.exists (Label.equal u) ub) ua
+  let ids = Simplex.ids common in
+  (* both value lists are sorted by pid: one merge walk aligns them, keeping
+     exactly the pids of the common base (ids common subseteq both pid
+     lists, so every survivor is produced) *)
+  let rec walk va vb =
+    match (va, vb) with
+    | [], _ | _, [] -> []
+    | (p, us) :: va', (q, vs) :: vb' ->
+        let c = Pid.compare p q in
+        if c < 0 then walk va' vb
+        else if c > 0 then walk va vb'
+        else
+          let rest = walk va' vb' in
+          if Pid.Set.mem p ids then (p, inter_labels us vs) :: rest else rest
   in
-  create ~base:common ~values
+  { base = common; values = walk a.values b.values }
 
 let subsumes a b =
   let a = normalize a and b = normalize b in
   Simplex.subset b.base a.base
-  && List.for_all
-       (fun (p, us) ->
-         match List.assoc_opt p a.values with
-         | None -> false
-         | Some us' -> List.for_all (fun u -> List.exists (Label.equal u) us') us)
-       b.values
+  &&
+  (* both value lists sorted by pid: advance through a.values looking for
+     each pid of b.values in turn *)
+  let rec walk vb va =
+    match (vb, va) with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | (p, us) :: vb', (q, vs) :: va' ->
+        let c = Pid.compare p q in
+        if c = 0 then sub_labels us vs && walk vb' va'
+        else if c > 0 then walk vb va'
+        else false
+  in
+  walk b.values a.values
 
 let equal a b =
   let a = normalize a and b = normalize b in
@@ -74,16 +114,28 @@ let realize ?(vertex = paired_vertex) t =
   let base_label p =
     match Simplex.label_of p t.base with Some l -> l | None -> assert false
   in
-  (* facets: one value per base vertex *)
-  let rec facets = function
-    | [] -> [ [] ]
-    | (p, us) :: rest ->
-        let tails = facets rest in
-        List.concat_map
-          (fun u -> List.map (fun tl -> vertex p (base_label p) u :: tl) tails)
-          us
+  (* The face closure of a pseudosphere is itself a product: a simplex
+     picks, for each process independently, either one of its vertices or
+     nothing.  Enumerating that product builds the whole closure directly —
+     no per-facet 2^d face expansion, no set-membership rechecks.  Vertices
+     of distinct processes are ordered by pid regardless of label, so with
+     each per-process vertex list pre-sorted, a product assembled in pid
+     order is strictly sorted and needs no re-sort. *)
+  let cols =
+    List.map
+      (fun (p, us) ->
+        List.sort_uniq Vertex.compare (List.map (fun u -> vertex p (base_label p) u) us))
+      t.values
   in
-  Complex.of_facets (List.map Simplex.of_list (facets t.values))
+  let rec faces = function
+    | [] -> [ [] ]
+    | vxs :: rest ->
+        let tails = faces rest in
+        List.fold_left
+          (fun acc v -> List.fold_left (fun acc tl -> (v :: tl) :: acc) acc tails)
+          tails vxs
+  in
+  Complex.of_closure (List.rev_map Simplex.of_sorted_list (faces cols))
 
 let facet_count t =
   let t = normalize t in

@@ -1,0 +1,37 @@
+(** Dense bit-packed matrices over the two-element field Z/2.
+
+    Columns are arrays of [Sys.int_size]-bit words, so the column sum
+    (symmetric difference) runs word-at-a-time, and the rank computation
+    keeps an O(1) pivot table indexed by row instead of re-scanning column
+    lists.  This is the engine behind {!Homology}; the list-based
+    {!Z2_matrix} is kept as a reference oracle and the two are
+    property-tested against each other. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Zero matrix of the given shape. *)
+
+val dims : t -> int * int
+(** [(rows, cols)]. *)
+
+val set : t -> row:int -> col:int -> unit
+(** Set an entry to 1.  @raise Invalid_argument if the row is out of range. *)
+
+val get : t -> row:int -> col:int -> bool
+
+val of_columns : rows:int -> Z2_matrix.col list -> t
+(** Build from sparse columns (lists of nonzero row indices, as in
+    {!Z2_matrix}). *)
+
+val rank : t -> int
+(** Rank over Z/2.  The matrix is not modified (reduction works on a
+    copy). *)
+
+val rank_of_columns : rows:int -> Z2_matrix.col list -> int
+(** [rank_of_columns ~rows cols = rank (of_columns ~rows cols)]. *)
+
+val rank_words : rows:int -> int array -> int
+(** Single-word fast path: each array element is one column, encoded as a
+    bit mask over at most [Sys.int_size] rows.
+    @raise Invalid_argument if [rows > Sys.int_size]. *)

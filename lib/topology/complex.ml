@@ -1,66 +1,103 @@
 module SSet = Set.Make (Simplex)
 
-type t = SSet.t
-(* invariant: all elements nonempty; closed under taking nonempty faces *)
+(* A complex value is immutable once built (the simplex set never changes),
+   so the derived quantities dim, f-vector and facets can be memoized in
+   mutable fields without observable effect.  Every operation that produces
+   a new simplex set wraps it with cold caches. *)
+type t = {
+  set : SSet.t;  (* invariant: nonempty simplexes, closed under faces *)
+  mutable fvec : int array option;
+  mutable facets_memo : Simplex.t list option;
+}
 
-let empty = SSet.empty
+let wrap set = { set; fvec = None; facets_memo = None }
 
-let is_empty = SSet.is_empty
+let empty = wrap SSet.empty
+
+let is_empty c = SSet.is_empty c.set
+
+(* Insert a simplex and its face closure, pruning descent at any simplex
+   already present: the closure invariant guarantees all of its faces are
+   present too.  This is what lets [of_facets] skip re-enumerating the 2^d
+   faces of facets that share large boundaries. *)
+let rec add_closure s set =
+  if SSet.mem s set then set
+  else
+    List.fold_left
+      (fun set f -> if Simplex.is_empty f then set else add_closure f set)
+      (SSet.add s set) (Simplex.facets s)
 
 let add_facet s c =
   if Simplex.is_empty s then c
   else
-    List.fold_left
-      (fun acc f -> if Simplex.is_empty f then acc else SSet.add f acc)
-      c (Simplex.faces s)
+    let set = add_closure s c.set in
+    if set == c.set then c else wrap set
 
-let of_facets fs = List.fold_left (fun acc s -> add_facet s acc) SSet.empty fs
+let of_facets fs =
+  wrap
+    (List.fold_left
+       (fun acc s -> if Simplex.is_empty s then acc else add_closure s acc)
+       SSet.empty fs)
 
-let of_simplex s = add_facet s SSet.empty
+let of_simplex s = add_facet s empty
+
+let of_closure ss =
+  (* trusted bulk constructor: [ss] already contains every nonempty face of
+     each member, so no closure enumeration is needed; SSet.of_list
+     sort_uniq-s and builds the balanced tree in linear time *)
+  wrap (SSet.of_list (List.filter (fun s -> not (Simplex.is_empty s)) ss))
 
 let boundary_complex s = of_facets (Simplex.facets s)
 
-let mem s c = SSet.mem s c
+let mem s c = SSet.mem s c.set
 
-let mem_vertex v c = SSet.mem (Simplex.of_list [ v ]) c
+let mem_vertex v c = SSet.mem (Simplex.of_list [ v ]) c.set
 
-let simplices c = SSet.elements c
+let simplices c = SSet.elements c.set
 
-let fold f c init = SSet.fold f c init
+let fold f c init = SSet.fold f c.set init
 
-let iter f c = SSet.iter f c
+let iter f c = SSet.iter f c.set
 
-let num_simplices = SSet.cardinal
+let num_simplices c = SSet.cardinal c.set
 
-let dim c = SSet.fold (fun s acc -> max acc (Simplex.dim s)) c (-1)
+let f_vector c =
+  match c.fvec with
+  | Some f -> f
+  | None ->
+      let d = SSet.fold (fun s acc -> max acc (Simplex.dim s)) c.set (-1) in
+      let f = if d < 0 then [||] else Array.make (d + 1) 0 in
+      SSet.iter (fun s -> f.(Simplex.dim s) <- f.(Simplex.dim s) + 1) c.set;
+      c.fvec <- Some f;
+      f
+
+let dim c = Array.length (f_vector c) - 1
 
 let facets c =
-  (* s is a facet iff no coface of dimension dim+1 is present; closure makes
-     this equivalent to maximality *)
-  let covered =
-    SSet.fold
-      (fun s acc ->
-        if Simplex.dim s = 0 then acc
-        else List.fold_left (fun acc f -> SSet.add f acc) acc (Simplex.facets s))
-      c SSet.empty
-  in
-  SSet.elements (SSet.diff c covered)
+  match c.facets_memo with
+  | Some fs -> fs
+  | None ->
+      (* s is a facet iff no coface of dimension dim+1 is present; closure
+         makes this equivalent to maximality *)
+      let covered =
+        SSet.fold
+          (fun s acc ->
+            if Simplex.dim s = 0 then acc
+            else
+              List.fold_left (fun acc f -> SSet.add f acc) acc (Simplex.facets s))
+          c.set SSet.empty
+      in
+      let fs = SSet.elements (SSet.diff c.set covered) in
+      c.facets_memo <- Some fs;
+      fs
 
 let simplices_of_dim c d =
-  SSet.fold (fun s acc -> if Simplex.dim s = d then s :: acc else acc) c []
+  SSet.fold (fun s acc -> if Simplex.dim s = d then s :: acc else acc) c.set []
   |> List.rev
 
 let count_of_dim c d =
-  SSet.fold (fun s acc -> if Simplex.dim s = d then acc + 1 else acc) c 0
-
-let f_vector c =
-  let d = dim c in
-  if d < 0 then [||]
-  else begin
-    let f = Array.make (d + 1) 0 in
-    SSet.iter (fun s -> f.(Simplex.dim s) <- f.(Simplex.dim s) + 1) c;
-    f
-  end
+  let f = f_vector c in
+  if d < 0 || d >= Array.length f then 0 else f.(d)
 
 let euler c =
   let f = f_vector c in
@@ -77,31 +114,37 @@ let vertices c =
 
 let num_vertices c = count_of_dim c 0
 
-let union = SSet.union
+let union a b =
+  let set = SSet.union a.set b.set in
+  if set == a.set then a else if set == b.set then b else wrap set
 
-let inter = SSet.inter
+let inter a b =
+  let set = SSet.inter a.set b.set in
+  if set == a.set then a else if set == b.set then b else wrap set
 
-let diff_facets a b = of_facets (List.filter (fun s -> not (SSet.mem s b)) (facets a))
+let diff_facets a b = of_facets (List.filter (fun s -> not (SSet.mem s b.set)) (facets a))
 
-let equal = SSet.equal
+let equal a b = SSet.equal a.set b.set
 
-let subcomplex = SSet.subset
+let subcomplex a b = SSet.subset a.set b.set
 
-let skeleton k c = SSet.filter (fun s -> Simplex.dim s <= k) c
+let skeleton k c = wrap (SSet.filter (fun s -> Simplex.dim s <= k) c.set)
 
 let star v c =
-  SSet.fold
-    (fun s acc -> if Simplex.mem v s then add_facet s acc else acc)
-    c SSet.empty
+  wrap
+    (SSet.fold
+       (fun s acc -> if Simplex.mem v s then add_closure s acc else acc)
+       c.set SSet.empty)
 
 let link v c =
-  SSet.fold
-    (fun s acc ->
-      if Simplex.mem v s then
-        let f = Simplex.remove v s in
-        if Simplex.is_empty f then acc else SSet.add f acc
-      else acc)
-    c SSet.empty
+  wrap
+    (SSet.fold
+       (fun s acc ->
+         if Simplex.mem v s then
+           let f = Simplex.remove v s in
+           if Simplex.is_empty f then acc else SSet.add f acc
+         else acc)
+       c.set SSet.empty)
 
 let join a b =
   let va = Vertex.Set.of_list (vertices a)
@@ -114,18 +157,18 @@ let join a b =
     let pieces =
       SSet.fold
         (fun s acc ->
-          SSet.fold (fun t acc -> SSet.add (Simplex.union s t) acc) b acc)
-        a SSet.empty
+          SSet.fold (fun t acc -> SSet.add (Simplex.union s t) acc) b.set acc)
+        a.set SSet.empty
     in
-    SSet.union a (SSet.union b pieces)
+    wrap (SSet.union a.set (SSet.union b.set pieces))
 
 let map f c =
   (* the image of a closed set is closed: the image of a face is a face of
      the image *)
-  SSet.fold (fun s acc -> SSet.add (Simplex.map f s) acc) c SSet.empty
+  wrap (SSet.fold (fun s acc -> SSet.add (Simplex.map f s) acc) c.set SSet.empty)
 
 let filter_vertices p c =
-  SSet.filter (fun s -> List.for_all p (Simplex.vertices s)) c
+  wrap (SSet.filter (fun s -> List.for_all p (Simplex.vertices s)) c.set)
 
 let restrict_ids k c =
   filter_vertices
@@ -179,7 +222,7 @@ let is_pure c =
       List.for_all (fun s -> Simplex.dim s = d) fs
 
 let ids c =
-  SSet.fold (fun s acc -> Pid.Set.union (Simplex.ids s) acc) c Pid.Set.empty
+  SSet.fold (fun s acc -> Pid.Set.union (Simplex.ids s) acc) c.set Pid.Set.empty
 
 let pp_summary ppf c =
   Format.fprintf ppf "dim=%d f=(%a) chi=%d" (dim c)

@@ -17,6 +17,13 @@ val of_facets : Simplex.t list -> t
 val of_simplex : Simplex.t -> t
 (** The closure of a single simplex: the "solid" simplex as a complex. *)
 
+val of_closure : Simplex.t list -> t
+(** Unchecked fast path: build directly from a list that is already closed
+    under taking nonempty faces (duplicates and empty simplexes are
+    dropped).  The caller is trusted; feeding a non-closed list breaks the
+    complex invariant.  Used by constructors that enumerate full closures
+    by structure, e.g. pseudosphere realization. *)
+
 val boundary_complex : Simplex.t -> t
 (** The boundary of a simplex: the closure of its codimension-1 faces, e.g.
     [boundary_complex (Simplex.proc_simplex n)] is an [(n-1)]-sphere. *)

@@ -1,5 +1,8 @@
 module SMap = Map.Make (Simplex)
 
+(* Reference (slow-path) index and boundary-matrix construction, kept for
+   the public [boundary_matrix] API and as the oracle the fast engine is
+   tested against. *)
 let index_of_dim c d =
   List.sort Simplex.compare (Complex.simplices_of_dim c d)
   |> List.mapi (fun i s -> (s, i))
@@ -21,7 +24,13 @@ let boundary_matrix c d =
 
 (* ranks.(d) = rank of the boundary operator from d-chains to (d-1)-chains,
    where the operator at d = 0 is the augmentation (so its rank is 1 on any
-   nonempty complex). *)
+   nonempty complex).
+
+   Fast path: one traversal of the complex buckets the interned vertex-id
+   key of every simplex by dimension; each boundary matrix is then built
+   with an int-array-keyed Hashtbl row index (no Simplex.compare on the hot
+   path) and eliminated by the bit-packed {!Bitmat} engine.  Row order
+   within a dimension is arbitrary but fixed, which is all rank needs. *)
 let ranks ?max_dim c =
   let dim = Complex.dim c in
   let top = match max_dim with None -> dim | Some m -> min m dim in
@@ -31,9 +40,113 @@ let ranks ?max_dim c =
     let upper = min (top + 1) dim in
     let r = Array.make (upper + 1) 0 in
     r.(0) <- (if Complex.is_empty c then 0 else 1);
-    for d = 1 to upper do
-      r.(d) <- Z2_matrix.rank (boundary_matrix c d)
-    done;
+    if upper >= 1 then begin
+      let keys = Array.make (upper + 1) [] in
+      let max_id = ref 0 in
+      Complex.iter
+        (fun s ->
+          let d = Simplex.dim s in
+          if d <= upper then begin
+            let k = Intern.key s in
+            Array.iter (fun i -> if i > !max_id then max_id := i) k;
+            keys.(d) <- k :: keys.(d)
+          end)
+        c;
+      (* bits needed to hold any vertex id *)
+      let id_bits =
+        let rec loop b = if !max_id lsr b = 0 then b else loop (b + 1) in
+        max 1 (loop 1)
+      in
+      for d = 1 to upper do
+        let cols = keys.(d) in
+        let ncols = List.length cols in
+        if d * id_bits <= Sys.int_size - 1 then begin
+          (* a whole (d-1)-simplex key fits in one int: pack ids into
+             bit-fields, sort the packed row keys once, and resolve each
+             facet with a binary search — the row number is just the key's
+             position in sorted order *)
+          let pack_skip a skip =
+            let n = Array.length a in
+            let rec go i acc =
+              if i >= n then acc
+              else if i = skip then go (i + 1) acc
+              else go (i + 1) ((acc lsl id_bits) lor Array.unsafe_get a i)
+            in
+            go 0 0
+          in
+          let rows =
+            Array.of_list (List.map (fun k -> pack_skip k (-1)) keys.(d - 1))
+          in
+          let nrows = Array.length rows in
+          (* small arrays: insertion sort avoids compare-closure calls *)
+          if nrows <= 64 then
+            for i = 1 to nrows - 1 do
+              let x = rows.(i) in
+              let j = ref (i - 1) in
+              while !j >= 0 && rows.(!j) > x do
+                rows.(!j + 1) <- rows.(!j);
+                decr j
+              done;
+              rows.(!j + 1) <- x
+            done
+          else Array.sort Int.compare rows;
+          let find key =
+            let lo = ref 0 and hi = ref nrows in
+            while !hi - !lo > 1 do
+              let mid = (!lo + !hi) / 2 in
+              if Array.unsafe_get rows mid <= key then lo := mid else hi := mid
+            done;
+            !lo
+          in
+          if nrows <= Sys.int_size then begin
+            (* columns fit in single words: build int masks directly *)
+            let masks = Array.make ncols 0 in
+            List.iteri
+              (fun j a ->
+                let m = ref 0 in
+                for i = 0 to Array.length a - 1 do
+                  m := !m lor (1 lsl find (pack_skip a i))
+                done;
+                masks.(j) <- !m)
+              cols;
+            r.(d) <- Bitmat.rank_words ~rows:nrows masks
+          end
+          else begin
+            let mat = Bitmat.create ~rows:nrows ~cols:ncols in
+            List.iteri
+              (fun j a ->
+                for i = 0 to Array.length a - 1 do
+                  Bitmat.set mat ~row:(find (pack_skip a i)) ~col:j
+                done)
+              cols;
+            r.(d) <- Bitmat.rank mat
+          end
+        end
+        else begin
+          (* fallback: int-array keys (canonical, safe for structural
+             hashing since entries are immediate ints) *)
+          let row_index : (int array, int) Hashtbl.t = Hashtbl.create (4 * ncols) in
+          let nrows = ref 0 in
+          List.iter
+            (fun k ->
+              Hashtbl.replace row_index k !nrows;
+              incr nrows)
+            keys.(d - 1);
+          let mat = Bitmat.create ~rows:!nrows ~cols:ncols in
+          List.iteri
+            (fun j a ->
+              let n = Array.length a in
+              for i = 0 to n - 1 do
+                let f = Array.make (n - 1) 0 in
+                Array.blit a 0 f 0 i;
+                Array.blit a (i + 1) f i (n - 1 - i);
+                Bitmat.set mat ~row:(Hashtbl.find row_index f) ~col:j
+              done)
+            cols;
+          r.(d) <- Bitmat.rank mat
+        end
+      done
+    end;
     r
   end
 

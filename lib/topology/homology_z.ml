@@ -7,28 +7,40 @@ let group_to_string g =
   let tors = List.map (Printf.sprintf "Z/%d") g.torsion in
   match free @ tors with [] -> "0" | parts -> String.concat " + " parts
 
-module SMap = Map.Make (Simplex)
-
+(* Row index keyed by interned vertex-id arrays (Hashtbl, not
+   Map.Make(Simplex)): rank and torsion are invariant under row order, so
+   any fixed enumeration of the (d-1)-simplexes works. *)
 let index_of_dim c d =
-  List.sort Simplex.compare (Complex.simplices_of_dim c d)
-  |> List.mapi (fun i s -> (s, i))
-  |> List.to_seq |> SMap.of_seq
+  let idx : (int array, int) Hashtbl.t = Hashtbl.create 256 in
+  let n = ref 0 in
+  Complex.iter
+    (fun s ->
+      if Simplex.dim s = d then begin
+        Hashtbl.replace idx (Intern.key s) !n;
+        incr n
+      end)
+    c;
+  (idx, !n)
 
 let boundary_matrix_z c d =
   if d <= 0 then invalid_arg "Homology_z.boundary_matrix_z: dimension must be >= 1";
-  let rows_idx = index_of_dim c (d - 1) in
-  let cols = List.sort Simplex.compare (Complex.simplices_of_dim c d) in
-  let nrows = SMap.cardinal rows_idx and ncols = List.length cols in
+  let rows_idx, nrows = index_of_dim c (d - 1) in
+  let cols = Complex.simplices_of_dim c d in
+  let ncols = List.length cols in
   let m = Array.make_matrix nrows ncols 0 in
   List.iteri
     (fun j s ->
-      (* Simplex.facets lists faces in vertex-deletion order, so the i-th
-         facet carries sign (-1)^i *)
-      List.iteri
-        (fun i f ->
-          let r = SMap.find f rows_idx in
-          m.(r).(j) <- (if i mod 2 = 0 then 1 else -1))
-        (Simplex.facets s))
+      let a = Intern.key s in
+      let n = Array.length a in
+      (* facets in vertex-deletion order, so the i-th facet carries sign
+         (-1)^i *)
+      for i = 0 to n - 1 do
+        let f = Array.make (n - 1) 0 in
+        Array.blit a 0 f 0 i;
+        Array.blit a (i + 1) f i (n - 1 - i);
+        let r = Hashtbl.find rows_idx f in
+        m.(r).(j) <- (if i mod 2 = 0 then 1 else -1)
+      done)
     cols;
   m
 

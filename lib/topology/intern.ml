@@ -1,0 +1,82 @@
+(* Hash-consing of vertices and simplexes to dense integer ids.
+
+   Polymorphic [Hashtbl.hash]/[(=)] are not usable on [Vertex.t]: labels may
+   contain [Pid.Set.t] values whose balanced-tree shape depends on
+   construction order.  We therefore hash by structure-aware recursion (sets
+   are folded over their canonical element order) and compare with
+   [Vertex.equal].
+
+   Tables are global and grow monotonically; ids are stable within a
+   process.  This is safe because vertices and simplexes are immutable. *)
+
+let mix h x = (h * 0x01000193) lxor (x land max_int)
+
+let rec label_hash h l =
+  match (l : Label.t) with
+  | Unit -> mix h 1
+  | Bool b -> mix (mix h 2) (Bool.to_int b)
+  | Int i -> mix (mix h 3) i
+  | Str s -> mix (mix h 4) (Hashtbl.hash s)
+  | Pid p -> mix (mix h 5) (Pid.to_int p)
+  | Pid_set s -> Pid.Set.fold (fun p h -> mix h (Pid.to_int p)) s (mix h 6)
+  | Vec v -> Array.fold_left mix (mix h 7) v
+  | Pair (a, b) -> label_hash (label_hash (mix h 8) a) b
+  | List xs -> List.fold_left label_hash (mix h 9) xs
+
+let rec vertex_hash h v =
+  match (v : Vertex.t) with
+  | Proc (p, l) -> label_hash (mix (mix h 17) (Pid.to_int p)) l
+  | Anon i -> mix (mix h 18) i
+  | Bary vs -> List.fold_left vertex_hash (mix h 19) vs
+
+module VH = Hashtbl.Make (struct
+  type t = Vertex.t
+
+  let equal = Vertex.equal
+
+  let hash v = vertex_hash 0x811c9dc5 v
+end)
+
+let vertex_tbl : int VH.t = VH.create 1024
+
+let vertex_store : Vertex.t array ref = ref (Array.make 1024 (Vertex.anon 0))
+
+let vertex_count = ref 0
+
+let vertex_id v =
+  (* VH.find rather than find_opt: the hit path allocates nothing *)
+  match VH.find vertex_tbl v with
+  | i -> i
+  | exception Not_found ->
+      let i = !vertex_count in
+      incr vertex_count;
+      if i >= Array.length !vertex_store then begin
+        let bigger = Array.make (2 * Array.length !vertex_store) v in
+        Array.blit !vertex_store 0 bigger 0 i;
+        vertex_store := bigger
+      end;
+      !vertex_store.(i) <- v;
+      VH.add vertex_tbl v i;
+      i
+
+let vertex_of_id i =
+  if i < 0 || i >= !vertex_count then invalid_arg "Intern.vertex_of_id";
+  !vertex_store.(i)
+
+let key s = Array.map vertex_id (Simplex.vertex_array s)
+
+(* int-array keys are safe for the polymorphic hashtable: hashing and
+   equality on immediate ints are structural *)
+let simplex_tbl : (int array, int) Hashtbl.t = Hashtbl.create 1024
+
+let simplex_count = ref 0
+
+let simplex_id s =
+  let k = key s in
+  match Hashtbl.find_opt simplex_tbl k with
+  | Some i -> i
+  | None ->
+      let i = !simplex_count in
+      incr simplex_count;
+      Hashtbl.add simplex_tbl k i;
+      i

@@ -1,0 +1,26 @@
+(** Hash-consing of vertices and simplexes to dense integer ids.
+
+    Vertex labels can contain [Pid.Set.t] values, so polymorphic hashing
+    and equality are unsound on {!Vertex.t}; this module hashes by
+    structure-aware recursion and compares with {!Vertex.equal}.  Ids are
+    assigned in first-seen order from global tables, so they are dense,
+    stable within a process, and identical for structurally equal values.
+
+    Hot paths use these ids to replace deep structural comparison:
+    {!Homology} keys its boundary-row index by interned vertex ids, and the
+    round-recursion memo tables in the protocol-complex modules key on
+    {!simplex_id}. *)
+
+val vertex_id : Vertex.t -> int
+(** The dense id of a vertex (allocating one on first sight). *)
+
+val vertex_of_id : int -> Vertex.t
+(** Inverse of {!vertex_id}.  @raise Invalid_argument on unknown ids. *)
+
+val key : Simplex.t -> int array
+(** The vertex ids of a simplex, in the simplex's canonical (sorted) vertex
+    order — a canonical key: two simplexes are equal iff their keys are
+    structurally equal int arrays. *)
+
+val simplex_id : Simplex.t -> int
+(** A dense id for the whole simplex (via {!key}). *)

@@ -7,6 +7,8 @@ let of_list vs =
   let arr = Array.of_list (List.sort_uniq Vertex.compare vs) in
   arr
 
+let of_sorted_list vs = Array.of_list vs
+
 let of_procs ps = of_list (List.map (fun (p, l) -> Vertex.proc p l) ps)
 
 let proc_simplex n =
@@ -74,7 +76,24 @@ let pp ppf s =
        Vertex.pp)
     (vertices s)
 
-let add v s = if mem v s then s else of_list (v :: vertices s)
+let add v s =
+  (* single sorted insert: binary-search the unique position of [v] and
+     splice it in, which preserves the strictly-sorted invariant without
+     the O(n log n) re-sort that [of_list] would pay *)
+  let n = Array.length s in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Vertex.compare v s.(mid) <= 0 then hi := mid else lo := mid + 1
+  done;
+  let i = !lo in
+  if i < n && Vertex.compare v s.(i) = 0 then s
+  else begin
+    let out = Array.make (n + 1) v in
+    Array.blit s 0 out 0 i;
+    Array.blit s i out (i + 1) (n - i);
+    out
+  end
 
 let remove v s = Array.of_seq (Seq.filter (fun u -> not (Vertex.equal u v)) (Array.to_seq s))
 

@@ -13,6 +13,11 @@ val empty : t
 val of_list : Vertex.t list -> t
 (** Sorts and deduplicates. *)
 
+val of_sorted_list : Vertex.t list -> t
+(** Unchecked fast path: the list must already be strictly sorted by
+    {!Vertex.compare}.  Used by bulk constructors (e.g. pseudosphere
+    realization) that produce vertices in order by construction. *)
+
 val of_procs : (Pid.t * Label.t) list -> t
 (** Convenience: a chromatic simplex from (pid, label) pairs. *)
 

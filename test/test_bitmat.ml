@@ -1,0 +1,144 @@
+(* Oracle tests for the fast homology engine: the bit-packed Bitmat rank
+   must agree with the list-based Z2_matrix reference on random sparse
+   matrices, and Homology's interned/bit-packed Betti pipeline must agree
+   with the rank formula computed through the reference oracle on random
+   pseudospheres. *)
+
+open Psph_topology
+open Pseudosphere
+
+(* ------------------------------------------------------------------ *)
+(* unit tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let unit_tests =
+  [
+    Alcotest.test_case "rank of empty matrix" `Quick (fun () ->
+        Alcotest.(check int) "rank" 0 (Bitmat.rank_of_columns ~rows:0 []);
+        Alcotest.(check int) "rank" 0 (Bitmat.rank_of_columns ~rows:5 []));
+    Alcotest.test_case "rank of zero columns" `Quick (fun () ->
+        Alcotest.(check int) "rank" 0 (Bitmat.rank_of_columns ~rows:5 [ []; []; [] ]));
+    Alcotest.test_case "rank of identity" `Quick (fun () ->
+        Alcotest.(check int)
+          "rank" 4
+          (Bitmat.rank_of_columns ~rows:4 [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ] ]));
+    Alcotest.test_case "dependent columns collapse" `Quick (fun () ->
+        (* third column is the sum of the first two *)
+        Alcotest.(check int)
+          "rank" 2
+          (Bitmat.rank_of_columns ~rows:3 [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ]));
+    Alcotest.test_case "set/get round-trip across word boundaries" `Quick (fun () ->
+        let m = Bitmat.create ~rows:130 ~cols:2 in
+        List.iter (fun r -> Bitmat.set m ~row:r ~col:0) [ 0; 62; 63; 64; 126; 129 ];
+        List.iter
+          (fun r ->
+            Alcotest.(check bool)
+              (Printf.sprintf "bit %d" r)
+              true
+              (Bitmat.get m ~row:r ~col:0))
+          [ 0; 62; 63; 64; 126; 129 ];
+        Alcotest.(check bool) "unset" false (Bitmat.get m ~row:1 ~col:0);
+        Alcotest.(check bool) "other col" false (Bitmat.get m ~row:63 ~col:1));
+    Alcotest.test_case "multi-word rank equals reference" `Quick (fun () ->
+        (* a shifted staircase spanning three words *)
+        let cols = List.init 100 (fun i -> [ i; i + 30; i + 90 ]) in
+        Alcotest.(check int)
+          "rank"
+          (Z2_matrix.rank cols)
+          (Bitmat.rank_of_columns ~rows:190 cols));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* random-matrix oracle: Bitmat.rank = Z2_matrix.rank                  *)
+(* ------------------------------------------------------------------ *)
+
+(* a sparse column over [rows] rows: a strictly increasing index list *)
+let gen_matrix ~max_rows =
+  QCheck2.Gen.(
+    int_range 1 max_rows >>= fun rows ->
+    let col =
+      list_size (int_range 0 (min rows 8)) (int_range 0 (rows - 1))
+      |> map (List.sort_uniq Int.compare)
+    in
+    list_size (int_range 0 12) col |> map (fun cols -> (rows, cols)))
+
+let masks_of_columns ~rows cols =
+  ignore rows;
+  Array.of_list
+    (List.map (List.fold_left (fun m r -> m lor (1 lsl r)) 0) cols)
+
+let matrix_props =
+  let open QCheck2 in
+  [
+    Test.make ~count:300 ~name:"Bitmat.rank = Z2_matrix.rank (single word)"
+      (gen_matrix ~max_rows:60)
+      (fun (rows, cols) ->
+        Bitmat.rank_of_columns ~rows cols = Z2_matrix.rank cols);
+    Test.make ~count:200 ~name:"Bitmat.rank = Z2_matrix.rank (multi word)"
+      (gen_matrix ~max_rows:200)
+      (fun (rows, cols) ->
+        Bitmat.rank_of_columns ~rows cols = Z2_matrix.rank cols);
+    Test.make ~count:300 ~name:"Bitmat.rank_words = Z2_matrix.rank"
+      (gen_matrix ~max_rows:60)
+      (fun (rows, cols) ->
+        Bitmat.rank_words ~rows (masks_of_columns ~rows cols)
+        = Z2_matrix.rank cols);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* random-pseudosphere oracle: new engine = reference rank formula     *)
+(* ------------------------------------------------------------------ *)
+
+(* reduced Betti numbers computed through the exported boundary_matrix and
+   the list-based Z2_matrix elimination — the pre-Bitmat engine *)
+let oracle_reduced_betti c =
+  let dim = Complex.dim c in
+  if dim < 0 then [||]
+  else begin
+    let r = Array.make (dim + 2) 0 in
+    r.(0) <- (if Complex.is_empty c then 0 else 1);
+    for d = 1 to dim do
+      r.(d) <- Z2_matrix.rank (Homology.boundary_matrix c d)
+    done;
+    Array.init (dim + 1) (fun d ->
+        Complex.count_of_dim c d - r.(d) - r.(d + 1))
+  end
+
+(* psi(P^n; U) with independently chosen nonempty value sets per process,
+   n <= 3 *)
+let gen_psph =
+  QCheck2.Gen.(
+    int_range 0 3 >>= fun n ->
+    let values = list_size (int_range 1 3) (int_range 0 3) in
+    list_repeat (n + 1) values
+    |> map (fun vss ->
+           let vss = Array.of_list vss in
+           Psph.create
+             ~base:(Simplex.proc_simplex n)
+             ~values:(fun p -> List.map (fun v -> Label.Int v) vss.(Pid.to_int p))))
+
+let psph_props =
+  let open QCheck2 in
+  [
+    Test.make ~count:120 ~name:"Homology.betti unchanged on random psi(P^n;U)"
+      gen_psph
+      (fun ps ->
+        let c = Psph.realize ~vertex:Psph.default_vertex ps in
+        Homology.reduced_betti c = oracle_reduced_betti c);
+    Test.make ~count:120 ~name:"realize closure matches of_facets closure"
+      gen_psph
+      (fun ps ->
+        (* the product-closure fast path must produce exactly the closure
+           of the facet list *)
+        let c = Psph.realize ~vertex:Psph.default_vertex ps in
+        Complex.equal c (Complex.of_facets (Complex.facets c)));
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let suites =
+  [
+    ("bitmat.unit", unit_tests);
+    ("bitmat.matrix_oracle", matrix_props);
+    ("bitmat.psph_oracle", psph_props);
+  ]

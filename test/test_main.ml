@@ -1,6 +1,7 @@
 let () =
   Alcotest.run "pseudosphere"
-    (Test_topology.suites @ Test_topology_ext.suites @ Test_chain_random.suites
+    (Test_topology.suites @ Test_bitmat.suites @ Test_topology_ext.suites
+    @ Test_chain_random.suites
     @ Test_model.suites @ Test_core.suites @ Test_agreement.suites
     @ Test_extensions.suites @ Test_extensions2.suites @ Test_iis.suites
     @ Test_carrier_map.suites @ Test_connectivity_cert.suites
