@@ -313,6 +313,95 @@ let sweep_tests =
       [ 2; 3; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* query-engine throughput: batch of mixed repeated queries            *)
+(* ------------------------------------------------------------------ *)
+
+(* Not a bechamel microbench: the unit of interest is a whole batch of 200
+   queries drawn from 8 recurring shapes (25 repeats each), served three
+   ways — naive sequential recomputation (build + betti + connectivity
+   from scratch, what the CLI did per invocation), the engine with a cold
+   cache (misses, parallel evaluation), and the engine warm (every query a
+   cache hit).  Results go to BENCH_engine.json next to the bechamel
+   table's BENCH_homology.json. *)
+let engine_bench () =
+  let module E = Psph_engine.Engine in
+  let shapes =
+    [
+      E.Psph { n = 2; values = 2 };
+      E.Psph { n = 3; values = 2 };
+      E.Psph { n = 2; values = 3 };
+      E.Psph { n = 4; values = 2 };
+      E.Psph { n = 5; values = 2 };
+      E.Model { model = E.Sync; n = 3; f = 1; k = 1; p = 2; r = 1 };
+      E.Model { model = E.Async; n = 2; f = 1; k = 1; p = 2; r = 1 };
+      E.Model { model = E.Semi; n = 2; f = 1; k = 1; p = 2; r = 1 };
+    ]
+  in
+  let nshapes = List.length shapes in
+  let batch_size = 200 in
+  let batch =
+    List.init batch_size (fun i -> List.nth shapes (i mod nshapes))
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let naive_s =
+    time (fun () ->
+        List.iter
+          (fun spec ->
+            let c = E.build spec in
+            ignore (Homology.betti c);
+            ignore (Homology.connectivity c))
+          batch)
+  in
+  let domains = min 4 (max 2 (Domain.recommended_domain_count () - 1)) in
+  let engine = E.create ~domains ~capacity:1024 () in
+  let cold_s = time (fun () -> ignore (E.eval_batch engine batch)) in
+  let warm_s = time (fun () -> ignore (E.eval_batch engine batch)) in
+  let stats = E.stats engine in
+  E.shutdown engine;
+  let speedup_cold = naive_s /. cold_s and speedup_warm = naive_s /. warm_s in
+  Format.printf
+    "@.engine throughput (batch of %d queries, %d shapes, %d domains):@." batch_size
+    nshapes domains;
+  Format.printf "  naive sequential  %8.1f ms   %8.0f q/s@." (1000. *. naive_s)
+    (float_of_int batch_size /. naive_s);
+  Format.printf "  engine cold       %8.1f ms   %8.0f q/s   %5.2fx@."
+    (1000. *. cold_s)
+    (float_of_int batch_size /. cold_s)
+    speedup_cold;
+  Format.printf "  engine warm       %8.1f ms   %8.0f q/s   %5.2fx@."
+    (1000. *. warm_s)
+    (float_of_int batch_size /. warm_s)
+    speedup_warm;
+  Format.printf "  cache: %d hits, %d misses, %d evictions; %d pool jobs@."
+    stats.E.hits stats.E.misses stats.E.evictions stats.E.jobs;
+  let oc = open_out "BENCH_engine.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"batch_size\": %d,\n\
+    \  \"distinct_shapes\": %d,\n\
+    \  \"domains\": %d,\n\
+    \  \"naive_s\": %.6f,\n\
+    \  \"engine_cold_s\": %.6f,\n\
+    \  \"engine_warm_s\": %.6f,\n\
+    \  \"speedup_cold\": %.2f,\n\
+    \  \"speedup_warm\": %.2f,\n\
+    \  \"naive_qps\": %.1f,\n\
+    \  \"warm_qps\": %.1f,\n\
+    \  \"hits\": %d,\n\
+    \  \"misses\": %d,\n\
+    \  \"evictions\": %d,\n\
+    \  \"jobs\": %d\n\
+     }\n"
+    batch_size nshapes domains naive_s cold_s warm_s speedup_cold speedup_warm
+    (float_of_int batch_size /. naive_s)
+    (float_of_int batch_size /. warm_s)
+    stats.E.hits stats.E.misses stats.E.evictions stats.E.jobs;
+  close_out oc;
+  print_endline "wrote BENCH_engine.json"
 
 let () =
   let quota =
@@ -373,4 +462,5 @@ let () =
     rows;
   Printf.fprintf oc "}\n";
   close_out oc;
-  print_endline "wrote BENCH_homology.json"
+  print_endline "wrote BENCH_homology.json";
+  engine_bench ()

@@ -43,27 +43,7 @@ let describe ?(show_facets = false) ?(integral = false) ?dot ?svg ?save name c =
     save;
   Option.iter
     (fun path ->
-      let oc = open_out path in
-      let ppf = Format.formatter_of_out_channel oc in
-      Format.fprintf ppf "graph complex {@.";
-      let id = Hashtbl.create 64 in
-      List.iteri
-        (fun i v ->
-          Hashtbl.replace id (Format.asprintf "%a" Vertex.pp v) i;
-          Format.fprintf ppf "  v%d [label=%S];@." i
-            (Format.asprintf "%a" Vertex.pp v))
-        (Complex.vertices c);
-      List.iter
-        (fun s ->
-          match Simplex.vertices s with
-          | [ u; v ] ->
-              let iu = Hashtbl.find id (Format.asprintf "%a" Vertex.pp u) in
-              let iv = Hashtbl.find id (Format.asprintf "%a" Vertex.pp v) in
-              Format.fprintf ppf "  v%d -- v%d;@." iu iv
-          | _ -> ())
-        (Complex.simplices_of_dim c 1);
-      Format.fprintf ppf "}@.";
-      close_out oc;
+      Render.save_dot path c;
       Format.printf "wrote 1-skeleton to %s@." path)
     dot
 
@@ -285,6 +265,48 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run flooding consensus under a crash plan.")
     Term.(const run $ n_arg $ f_arg $ crash_round_arg $ victim_arg $ heard_arg)
 
+let serve_cmd =
+  let run domains cache_size persist par_threshold =
+    let engine =
+      Psph_engine.Engine.create ~domains ~capacity:cache_size ?persist
+        ~par_threshold ()
+    in
+    Psph_engine.Serve.run engine stdin stdout;
+    Psph_engine.Engine.shutdown engine
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "domains" ] ~docv:"D"
+          ~doc:"Worker domains for parallel evaluation (0: sequential).")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "cache-size" ] ~docv:"N" ~doc:"Memo store capacity (LRU entries).")
+  in
+  let persist_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "persist" ] ~docv:"FILE"
+          ~doc:"Load the memo store from $(docv) on start and write it back on exit.")
+  in
+  let par_threshold_arg =
+    Arg.(
+      value & opt int 2048
+      & info [ "par-threshold" ] ~docv:"S"
+          ~doc:
+            "Fan a single query's per-dimension rank jobs onto the pool once \
+             the complex has at least $(docv) simplexes.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve topology queries over JSON lines on stdin/stdout (ops: betti, \
+          connectivity, psph, model-complex, batch, stats; see docs/ENGINE.md).")
+    Term.(const run $ domains_arg $ cache_arg $ persist_arg $ par_threshold_arg)
+
 let () =
   let doc = "pseudosphere calculator (Herlihy-Rajsbaum-Tuttle, PODC 1998)" in
   let info = Cmd.info "psc" ~version:"1.0.0" ~doc in
@@ -292,4 +314,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ pseudosphere_cmd; async_cmd; sync_cmd; semi_cmd; iis_cmd;
-            decide_cmd; bound_cmd; mv_cmd; run_cmd ]))
+            decide_cmd; bound_cmd; mv_cmd; run_cmd; serve_cmd ]))

@@ -1,0 +1,255 @@
+(* The query engine: canonicalize -> cache -> (maybe) parallelize.
+
+   A query names a complex either explicitly or symbolically (pseudosphere
+   or protocol-complex parameters).  Evaluation is content-addressed: the
+   complex's canonical {!Key.t} selects the slot in the LRU memo store, so
+   structurally-equal queries coalesce no matter how they were phrased.
+   On a miss the reduced-homology ranks are computed — per-dimension rank
+   jobs go to the Domain pool when the complex is large enough to pay for
+   the fan-out — and the answer (Betti vector + connectivity) is cached
+   under the key.
+
+   Symbolic specs get a second, cheaper canonicalization layer in front:
+   a normalized spec (ignored model parameters zeroed) maps to the content
+   key of the complex it denotes, so a repeated [psph]/[model-complex]
+   query skips construction and keying entirely and goes straight to the
+   content slot.  This front table is what makes a warm cache fast —
+   building the complex just to hash it costs more than the lookup it
+   guards — while the content key underneath still unifies a symbolic
+   query with an [Explicit] copy of the same complex.  The front table is
+   unbounded but tiny (a handful of ints per distinct spec ever seen); the
+   bounded LRU holds the actual answers, and a spec whose answer was
+   evicted just recomputes and re-enters.
+
+   Thread-safety: the engine lock guards both tables and the counters.
+   The underlying computations are safe to run on worker domains because
+   [Intern]'s tables are mutex-guarded and everything else on the path is
+   immutable (a racing duplicate miss computes the same answer twice and
+   the second [Lru.add] is a no-op overwrite — wasteful, never wrong). *)
+
+open Psph_topology
+open Pseudosphere
+
+type model = Async | Sync | Semi
+
+type spec =
+  | Explicit of Complex.t
+  | Psph of { n : int; values : int }
+  | Model of { model : model; n : int; f : int; k : int; p : int; r : int }
+
+type answer = { betti : int array; connectivity : int }
+
+type result = { key : Key.t; answer : answer; cached : bool }
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  cache_len : int;
+  jobs : int;
+  queries : int;
+  domains : int;
+  build_s : float;
+  compute_s : float;
+}
+
+(* canonical form of a symbolic spec: parameters a model ignores are
+   zeroed, so e.g. sync queries differing only in [f] share a slot *)
+type spec_key =
+  | SPsph of int * int
+  | SModel of model * int * int * int * int * int
+
+let spec_key_of = function
+  | Explicit _ -> None
+  | Psph { n; values } -> Some (SPsph (n, values))
+  | Model { model; n; f; k; p; r } ->
+      let f = match model with Async -> f | Sync | Semi -> 0 in
+      let k = match model with Async -> 0 | Sync | Semi -> k in
+      let p = match model with Semi -> p | Async | Sync -> 0 in
+      Some (SModel (model, n, f, k, p, r))
+
+type t = {
+  pool : Pool.t;
+  cache : (Key.t, answer) Lru.t;
+  spec_memo : (spec_key, Key.t) Hashtbl.t;
+  lock : Mutex.t;
+  persist : string option;
+  par_threshold : int;
+  mutable queries : int;
+  mutable build_s : float;
+  mutable compute_s : float;
+}
+
+let default_domains () =
+  min 4 (max 1 (Domain.recommended_domain_count () - 1))
+
+let create ?domains ?(capacity = 4096) ?persist ?(par_threshold = 2048) () =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  let t =
+    {
+      pool = Pool.create ~domains;
+      cache = Lru.create ~capacity;
+      spec_memo = Hashtbl.create 64;
+      lock = Mutex.create ();
+      persist;
+      par_threshold;
+      queries = 0;
+      build_s = 0.0;
+      compute_s = 0.0;
+    }
+  in
+  Option.iter
+    (fun path ->
+      List.iter
+        (fun (key, (e : Store.entry)) ->
+          Lru.add t.cache key
+            { betti = e.Store.betti; connectivity = e.Store.connectivity })
+        (Store.load path))
+    persist;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* building complexes from specs                                       *)
+(* ------------------------------------------------------------------ *)
+
+let input_simplex n =
+  Input_complex.simplex_of_inputs (List.init (n + 1) (fun i -> (i, i mod 2)))
+
+let build = function
+  | Explicit c -> c
+  | Psph { n; values } ->
+      if n < 0 || values < 0 then invalid_arg "Engine: psph needs n, values >= 0";
+      Psph.realize ~vertex:Psph.default_vertex
+        (Psph.uniform ~base:(Simplex.proc_simplex n)
+           (List.init values (fun i -> Label.Int i)))
+  | Model { model; n; f; k; p; r } -> (
+      if n < 0 || r < 0 then invalid_arg "Engine: model needs n, r >= 0";
+      let s = input_simplex n in
+      match model with
+      | Async -> Async_complex.rounds ~n ~f ~r s
+      | Sync -> Sync_complex.rounds ~k ~r s
+      | Semi -> Semi_sync_complex.rounds ~k ~p ~n ~r s)
+
+(* ------------------------------------------------------------------ *)
+(* evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Betti vector and connectivity from the boundary ranks, mirroring
+   [Homology.reduced_betti]/[betti]/[connectivity] (the property tests in
+   test/test_engine.ml hold this mirror to the original). *)
+let answer_of_ranks c r =
+  let dim = Complex.dim c in
+  if dim < 0 then { betti = [||]; connectivity = -2 }
+  else begin
+    let reduced =
+      Array.init (dim + 1) (fun d ->
+          Complex.count_of_dim c d - r.(d)
+          - (if d + 1 <= dim then r.(d + 1) else 0))
+    in
+    let betti = Array.copy reduced in
+    betti.(0) <- betti.(0) + 1;
+    let rec conn k =
+      if k > dim then dim else if reduced.(k) <> 0 then k - 1 else conn (k + 1)
+    in
+    { betti; connectivity = conn 0 }
+  end
+
+let compute t c =
+  let r, jobs = Homology.rank_jobs c in
+  if
+    Pool.size t.pool > 1
+    && List.length jobs > 1
+    && Complex.num_simplices c >= t.par_threshold
+  then begin
+    let futures = List.map (fun (d, job) -> (d, Pool.submit t.pool job)) jobs in
+    List.iter (fun (d, fut) -> r.(d) <- Pool.await fut) futures
+  end
+  else List.iter (fun (d, job) -> r.(d) <- job ()) jobs;
+  answer_of_ranks c r
+
+let now () = Unix.gettimeofday ()
+
+(* slow path: build the complex, derive its content key, consult the LRU.
+   [sk_opt] is the caller's spec key, recorded so the next occurrence of
+   the same spec takes the fast path. *)
+let eval_uncached t sk_opt spec =
+  let t0 = now () in
+  let c = build spec in
+  let key = Key.of_complex c in
+  let t1 = now () in
+  Mutex.lock t.lock;
+  t.build_s <- t.build_s +. (t1 -. t0);
+  Option.iter (fun sk -> Hashtbl.replace t.spec_memo sk key) sk_opt;
+  let hit = Lru.find_opt t.cache key in
+  Mutex.unlock t.lock;
+  match hit with
+  | Some answer -> { key; answer; cached = true }
+  | None ->
+      let answer = compute t c in
+      let t2 = now () in
+      Mutex.lock t.lock;
+      t.compute_s <- t.compute_s +. (t2 -. t1);
+      Lru.add t.cache key answer;
+      Mutex.unlock t.lock;
+      { key; answer; cached = false }
+
+let eval t spec =
+  let sk_opt = spec_key_of spec in
+  Mutex.lock t.lock;
+  t.queries <- t.queries + 1;
+  let fast =
+    match sk_opt with
+    | None -> None
+    | Some sk -> (
+        match Hashtbl.find_opt t.spec_memo sk with
+        | None -> None
+        | Some key -> (
+            match Lru.find_opt t.cache key with
+            | Some answer -> Some { key; answer; cached = true }
+            | None ->
+                (* the answer was evicted; drop the binding and rebuild *)
+                Hashtbl.remove t.spec_memo sk;
+                None))
+  in
+  Mutex.unlock t.lock;
+  match fast with Some r -> r | None -> eval_uncached t sk_opt spec
+
+let eval_batch t specs =
+  if Pool.size t.pool = 0 then List.map (eval t) specs
+  else Pool.run_all t.pool (List.map (fun spec () -> eval t spec) specs)
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    {
+      hits = Lru.hits t.cache;
+      misses = Lru.misses t.cache;
+      evictions = Lru.evictions t.cache;
+      cache_len = Lru.length t.cache;
+      jobs = Pool.jobs_run t.pool;
+      queries = t.queries;
+      domains = Pool.size t.pool;
+      build_s = t.build_s;
+      compute_s = t.compute_s;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let flush t =
+  Option.iter
+    (fun path ->
+      Mutex.lock t.lock;
+      let entries =
+        List.map
+          (fun (key, a) ->
+            (key, { Store.betti = a.betti; connectivity = a.connectivity }))
+          (Lru.to_list t.cache)
+      in
+      Mutex.unlock t.lock;
+      Store.save path entries)
+    t.persist
+
+let shutdown t =
+  flush t;
+  Pool.shutdown t.pool

@@ -1,0 +1,76 @@
+(** The query engine: canonicalized, cached, batched, parallel topology
+    queries.
+
+    Millions of pseudosphere/protocol-complex questions repeat structure —
+    the same [psi(S^m; U)] shapes recur across models, rounds and failure
+    budgets — so evaluation goes content-address first: build the complex,
+    derive its canonical {!Key.t}, and only compute homology on a miss.
+    Misses run their per-dimension boundary-rank eliminations on a
+    {!Pool.t} of worker domains when the complex is large enough to pay
+    for the fan-out; batches additionally evaluate independent queries in
+    parallel.  See docs/ENGINE.md for policies and the wire protocol. *)
+
+open Psph_topology
+
+type model = Async | Sync | Semi
+
+type spec =
+  | Explicit of Complex.t  (** an already-built complex *)
+  | Psph of { n : int; values : int }
+      (** [psi(P^n; {0..values-1})] with the paper's plain labelling *)
+  | Model of { model : model; n : int; f : int; k : int; p : int; r : int }
+      (** the [r]-round protocol complex over the standard input simplex
+          ([i mod 2] inputs), as in the [psc] model subcommands.  [f] is
+          used by [Async], [k] by [Sync]/[Semi], [p] by [Semi]. *)
+
+type answer = { betti : int array; connectivity : int }
+
+type result = { key : Key.t; answer : answer; cached : bool }
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  cache_len : int;
+  jobs : int;  (** jobs dequeued by pool workers *)
+  queries : int;
+  domains : int;
+  build_s : float;  (** wall time spent building + keying complexes *)
+  compute_s : float;  (** wall time spent in homology on cache misses *)
+}
+
+type t
+
+val create :
+  ?domains:int ->
+  ?capacity:int ->
+  ?persist:string ->
+  ?par_threshold:int ->
+  unit ->
+  t
+(** [domains] defaults to [min 4 (recommended_domain_count - 1)], at least
+    1; pass [0] for a purely sequential engine.  [capacity] (default 4096)
+    bounds the LRU.  [persist] names a {!Store} file loaded now and
+    written by {!flush}/{!shutdown}.  [par_threshold] (default 2048) is
+    the simplex count above which a single query's rank computations are
+    fanned out per dimension. *)
+
+val build : spec -> Complex.t
+(** The complex a spec denotes (no caching, no homology).
+    @raise Invalid_argument on negative parameters. *)
+
+val eval : t -> spec -> result
+
+val eval_batch : t -> spec list -> result list
+(** Evaluate independent queries of a batch in parallel on the pool,
+    preserving order.  Duplicate specs within a batch may race to compute
+    the same key; both arrive at the same answer and the cache coalesces
+    them. *)
+
+val stats : t -> stats
+
+val flush : t -> unit
+(** Write the persistent store, if configured (atomic rename). *)
+
+val shutdown : t -> unit
+(** {!flush}, then stop and join the worker domains. *)

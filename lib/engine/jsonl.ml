@@ -1,0 +1,264 @@
+(* A minimal JSON reader/writer for the serve wire protocol, in the same
+   hand-rolled recursive-descent style as [Complex_io] (the toolchain has
+   no JSON package baked in, and the protocol needs only the basics). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+type cursor = { text : string; mutable pos : int }
+
+let peek cur = if cur.pos < String.length cur.text then Some cur.text.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let fail cur msg =
+  raise (Parse_error (Printf.sprintf "%s at position %d" msg cur.pos))
+
+let skip_ws cur =
+  let rec loop () =
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance cur;
+        loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let expect cur ch =
+  skip_ws cur;
+  match peek cur with
+  | Some c when c = ch -> advance cur
+  | _ -> fail cur (Printf.sprintf "expected '%c'" ch)
+
+let literal cur word value =
+  if
+    cur.pos + String.length word <= String.length cur.text
+    && String.sub cur.text cur.pos (String.length word) = word
+  then begin
+    cur.pos <- cur.pos + String.length word;
+    value
+  end
+  else fail cur (Printf.sprintf "expected '%s'" word)
+
+let utf8_of_code buf u =
+  (* BMP only; the protocol never needs surrogate pairs *)
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+
+let read_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | Some '"' -> advance cur
+    | Some '\\' ->
+        advance cur;
+        (match peek cur with
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '/' -> Buffer.add_char buf '/'
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | Some 't' -> Buffer.add_char buf '\t'
+        | Some 'r' -> Buffer.add_char buf '\r'
+        | Some 'b' -> Buffer.add_char buf '\b'
+        | Some 'f' -> Buffer.add_char buf '\012'
+        | Some 'u' ->
+            if cur.pos + 5 > String.length cur.text then fail cur "bad \\u escape";
+            let hex = String.sub cur.text (cur.pos + 1) 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some u -> utf8_of_code buf u
+            | None -> fail cur "bad \\u escape");
+            cur.pos <- cur.pos + 4
+        | _ -> fail cur "bad escape");
+        advance cur;
+        loop ()
+    | Some c ->
+        Buffer.add_char buf c;
+        advance cur;
+        loop ()
+    | None -> fail cur "unterminated string"
+  in
+  loop ();
+  Buffer.contents buf
+
+let read_number cur =
+  let start = cur.pos in
+  let consume () = advance cur in
+  if peek cur = Some '-' then consume ();
+  let rec digits () =
+    match peek cur with
+    | Some '0' .. '9' ->
+        consume ();
+        digits ()
+    | _ -> ()
+  in
+  digits ();
+  if peek cur = Some '.' then begin
+    consume ();
+    digits ()
+  end;
+  (match peek cur with
+  | Some ('e' | 'E') ->
+      consume ();
+      (match peek cur with Some ('+' | '-') -> consume () | _ -> ());
+      digits ()
+  | _ -> ());
+  if cur.pos = start then fail cur "expected a number";
+  match float_of_string_opt (String.sub cur.text start (cur.pos - start)) with
+  | Some f -> f
+  | None -> fail cur "malformed number"
+
+let rec read_value cur =
+  skip_ws cur;
+  match peek cur with
+  | Some 'n' -> literal cur "null" Null
+  | Some 't' -> literal cur "true" (Bool true)
+  | Some 'f' -> literal cur "false" (Bool false)
+  | Some '"' -> Str (read_string cur)
+  | Some '[' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        advance cur;
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = read_value cur in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              items (v :: acc)
+          | Some ']' ->
+              advance cur;
+              List.rev (v :: acc)
+          | _ -> fail cur "expected ',' or ']'"
+        in
+        Arr (items [])
+      end
+  | Some '{' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        advance cur;
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws cur;
+          let k = read_string cur in
+          expect cur ':';
+          let v = read_value cur in
+          skip_ws cur;
+          match peek cur with
+          | Some ',' ->
+              advance cur;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              advance cur;
+              List.rev ((k, v) :: acc)
+          | _ -> fail cur "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+  | Some ('-' | '0' .. '9') -> Num (read_number cur)
+  | _ -> fail cur "expected a JSON value"
+
+let of_string text =
+  let cur = { text; pos = 0 } in
+  let v = read_value cur in
+  skip_ws cur;
+  if cur.pos <> String.length text then fail cur "trailing garbage";
+  v
+
+let of_string_opt text = try Some (of_string text) with Parse_error _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape_to buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_num buf f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.12g" f)
+
+let rec add buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Num f -> add_num buf f
+  | Str s ->
+      Buffer.add_char buf '"';
+      escape_to buf s;
+      Buffer.add_char buf '"'
+  | Arr vs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          add buf v)
+        vs;
+      Buffer.add_char buf ']'
+  | Obj fs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape_to buf k;
+          Buffer.add_string buf "\":";
+          add buf v)
+        fs;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 128 in
+  add buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member k = function Obj fs -> List.assoc_opt k fs | _ -> None
+
+let to_int_opt = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_string_opt = function Str s -> Some s | _ -> None
+
+let to_list_opt = function Arr vs -> Some vs | _ -> None
+
+let int i = Num (float_of_int i)
+
+let int_array a = Arr (Array.to_list (Array.map int a))

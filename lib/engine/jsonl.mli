@@ -1,0 +1,38 @@
+(** Minimal JSON values for the serve wire protocol.
+
+    Hand-rolled reader/writer in the {!Psph_topology.Complex_io} style; the
+    container image ships no JSON package.  Covers everything the protocol
+    uses: objects, arrays, strings (with escapes, BMP [\u] only), numbers,
+    booleans, null.  One JSON document per line — the caller handles line
+    framing. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** @raise Parse_error on malformed input or trailing garbage. *)
+
+val of_string_opt : string -> t option
+
+val to_string : t -> string
+(** Compact single-line rendering (never emits a raw newline). *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else. *)
+
+val to_int_opt : t -> int option
+
+val to_string_opt : t -> string option
+
+val to_list_opt : t -> t list option
+
+val int : int -> t
+
+val int_array : int array -> t

@@ -1,0 +1,60 @@
+(* A canonical content address for complexes.
+
+   Two complexes that are structurally equal (same simplex set) must map to
+   the same key no matter how they were built, so the key is derived by
+   folding over the whole simplex set in its canonical [Simplex.compare]
+   order, hashing each vertex with [Intern.vertex_hash] — the pure
+   structural hash, not the process-local intern id, so keys survive
+   serialization and are stable across processes (the on-disk store
+   depends on this).
+
+   Hashing every simplex rather than just the facets is deliberate: the
+   simplex set determines the complex (and vice versa), and extracting
+   facets means maximality tests that cost as much as the homology the
+   cache is trying to avoid, whereas one fold over the set is linear in
+   its size.  The fold touches no memo field, so concurrent keying of a
+   shared complex value is write-free.
+
+   Two independent 62-bit accumulators with distinct odd multipliers keep
+   the collision probability negligible at any realistic cache size; a
+   collision would silently alias two cache slots, so "negligible" is the
+   requirement. *)
+
+open Psph_topology
+
+type t = { h1 : int; h2 : int }
+
+let equal a b = a.h1 = b.h1 && a.h2 = b.h2
+
+let compare a b =
+  match Int.compare a.h1 b.h1 with 0 -> Int.compare a.h2 b.h2 | c -> c
+
+let hash a = a.h1 lxor (a.h2 * 0x9e3779b1)
+
+let of_complex c =
+  let h1 = ref 0x811c9dc5 and h2 = ref 0x2545f491 in
+  Complex.iter
+    (fun s ->
+      (* simplex separator: keeps [{01},{2}] distinct from [{012}] *)
+      h1 := (!h1 * 0x01000193) lxor 0x3b;
+      h2 := (!h2 * 0x9e3779b1) lxor 0x67;
+      Array.iter
+        (fun v ->
+          let vh = Intern.vertex_hash 0x811c9dc5 v in
+          h1 := (!h1 * 0x01000193) lxor (vh land max_int);
+          h2 := (!h2 * 0x9e3779b1) lxor (vh land max_int))
+        (Simplex.vertex_array s))
+    c;
+  { h1 = !h1 land max_int; h2 = !h2 land max_int }
+
+let to_hex k = Printf.sprintf "%016x%016x" k.h1 k.h2
+
+let of_hex_opt s =
+  if String.length s <> 32 then None
+  else
+    match
+      ( int_of_string_opt ("0x" ^ String.sub s 0 16),
+        int_of_string_opt ("0x" ^ String.sub s 16 16) )
+    with
+    | Some h1, Some h2 when h1 >= 0 && h2 >= 0 -> Some { h1; h2 }
+    | _ -> None

@@ -1,0 +1,32 @@
+(** A size-bounded least-recently-used memo table.
+
+    Lookup promotes to most-recently-used; insertion beyond capacity evicts
+    the least-recently-used entry.  Hit/miss/eviction counters feed the
+    engine's [stats] report.  Keys are hashed structurally (polymorphic
+    [Hashtbl]); use key types whose structural equality is semantic
+    equality, like {!Key.t}.  Not thread-safe: callers serialize access. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Counts a hit (and promotes) or a miss. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or overwrite, promoting to MRU; evicts the LRU entry when the
+    table is full. *)
+
+val length : ('k, 'v) t -> int
+
+val capacity : ('k, 'v) t -> int
+
+val hits : ('k, 'v) t -> int
+
+val misses : ('k, 'v) t -> int
+
+val evictions : ('k, 'v) t -> int
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Entries in MRU-to-LRU order (used to flush the persistent store). *)

@@ -1,0 +1,120 @@
+(* A fixed-size Domain worker pool with a plain FIFO job queue guarded by
+   one mutex and one condition variable.  No work stealing: jobs here are
+   coarse (a whole query, or one dimension's boundary-matrix elimination),
+   so a single contended queue is nowhere near the bottleneck.
+
+   Deadlock safety: [submit] called from inside a worker runs the job
+   inline instead of enqueuing.  Without this, a query job that fans out
+   per-dimension rank jobs and awaits them could fill every worker with
+   waiters and leave nobody to run the inner jobs. *)
+
+type job = { run : unit -> unit }
+
+type t = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  mutable stopping : bool;
+  mutable jobs_run : int;
+  mutable workers : unit Domain.t array;
+  mutable worker_ids : Domain.id list;
+}
+
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type 'a future = { fm : Mutex.t; fc : Condition.t; mutable state : 'a state }
+
+let size t = Array.length t.workers
+
+let jobs_run t =
+  Mutex.lock t.m;
+  let n = t.jobs_run in
+  Mutex.unlock t.m;
+  n
+
+let in_worker t = List.mem (Domain.self ()) t.worker_ids
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.nonempty t.m
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.m (* stopping: drain done *)
+  else begin
+    let job = Queue.pop t.queue in
+    t.jobs_run <- t.jobs_run + 1;
+    Mutex.unlock t.m;
+    job.run ();
+    worker_loop t
+  end
+
+let create ~domains =
+  let t =
+    {
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      jobs_run = 0;
+      workers = [||];
+      worker_ids = [];
+    }
+  in
+  let n = max 0 domains in
+  let workers = Array.init n (fun _ -> Domain.spawn (fun () -> worker_loop t)) in
+  t.workers <- workers;
+  t.worker_ids <- Array.to_list (Array.map Domain.get_id workers);
+  t
+
+let run_inline f =
+  match f () with
+  | v -> { fm = Mutex.create (); fc = Condition.create (); state = Done v }
+  | exception e -> { fm = Mutex.create (); fc = Condition.create (); state = Failed e }
+
+let submit t f =
+  if Array.length t.workers = 0 || in_worker t then run_inline f
+  else begin
+    let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+    let run () =
+      let outcome = match f () with v -> Done v | exception e -> Failed e in
+      Mutex.lock fut.fm;
+      fut.state <- outcome;
+      Condition.broadcast fut.fc;
+      Mutex.unlock fut.fm
+    in
+    Mutex.lock t.m;
+    if t.stopping then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    Queue.push { run } t.queue;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.m;
+    fut
+  end
+
+let await fut =
+  Mutex.lock fut.fm;
+  let rec settled () =
+    (* match, not (=): polymorphic equality on ['a state] could dive into
+       arbitrary payloads *)
+    match fut.state with
+    | Pending ->
+        Condition.wait fut.fc fut.fm;
+        settled ()
+    | s -> s
+  in
+  let state = settled () in
+  Mutex.unlock fut.fm;
+  match state with Done v -> v | Failed e -> raise e | Pending -> assert false
+
+let run_all t fs = List.map (submit t) fs |> List.map await
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||];
+  t.worker_ids <- []

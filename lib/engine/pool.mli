@@ -1,0 +1,34 @@
+(** A fixed-size [Domain] worker pool with a FIFO job queue.
+
+    Workers are spawned eagerly at {!create} and live until {!shutdown}.
+    Jobs are closures; {!submit} returns a future settled with the job's
+    value or exception.  A pool of zero domains degenerates to inline
+    execution, and a submit from inside a worker also runs inline, so
+    nested fan-out (a query job spawning per-dimension rank jobs) cannot
+    deadlock the queue. *)
+
+type t
+
+type 'a future
+
+val create : domains:int -> t
+(** Spawn [max 0 domains] worker domains. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val jobs_run : t -> int
+(** Jobs dequeued by workers so far (inline runs are not counted). *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a job (or run it inline, see above).
+    @raise Invalid_argument after {!shutdown}. *)
+
+val await : 'a future -> 'a
+(** Block until settled; re-raises the job's exception. *)
+
+val run_all : t -> (unit -> 'a) list -> 'a list
+(** Submit all, then await all, preserving order. *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop and join every worker.  Idempotent. *)

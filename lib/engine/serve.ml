@@ -1,0 +1,183 @@
+(* The `psc serve` request/response loop: one JSON document per line on
+   stdin, one response per line on stdout (JSON Lines).  Request shapes:
+
+     {"op":"betti",         "facets":["0:i0 ; 1:i1", ...], "id":7}
+     {"op":"connectivity",  "facets":[...]}
+     {"op":"psph",          "n":2, "values":3}
+     {"op":"model-complex", "model":"sync", "n":3, "k":1, "r":2}
+     {"op":"batch",         "requests":[ <any of the above> ]}
+     {"op":"stats"}
+
+   "facets" entries are Complex_io simplex strings.  Numeric model
+   parameters default like the psc flags (f=1, k=1, p=2, r=1).  Responses
+   echo "id" when present, carry "ok", and on success the canonical "key",
+   the requested measurements, and "cached".  A batch response holds
+   "results" in request order; its members are evaluated in parallel on
+   the engine's pool.  Malformed input yields {"ok":false,"error":...} and
+   the loop keeps going — one bad request must not kill the server. *)
+
+open Psph_topology
+
+exception Bad_request of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_request s)) fmt
+
+let int_field ?default req name =
+  match Jsonl.member name req with
+  | Some v -> (
+      match Jsonl.to_int_opt v with
+      | Some i -> i
+      | None -> bad "field %S must be an integer" name)
+  | None -> (
+      match default with
+      | Some d -> d
+      | None -> bad "missing integer field %S" name)
+
+(* which measurements a request asks for *)
+type want = Betti | Connectivity | Both
+
+let spec_of_request req =
+  match Option.bind (Jsonl.member "op" req) Jsonl.to_string_opt with
+  | None -> bad "missing \"op\""
+  | Some (("betti" | "connectivity") as op) ->
+      let facets =
+        match Option.bind (Jsonl.member "facets" req) Jsonl.to_list_opt with
+        | Some fs -> fs
+        | None -> bad "%s needs a \"facets\" array" op
+      in
+      let simplexes =
+        List.map
+          (fun f ->
+            match Jsonl.to_string_opt f with
+            | None -> bad "facets entries must be strings"
+            | Some s -> (
+                try Complex_io.simplex_of_string s
+                with Failure m -> bad "bad facet: %s" m))
+          facets
+      in
+      ( Engine.Explicit (Complex.of_facets simplexes),
+        if op = "betti" then Betti else Connectivity )
+  | Some "psph" ->
+      ( Engine.Psph { n = int_field req "n"; values = int_field req "values" },
+        Both )
+  | Some "model-complex" ->
+      let model =
+        match Option.bind (Jsonl.member "model" req) Jsonl.to_string_opt with
+        | Some "async" -> Engine.Async
+        | Some "sync" -> Engine.Sync
+        | Some "semi" -> Engine.Semi
+        | _ -> bad "model must be \"async\", \"sync\" or \"semi\""
+      in
+      ( Engine.Model
+          {
+            model;
+            n = int_field req "n";
+            f = int_field ~default:1 req "f";
+            k = int_field ~default:1 req "k";
+            p = int_field ~default:2 req "p";
+            r = int_field ~default:1 req "r";
+          },
+        Both )
+  | Some op -> bad "unknown op %S" op
+
+let result_fields want (r : Engine.result) =
+  [ ("ok", Jsonl.Bool true); ("key", Jsonl.Str (Key.to_hex r.key)) ]
+  @ (match want with
+    | Betti -> [ ("betti", Jsonl.int_array r.answer.betti) ]
+    | Connectivity -> [ ("connectivity", Jsonl.int r.answer.connectivity) ]
+    | Both ->
+        [
+          ("betti", Jsonl.int_array r.answer.betti);
+          ("connectivity", Jsonl.int r.answer.connectivity);
+        ])
+  @ [ ("cached", Jsonl.Bool r.cached) ]
+
+let with_id req fields =
+  match Jsonl.member "id" req with
+  | Some id -> ("id", id) :: fields
+  | None -> fields
+
+let error_response ?req msg =
+  let fields = [ ("ok", Jsonl.Bool false); ("error", Jsonl.Str msg) ] in
+  Jsonl.Obj (match req with Some r -> with_id r fields | None -> fields)
+
+let stats_response engine =
+  let s = Engine.stats engine in
+  Jsonl.Obj
+    [
+      ("ok", Jsonl.Bool true);
+      ( "stats",
+        Jsonl.Obj
+          [
+            ("hits", Jsonl.int s.Engine.hits);
+            ("misses", Jsonl.int s.misses);
+            ("evictions", Jsonl.int s.evictions);
+            ("cache_len", Jsonl.int s.cache_len);
+            ("jobs", Jsonl.int s.jobs);
+            ("queries", Jsonl.int s.queries);
+            ("domains", Jsonl.int s.domains);
+            ("build_s", Jsonl.Num s.build_s);
+            ("compute_s", Jsonl.Num s.compute_s);
+          ] );
+    ]
+
+let handle_request engine req =
+  match Option.bind (Jsonl.member "op" req) Jsonl.to_string_opt with
+  | Some "stats" -> stats_response engine
+  | Some "batch" ->
+      let requests =
+        match Option.bind (Jsonl.member "requests" req) Jsonl.to_list_opt with
+        | Some rs -> rs
+        | None -> bad "batch needs a \"requests\" array"
+      in
+      (* parse everything first so one bad member fails its slot, not the
+         whole batch; then evaluate the good ones in parallel *)
+      let parsed =
+        List.map
+          (fun r -> try Ok (r, spec_of_request r) with Bad_request m -> Error (r, m))
+          requests
+      in
+      let specs =
+        List.filter_map
+          (function Ok (_, (spec, _)) -> Some spec | Error _ -> None)
+          parsed
+      in
+      let results = Engine.eval_batch engine specs in
+      let rec zip parsed results =
+        match (parsed, results) with
+        | [], _ -> []
+        | Error (r, m) :: tl, results -> error_response ~req:r m :: zip tl results
+        | Ok (r, (_, want)) :: tl, res :: results ->
+            Jsonl.Obj (with_id r (result_fields want res)) :: zip tl results
+        | Ok _ :: _, [] -> assert false
+      in
+      Jsonl.Obj
+        [ ("ok", Jsonl.Bool true); ("results", Jsonl.Arr (zip parsed results)) ]
+  | _ ->
+      let spec, want = spec_of_request req in
+      Jsonl.Obj (with_id req (result_fields want (Engine.eval engine spec)))
+
+let handle_line engine line =
+  let response =
+    match Jsonl.of_string line with
+    | exception Jsonl.Parse_error m -> error_response ("parse error: " ^ m)
+    | req -> (
+        try handle_request engine req with
+        | Bad_request m -> error_response ~req m
+        | Invalid_argument m | Failure m -> error_response ~req m)
+  in
+  Jsonl.to_string response
+
+let run engine ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line when String.trim line = "" -> loop ()
+    | line ->
+        output_string oc (handle_line engine line);
+        output_char oc '\n';
+        flush oc;
+        loop ()
+  in
+  loop ();
+  Engine.flush engine

@@ -1,0 +1,14 @@
+(** The [psc serve] JSON-lines front end.
+
+    One request object per input line, one response object per output
+    line.  Ops: [betti], [connectivity], [psph], [model-complex], [batch]
+    (members evaluated in parallel), [stats].  Malformed requests produce
+    [{"ok":false,"error":...}] responses and the loop continues.  The full
+    wire protocol is specified in docs/ENGINE.md. *)
+
+val handle_line : Engine.t -> string -> string
+(** Process one request line, returning the response line (no trailing
+    newline).  Never raises on malformed input. *)
+
+val run : Engine.t -> in_channel -> out_channel -> unit
+(** Serve until EOF (responses flushed per line), then {!Engine.flush}. *)

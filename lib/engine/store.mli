@@ -1,0 +1,17 @@
+(** On-disk persistence for cached query answers.
+
+    A line-oriented text format ([<hex key> <connectivity> <betti CSV>]);
+    {!load} skips malformed lines, so partial writes degrade to cache
+    misses.  Writes go through a temp file and rename, so readers never
+    observe a half-written store. *)
+
+type entry = { betti : int array; connectivity : int }
+
+val entry_to_line : Key.t -> entry -> string
+
+val entry_of_line : string -> (Key.t * entry) option
+
+val save : string -> (Key.t * entry) list -> unit
+
+val load : string -> (Key.t * entry) list
+(** [[]] when the file does not exist. *)

@@ -30,17 +30,25 @@ let boundary_matrix c d =
    key of every simplex by dimension; each boundary matrix is then built
    with an int-array-keyed Hashtbl row index (no Simplex.compare on the hot
    path) and eliminated by the bit-packed {!Bitmat} engine.  Row order
-   within a dimension is arbitrary but fixed, which is all rank needs. *)
-let ranks ?max_dim c =
+   within a dimension is arbitrary but fixed, which is all rank needs.
+
+   [rank_jobs] exposes the per-dimension eliminations as independent
+   thunks: the bucketing pass (which interns, hence locks) happens once in
+   the calling domain, and each returned closure reads only its own
+   dimension's immutable key lists — safe to run on any domain.  The query
+   engine schedules these on its worker pool for large complexes; [ranks]
+   just runs them in order. *)
+let rank_jobs ?max_dim c =
   let dim = Complex.dim c in
   let top = match max_dim with None -> dim | Some m -> min m dim in
-  if dim < 0 then [||]
+  if dim < 0 then ([||], [])
   else begin
     (* rank of boundary_{top+1} is needed for betti at top *)
     let upper = min (top + 1) dim in
     let r = Array.make (upper + 1) 0 in
     r.(0) <- (if Complex.is_empty c then 0 else 1);
-    if upper >= 1 then begin
+    if upper < 1 then (r, [])
+    else begin
       let keys = Array.make (upper + 1) [] in
       let max_id = ref 0 in
       Complex.iter
@@ -57,7 +65,7 @@ let ranks ?max_dim c =
         let rec loop b = if !max_id lsr b = 0 then b else loop (b + 1) in
         max 1 (loop 1)
       in
-      for d = 1 to upper do
+      let rank_of_dim d =
         let cols = keys.(d) in
         let ncols = List.length cols in
         if d * id_bits <= Sys.int_size - 1 then begin
@@ -109,7 +117,7 @@ let ranks ?max_dim c =
                 done;
                 masks.(j) <- !m)
               cols;
-            r.(d) <- Bitmat.rank_words ~rows:nrows masks
+            Bitmat.rank_words ~rows:nrows masks
           end
           else begin
             let mat = Bitmat.create ~rows:nrows ~cols:ncols in
@@ -119,7 +127,7 @@ let ranks ?max_dim c =
                   Bitmat.set mat ~row:(find (pack_skip a i)) ~col:j
                 done)
               cols;
-            r.(d) <- Bitmat.rank mat
+            Bitmat.rank mat
           end
         end
         else begin
@@ -143,12 +151,17 @@ let ranks ?max_dim c =
                 Bitmat.set mat ~row:(Hashtbl.find row_index f) ~col:j
               done)
             cols;
-          r.(d) <- Bitmat.rank mat
+          Bitmat.rank mat
         end
-      done
-    end;
-    r
+      in
+      (r, List.init upper (fun i -> (i + 1, fun () -> rank_of_dim (i + 1))))
+    end
   end
+
+let ranks ?max_dim c =
+  let r, jobs = rank_jobs ?max_dim c in
+  List.iter (fun (d, job) -> r.(d) <- job ()) jobs;
+  r
 
 let reduced_betti ?max_dim c =
   let dim = Complex.dim c in

@@ -13,6 +13,17 @@ val boundary_matrix : Complex.t -> int -> Z2_matrix.col list
     [d]-chains to [(d-1)]-chains, with columns indexed by [d]-simplexes and
     rows by [(d-1)]-simplexes (both in {!Simplex.compare} order). *)
 
+val rank_jobs :
+  ?max_dim:int -> Complex.t -> int array * (int * (unit -> int)) list
+(** [rank_jobs c] is [(r, jobs)]: [r] is the boundary-rank array with
+    [r.(0)] already filled in (the augmentation rank), and [jobs] is one
+    [(d, compute)] pair per remaining dimension, where [compute ()] is the
+    rank of the boundary operator from [d]-chains to [(d-1)]-chains.  The
+    thunks close over immutable per-dimension key lists built eagerly, so
+    they may be evaluated in any order — including concurrently on separate
+    domains, which is how the query engine parallelizes one large homology
+    computation.  The caller stores [compute ()] into [r.(d)]. *)
+
 val reduced_betti : ?max_dim:int -> Complex.t -> int array
 (** [reduced_betti c] is the array of reduced Z/2 Betti numbers
     [b~_0 .. b~_dim].  For the empty complex the result is [[||]].  If

@@ -7,7 +7,16 @@
    [Vertex.equal].
 
    Tables are global and grow monotonically; ids are stable within a
-   process.  This is safe because vertices and simplexes are immutable. *)
+   process.  This is safe because vertices and simplexes are immutable.
+
+   All table accesses are serialized by a single mutex so that the query
+   engine's worker domains can intern concurrently: OCaml hashtables are
+   not safe under parallel mutation (a resize racing a find can loop), and
+   ids must be assigned exactly once per structural value.  The lock is a
+   plain futex; uncontended it costs a few tens of nanoseconds, which is
+   noise next to the structural hash it protects. *)
+
+let lock = Mutex.create ()
 
 let mix h x = (h * 0x01000193) lxor (x land max_int)
 
@@ -44,24 +53,37 @@ let vertex_store : Vertex.t array ref = ref (Array.make 1024 (Vertex.anon 0))
 let vertex_count = ref 0
 
 let vertex_id v =
+  Mutex.lock lock;
   (* VH.find rather than find_opt: the hit path allocates nothing *)
-  match VH.find vertex_tbl v with
-  | i -> i
-  | exception Not_found ->
-      let i = !vertex_count in
-      incr vertex_count;
-      if i >= Array.length !vertex_store then begin
-        let bigger = Array.make (2 * Array.length !vertex_store) v in
-        Array.blit !vertex_store 0 bigger 0 i;
-        vertex_store := bigger
-      end;
-      !vertex_store.(i) <- v;
-      VH.add vertex_tbl v i;
-      i
+  let id =
+    match VH.find vertex_tbl v with
+    | i -> i
+    | exception Not_found ->
+        let i = !vertex_count in
+        incr vertex_count;
+        if i >= Array.length !vertex_store then begin
+          let bigger = Array.make (2 * Array.length !vertex_store) v in
+          Array.blit !vertex_store 0 bigger 0 i;
+          vertex_store := bigger
+        end;
+        !vertex_store.(i) <- v;
+        VH.add vertex_tbl v i;
+        i
+  in
+  Mutex.unlock lock;
+  id
 
 let vertex_of_id i =
-  if i < 0 || i >= !vertex_count then invalid_arg "Intern.vertex_of_id";
-  !vertex_store.(i)
+  Mutex.lock lock;
+  let v =
+    if i < 0 || i >= !vertex_count then begin
+      Mutex.unlock lock;
+      invalid_arg "Intern.vertex_of_id"
+    end
+    else !vertex_store.(i)
+  in
+  Mutex.unlock lock;
+  v
 
 let key s = Array.map vertex_id (Simplex.vertex_array s)
 
@@ -73,10 +95,15 @@ let simplex_count = ref 0
 
 let simplex_id s =
   let k = key s in
-  match Hashtbl.find_opt simplex_tbl k with
-  | Some i -> i
-  | None ->
-      let i = !simplex_count in
-      incr simplex_count;
-      Hashtbl.add simplex_tbl k i;
-      i
+  Mutex.lock lock;
+  let id =
+    match Hashtbl.find_opt simplex_tbl k with
+    | Some i -> i
+    | None ->
+        let i = !simplex_count in
+        incr simplex_count;
+        Hashtbl.add simplex_tbl k i;
+        i
+  in
+  Mutex.unlock lock;
+  id

@@ -9,7 +9,12 @@
     Hot paths use these ids to replace deep structural comparison:
     {!Homology} keys its boundary-row index by interned vertex ids, and the
     round-recursion memo tables in the protocol-complex modules key on
-    {!simplex_id}. *)
+    {!simplex_id}.
+
+    The tables are guarded by a mutex, so interning is safe to call from
+    multiple domains (the query engine's worker pool relies on this).  Ids
+    remain process-local: anything persisted across processes must use the
+    pure structural hashes instead. *)
 
 val vertex_id : Vertex.t -> int
 (** The dense id of a vertex (allocating one on first sight). *)
@@ -24,3 +29,13 @@ val key : Simplex.t -> int array
 
 val simplex_id : Simplex.t -> int
 (** A dense id for the whole simplex (via {!key}). *)
+
+val label_hash : int -> Label.t -> int
+(** [label_hash seed l]: pure structural hash of a label, folding [Pid.Set]
+    values in canonical element order.  Equal labels hash equally for every
+    seed; no global state is touched. *)
+
+val vertex_hash : int -> Vertex.t -> int
+(** [vertex_hash seed v]: pure structural hash of a vertex (via
+    {!label_hash}).  Process-independent, hence usable for content
+    addressing that must survive serialization (see [Psph_engine.Key]). *)

@@ -145,3 +145,36 @@ let save_svg path ?width ?height c =
   let oc = open_out path in
   output_string oc (svg ?width ?height c);
   close_out oc
+
+(* Graphviz export of the 1-skeleton.  Vertices are numbered by their
+   position in [Complex.vertices] (the canonical order), the same
+   bookkeeping the SVG path uses for its coordinate map. *)
+let dot c =
+  let index =
+    let m = ref Vertex.Map.empty in
+    List.iteri (fun i v -> m := Vertex.Map.add v i !m) (Complex.vertices c);
+    !m
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph complex {\n";
+  Vertex.Map.iter
+    (fun v i ->
+      Buffer.add_string buf
+        (Printf.sprintf "  v%d [label=%S];\n" i (Format.asprintf "%a" Vertex.pp v)))
+    index;
+  List.iter
+    (fun s ->
+      match Simplex.vertices s with
+      | [ u; v ] ->
+          Buffer.add_string buf
+            (Printf.sprintf "  v%d -- v%d;\n" (Vertex.Map.find u index)
+               (Vertex.Map.find v index))
+      | _ -> ())
+    (Complex.simplices_of_dim c 1);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save_dot path c =
+  let oc = open_out path in
+  output_string oc (dot c);
+  close_out oc

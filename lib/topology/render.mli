@@ -16,3 +16,10 @@ val svg : ?width:int -> ?height:int -> ?iterations:int -> Complex.t -> string
     lines, vertices as labelled dots. *)
 
 val save_svg : string -> ?width:int -> ?height:int -> Complex.t -> unit
+
+val dot : Complex.t -> string
+(** A Graphviz [graph] document of the 1-skeleton: vertices numbered in
+    canonical {!Complex.vertices} order and labelled with {!Vertex.pp},
+    edges from the 1-simplexes. *)
+
+val save_dot : string -> Complex.t -> unit

@@ -1,0 +1,62 @@
+(* Round-trip property for Complex_io save/load on random pseudospheres:
+   the engine's persistent store and the serve protocol's "facets" fields
+   both lean on this serialization being lossless. *)
+
+open Psph_topology
+open Pseudosphere
+
+(* psi(P^n; U) with independently chosen nonempty value sets per process,
+   n <= 3 (the same shape test_bitmat.ml uses for its homology oracle) *)
+let gen_psph =
+  QCheck2.Gen.(
+    int_range 0 3 >>= fun n ->
+    let values = list_size (int_range 1 3) (int_range 0 3) in
+    list_repeat (n + 1) values
+    |> map (fun vss ->
+           let vss = Array.of_list vss in
+           Psph.create
+             ~base:(Simplex.proc_simplex n)
+             ~values:(fun p -> List.map (fun v -> Label.Int v) vss.(Pid.to_int p))))
+
+let save_load c =
+  let path = Filename.temp_file "psph_io" ".cpx" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Complex_io.save path c;
+      Complex_io.load path)
+
+let roundtrip_props =
+  let open QCheck2 in
+  [
+    Test.make ~count:150 ~name:"save/load round-trips random psi(P^n;U)" gen_psph
+      (fun ps ->
+        let c = Psph.realize ~vertex:Psph.default_vertex ps in
+        Complex.equal c (save_load c));
+    Test.make ~count:150
+      ~name:"save/load round-trips paired-vertex realizations" gen_psph
+      (fun ps ->
+        (* paired_vertex labels are Pair (base, value) — exercises the
+           nested-label syntax *)
+        let c = Psph.realize ~vertex:Psph.paired_vertex ps in
+        Complex.equal c (save_load c));
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let unit_tests =
+  [
+    Alcotest.test_case "empty complex round-trips" `Quick (fun () ->
+        Alcotest.(check bool)
+          "equal" true
+          (Complex.equal Complex.empty (save_load Complex.empty)));
+    Alcotest.test_case "heard-set labels round-trip (async one-round)" `Quick
+      (fun () ->
+        (* Pid_set labels, the async complexes' vocabulary *)
+        let c =
+          Async_complex.one_round ~n:2 ~f:1
+            (Input_complex.simplex_of_inputs [ (0, 0); (1, 1); (2, 0) ])
+        in
+        Alcotest.(check bool) "equal" true (Complex.equal c (save_load c)));
+  ]
+
+let suites = [ ("complex_io roundtrip", unit_tests @ roundtrip_props) ]

@@ -1,0 +1,351 @@
+(* The query engine against the ground truth: results must equal direct
+   Homology computations on random complexes — including the cache-hit
+   path, where the second query must return the identical answer — and the
+   substrate pieces (canonical keys, LRU, worker pool, store, wire
+   protocol) get their own units. *)
+
+open Psph_topology
+open Pseudosphere
+module E = Psph_engine.Engine
+module Key = Psph_engine.Key
+module Lru = Psph_engine.Lru
+module Pool = Psph_engine.Pool
+module Store = Psph_engine.Store
+module Jsonl = Psph_engine.Jsonl
+module Serve = Psph_engine.Serve
+
+let v = Vertex.anon
+
+let sx l = Simplex.of_list (List.map v l)
+
+let cx ls = Complex.of_facets (List.map sx ls)
+
+(* one shared engine with real worker domains; shut down by the last case *)
+let engine =
+  lazy (E.create ~domains:2 ~capacity:256 ~par_threshold:64 ())
+
+(* ------------------------------------------------------------------ *)
+(* canonical keys                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let key_tests =
+  [
+    Alcotest.test_case "equal complexes, different build orders, same key" `Quick
+      (fun () ->
+        let a = cx [ [ 0; 1; 2 ]; [ 2; 3 ] ] in
+        let b = cx [ [ 2; 3 ]; [ 0; 1; 2 ] ] in
+        Alcotest.(check bool)
+          "keys equal" true
+          (Key.equal (Key.of_complex a) (Key.of_complex b)));
+    Alcotest.test_case "facet split changes the key" `Quick (fun () ->
+        (* same 1-skeleton, different facet structure *)
+        let solid = cx [ [ 0; 1; 2 ] ] in
+        let hollow = cx [ [ 0; 1 ]; [ 1; 2 ]; [ 0; 2 ] ] in
+        Alcotest.(check bool)
+          "keys differ" false
+          (Key.equal (Key.of_complex solid) (Key.of_complex hollow)));
+    Alcotest.test_case "hex round-trip" `Quick (fun () ->
+        let k = Key.of_complex (cx [ [ 0; 1 ]; [ 2 ] ]) in
+        match Key.of_hex_opt (Key.to_hex k) with
+        | Some k' -> Alcotest.(check bool) "equal" true (Key.equal k k')
+        | None -> Alcotest.fail "hex did not parse");
+    Alcotest.test_case "bad hex rejected" `Quick (fun () ->
+        Alcotest.(check bool) "short" true (Key.of_hex_opt "abc" = None);
+        Alcotest.(check bool)
+          "nonhex" true
+          (Key.of_hex_opt (String.make 32 'z') = None));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* LRU                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let lru_tests =
+  [
+    Alcotest.test_case "eviction order is least-recently-used" `Quick (fun () ->
+        let l = Lru.create ~capacity:2 in
+        Lru.add l "a" 1;
+        Lru.add l "b" 2;
+        ignore (Lru.find_opt l "a");
+        (* touches a, so b is now LRU *)
+        Lru.add l "c" 3;
+        Alcotest.(check (option int)) "a kept" (Some 1) (Lru.find_opt l "a");
+        Alcotest.(check (option int)) "b evicted" None (Lru.find_opt l "b");
+        Alcotest.(check (option int)) "c kept" (Some 3) (Lru.find_opt l "c");
+        Alcotest.(check int) "one eviction" 1 (Lru.evictions l));
+    Alcotest.test_case "counters track hits and misses" `Quick (fun () ->
+        let l = Lru.create ~capacity:4 in
+        Lru.add l 1 "x";
+        ignore (Lru.find_opt l 1);
+        ignore (Lru.find_opt l 2);
+        Alcotest.(check int) "hits" 1 (Lru.hits l);
+        Alcotest.(check int) "misses" 1 (Lru.misses l));
+    Alcotest.test_case "overwrite keeps length" `Quick (fun () ->
+        let l = Lru.create ~capacity:4 in
+        Lru.add l 1 "x";
+        Lru.add l 1 "y";
+        Alcotest.(check int) "length" 1 (Lru.length l);
+        Alcotest.(check (option string)) "newest" (Some "y") (Lru.find_opt l 1));
+    Alcotest.test_case "to_list is MRU first" `Quick (fun () ->
+        let l = Lru.create ~capacity:4 in
+        Lru.add l 1 ();
+        Lru.add l 2 ();
+        Lru.add l 3 ();
+        Alcotest.(check (list int))
+          "order" [ 3; 2; 1 ]
+          (List.map fst (Lru.to_list l)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* worker pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let pool_tests =
+  [
+    Alcotest.test_case "run_all preserves order across domains" `Quick (fun () ->
+        let p = Pool.create ~domains:2 in
+        let results = Pool.run_all p (List.init 20 (fun i () -> i * i)) in
+        Pool.shutdown p;
+        Alcotest.(check (list int)) "squares" (List.init 20 (fun i -> i * i)) results);
+    Alcotest.test_case "exceptions propagate through await" `Quick (fun () ->
+        let p = Pool.create ~domains:1 in
+        let fut = Pool.submit p (fun () -> failwith "boom") in
+        Alcotest.check_raises "boom" (Failure "boom") (fun () -> Pool.await fut);
+        Pool.shutdown p);
+    Alcotest.test_case "zero domains runs inline" `Quick (fun () ->
+        let p = Pool.create ~domains:0 in
+        Alcotest.(check int) "inline" 7 (Pool.await (Pool.submit p (fun () -> 7)));
+        Pool.shutdown p);
+    Alcotest.test_case "nested submit from a worker does not deadlock" `Quick
+      (fun () ->
+        let p = Pool.create ~domains:1 in
+        let outer =
+          Pool.submit p (fun () ->
+              (* the single worker is busy with us; inner must run inline *)
+              Pool.await (Pool.submit p (fun () -> 41)) + 1)
+        in
+        Alcotest.(check int) "nested" 42 (Pool.await outer);
+        Pool.shutdown p);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* store persistence                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let store_tests =
+  [
+    Alcotest.test_case "save/load round-trips entries" `Quick (fun () ->
+        let entries =
+          [
+            (Key.of_complex (cx [ [ 0; 1; 2 ] ]),
+             { Store.betti = [| 1; 0; 0 |]; connectivity = 2 });
+            (Key.of_complex Complex.empty,
+             { Store.betti = [||]; connectivity = -2 });
+          ]
+        in
+        let path = Filename.temp_file "psph_store" ".txt" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Store.save path entries;
+            let loaded = Store.load path in
+            Alcotest.(check int) "count" 2 (List.length loaded);
+            List.iter2
+              (fun (k, (e : Store.entry)) (k', (e' : Store.entry)) ->
+                Alcotest.(check bool) "key" true (Key.equal k k');
+                Alcotest.(check (array int)) "betti" e.betti e'.betti;
+                Alcotest.(check int) "conn" e.connectivity e'.connectivity)
+              entries loaded));
+    Alcotest.test_case "malformed lines are skipped" `Quick (fun () ->
+        Alcotest.(check bool) "garbage" true (Store.entry_of_line "zzz" = None);
+        Alcotest.(check bool)
+          "bad betti" true
+          (Store.entry_of_line (String.make 32 '0' ^ " 1 a,b") = None));
+    Alcotest.test_case "engine reloads a persisted cache" `Quick (fun () ->
+        let path = Filename.temp_file "psph_persist" ".txt" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let spec = E.Psph { n = 2; values = 2 } in
+            let e1 = E.create ~domains:0 ~persist:path () in
+            let r1 = E.eval e1 spec in
+            E.shutdown e1;
+            let e2 = E.create ~domains:0 ~persist:path () in
+            let r2 = E.eval e2 spec in
+            E.shutdown e2;
+            Alcotest.(check bool) "fresh engine, warm cache" true r2.E.cached;
+            Alcotest.(check (array int))
+              "same betti" r1.E.answer.E.betti r2.E.answer.E.betti));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* engine vs direct Homology, including the cache-hit path             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_psph =
+  QCheck2.Gen.(
+    int_range 0 3 >>= fun n ->
+    let values = list_size (int_range 1 3) (int_range 0 3) in
+    list_repeat (n + 1) values
+    |> map (fun vss ->
+           let vss = Array.of_list vss in
+           Psph.create
+             ~base:(Simplex.proc_simplex n)
+             ~values:(fun p -> List.map (fun v -> Label.Int v) vss.(Pid.to_int p))))
+
+(* random small facet lists over anonymous vertices: not pseudospheres, so
+   the engine sees arbitrary complexes too *)
+let gen_facets =
+  QCheck2.Gen.(
+    list_size (int_range 0 6)
+      (list_size (int_range 1 4) (int_range 0 7) |> map (List.sort_uniq Int.compare))
+    |> map (fun ls -> cx ls))
+
+let agrees c =
+  let e = Lazy.force engine in
+  let direct_betti = Homology.betti c in
+  let direct_conn = Homology.connectivity c in
+  let r1 = E.eval e (E.Explicit c) in
+  let r2 = E.eval e (E.Explicit c) in
+  r1.E.answer.E.betti = direct_betti
+  && r1.E.answer.E.connectivity = direct_conn
+  && r2.E.cached
+  && r2.E.answer.E.betti = direct_betti
+  && r2.E.answer.E.connectivity = direct_conn
+
+let engine_props =
+  let open QCheck2 in
+  [
+    Test.make ~count:100
+      ~name:"engine = Homology on random psi(P^n;U), twice (cache hit)" gen_psph
+      (fun ps -> agrees (Psph.realize ~vertex:Psph.default_vertex ps));
+    Test.make ~count:100
+      ~name:"engine = Homology on random facet complexes, twice" gen_facets
+      agrees;
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let engine_unit_tests =
+  [
+    Alcotest.test_case "model spec matches direct construction" `Quick (fun () ->
+        let e = Lazy.force engine in
+        let r =
+          E.eval e (E.Model { model = E.Sync; n = 2; f = 1; k = 1; p = 2; r = 1 })
+        in
+        let direct =
+          Sync_complex.rounds ~k:1 ~r:1
+            (Input_complex.simplex_of_inputs [ (0, 0); (1, 1); (2, 0) ])
+        in
+        Alcotest.(check (array int)) "betti" (Homology.betti direct) r.E.answer.E.betti;
+        Alcotest.(check int)
+          "connectivity" (Homology.connectivity direct)
+          r.E.answer.E.connectivity);
+    Alcotest.test_case "batch answers match solo answers, in order" `Quick
+      (fun () ->
+        let e = Lazy.force engine in
+        let specs =
+          [
+            E.Psph { n = 2; values = 2 };
+            E.Psph { n = 3; values = 2 };
+            E.Psph { n = 2; values = 2 };
+            E.Explicit (cx [ [ 0; 1 ]; [ 1; 2 ] ]);
+          ]
+        in
+        let batch = E.eval_batch e specs in
+        Alcotest.(check int) "length" 4 (List.length batch);
+        List.iter2
+          (fun spec (br : E.result) ->
+            let solo = E.eval e spec in
+            Alcotest.(check (array int)) "betti" solo.E.answer.E.betti br.E.answer.E.betti;
+            Alcotest.(check bool) "key" true (Key.equal solo.E.key br.E.key))
+          specs batch);
+    Alcotest.test_case "parallel rank fan-out agrees on a large complex" `Quick
+      (fun () ->
+        (* par_threshold is 64 here, so this goes through the pool path *)
+        let c = Psph.realize ~vertex:Psph.default_vertex (Psph.binary 4) in
+        let e = Lazy.force engine in
+        let r = E.eval e (E.Explicit c) in
+        Alcotest.(check (array int)) "betti" (Homology.betti c) r.E.answer.E.betti);
+    Alcotest.test_case "stats counters move" `Quick (fun () ->
+        let s = E.stats (Lazy.force engine) in
+        Alcotest.(check bool) "queries > 0" true (s.E.queries > 0);
+        Alcotest.(check bool) "hits > 0" true (s.E.hits > 0);
+        Alcotest.(check bool) "misses > 0" true (s.E.misses > 0);
+        Alcotest.(check int) "domains" 2 s.E.domains);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* wire protocol                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let obj_field name line =
+  match Jsonl.of_string line with
+  | Jsonl.Obj _ as o -> Jsonl.member name o
+  | _ -> None
+
+let serve_tests =
+  [
+    Alcotest.test_case "psph request answers with betti + connectivity" `Quick
+      (fun () ->
+        let e = Lazy.force engine in
+        let resp = Serve.handle_line e {|{"id":9,"op":"psph","n":2,"values":2}|} in
+        Alcotest.(check (option bool))
+          "ok" (Some true)
+          (Option.map (fun v -> v = Jsonl.Bool true) (obj_field "ok" resp));
+        Alcotest.(check (option int)) "id" (Some 9)
+          (Option.bind (obj_field "id" resp) Jsonl.to_int_opt);
+        Alcotest.(check (option int)) "connectivity" (Some 1)
+          (Option.bind (obj_field "connectivity" resp) Jsonl.to_int_opt);
+        match Option.bind (obj_field "betti" resp) Jsonl.to_list_opt with
+        | Some l ->
+            Alcotest.(check (list int)) "betti" [ 1; 0; 1 ]
+              (List.filter_map Jsonl.to_int_opt l)
+        | None -> Alcotest.fail "no betti field");
+    Alcotest.test_case "malformed line keeps serving" `Quick (fun () ->
+        let e = Lazy.force engine in
+        let resp = Serve.handle_line e "][ nope" in
+        Alcotest.(check (option bool))
+          "not ok" (Some true)
+          (Option.map (fun v -> v = Jsonl.Bool false) (obj_field "ok" resp)));
+    Alcotest.test_case "unknown op reports an error with id" `Quick (fun () ->
+        let e = Lazy.force engine in
+        let resp = Serve.handle_line e {|{"id":3,"op":"frobnicate"}|} in
+        Alcotest.(check (option int)) "id" (Some 3)
+          (Option.bind (obj_field "id" resp) Jsonl.to_int_opt);
+        Alcotest.(check bool) "error present" true (obj_field "error" resp <> None));
+    Alcotest.test_case "batch mixes successes and per-slot errors" `Quick
+      (fun () ->
+        let e = Lazy.force engine in
+        let resp =
+          Serve.handle_line e
+            {|{"op":"batch","requests":[{"op":"psph","n":1,"values":2},{"op":"nope"}]}|}
+        in
+        match Option.bind (obj_field "results" resp) Jsonl.to_list_opt with
+        | Some [ first; second ] ->
+            Alcotest.(check bool) "first ok" true
+              (Jsonl.member "ok" first = Some (Jsonl.Bool true));
+            Alcotest.(check bool) "second failed" true
+              (Jsonl.member "ok" second = Some (Jsonl.Bool false))
+        | _ -> Alcotest.fail "expected two results");
+    Alcotest.test_case "stats op reports engine counters" `Quick (fun () ->
+        let e = Lazy.force engine in
+        let resp = Serve.handle_line e {|{"op":"stats"}|} in
+        match obj_field "stats" resp with
+        | Some stats ->
+            Alcotest.(check bool) "has hits" true
+              (Option.bind (Jsonl.member "hits" stats) Jsonl.to_int_opt <> None)
+        | None -> Alcotest.fail "no stats field");
+    (* must stay last in the last suite: stops the shared engine's domains *)
+    Alcotest.test_case "shutdown" `Quick (fun () ->
+        E.shutdown (Lazy.force engine));
+  ]
+
+let suites =
+  [
+    ("engine keys", key_tests);
+    ("engine lru", lru_tests);
+    ("engine pool", pool_tests);
+    ("engine store", store_tests);
+    ("engine vs homology", engine_unit_tests @ engine_props);
+    ("engine serve", serve_tests);
+  ]

@@ -5,4 +5,5 @@ let () =
     @ Test_model.suites @ Test_core.suites @ Test_agreement.suites
     @ Test_extensions.suites @ Test_extensions2.suites @ Test_iis.suites
     @ Test_carrier_map.suites @ Test_connectivity_cert.suites
-    @ Test_integration.suites @ Test_coverage.suites)
+    @ Test_integration.suites @ Test_coverage.suites @ Test_complex_io.suites
+    @ Test_engine.suites)
