@@ -268,6 +268,29 @@ let extension_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* model registry: every registered model, benched generically         *)
+(* ------------------------------------------------------------------ *)
+
+let registry_tests =
+  Model_complex.all ()
+  |> List.concat_map (fun ((module M : Model_complex.MODEL) as m) ->
+         let spec =
+           match M.validate { Model_complex.default_spec with n = 2 } with
+           | Ok spec -> spec
+           | Error msg -> failwith (M.name ^ ": " ^ msg)
+         in
+         let s = input_simplex 2 in
+         [
+           t
+             (Printf.sprintf "registry: %s one round (%s)" M.name
+                (Model_complex.encode m spec))
+             (fun () -> M.one_round spec s);
+           t
+             (Printf.sprintf "registry: %s connectivity r=1" M.name)
+             (fun () -> Homology.connectivity (M.rounds spec s));
+         ])
+
+(* ------------------------------------------------------------------ *)
 (* homology engine: the scale frontier                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -332,9 +355,10 @@ let engine_bench () =
       E.Psph { n = 2; values = 3 };
       E.Psph { n = 4; values = 2 };
       E.Psph { n = 5; values = 2 };
-      E.Model { model = E.Sync; n = 3; f = 1; k = 1; p = 2; r = 1 };
-      E.Model { model = E.Async; n = 2; f = 1; k = 1; p = 2; r = 1 };
-      E.Model { model = E.Semi; n = 2; f = 1; k = 1; p = 2; r = 1 };
+      E.Model
+        { model = "sync"; params = { Model_complex.default_spec with n = 3 } };
+      E.Model { model = "async"; params = Model_complex.default_spec };
+      E.Model { model = "semi"; params = Model_complex.default_spec };
     ]
   in
   let nshapes = List.length shapes in
@@ -403,14 +427,62 @@ let engine_bench () =
   close_out oc;
   print_endline "wrote BENCH_engine.json"
 
+(* Per registered model, wall-time the r=1 and r=2 protocol-complex builds
+   (plus the r=1 connectivity) at n=2 and write BENCH_models.json — the
+   per-model perf trajectory successive PRs can diff, generated from the
+   registry so a newly registered model shows up with zero bench edits. *)
+let models_bench () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, Unix.gettimeofday () -. t0)
+  in
+  let s = input_simplex 2 in
+  let rows =
+    Model_complex.all ()
+    |> List.map (fun (module M : Model_complex.MODEL) ->
+           let spec r =
+             match M.validate { Model_complex.default_spec with n = 2; r } with
+             | Ok spec -> spec
+             | Error msg -> failwith (M.name ^ ": " ^ msg)
+           in
+           let c1, r1_s = time (fun () -> M.rounds (spec 1) s) in
+           let conn, conn_s = time (fun () -> Homology.connectivity c1) in
+           let c2, r2_s = time (fun () -> M.rounds (spec 2) s) in
+           (M.name, r1_s, conn_s, conn, Complex.num_simplices c1, r2_s,
+            Complex.num_simplices c2))
+  in
+  Format.printf "@.per-model build times (n=2):@.";
+  List.iter
+    (fun (name, r1_s, conn_s, conn, n1, r2_s, n2) ->
+      Format.printf
+        "  %-6s r=1 %8.2f ms (%5d simplices, conn %d in %.2f ms)   r=2 %8.2f \
+         ms (%6d simplices)@."
+        name (1000. *. r1_s) n1 conn (1000. *. conn_s) (1000. *. r2_s) n2)
+    rows;
+  let oc = open_out "BENCH_models.json" in
+  Printf.fprintf oc "{\n  \"n\": 2,\n  \"models\": {\n";
+  List.iteri
+    (fun i (name, r1_s, conn_s, conn, n1, r2_s, n2) ->
+      Printf.fprintf oc
+        "    \"%s\": { \"r1_s\": %.6f, \"r1_simplices\": %d, \
+         \"r1_connectivity\": %d, \"conn_s\": %.6f, \"r2_s\": %.6f, \
+         \"r2_simplices\": %d }%s\n"
+        name r1_s n1 conn conn_s r2_s n2
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  print_endline "wrote BENCH_models.json"
+
 let () =
   let quota =
     if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.5
   in
   let tests =
     fig_tests @ psph_tests @ async_tests @ sync_tests @ semi_tests @ mv_tests
-    @ substrate_tests @ ablation_tests @ extension_tests @ engine_tests
-    @ sweep_tests
+    @ substrate_tests @ ablation_tests @ extension_tests @ registry_tests
+    @ engine_tests @ sweep_tests
   in
   let grouped = Test.make_grouped ~name:"pseudosphere" tests in
   let cfg =
@@ -463,4 +535,5 @@ let () =
   Printf.fprintf oc "}\n";
   close_out oc;
   print_endline "wrote BENCH_homology.json";
-  engine_bench ()
+  engine_bench ();
+  models_bench ()

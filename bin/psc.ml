@@ -99,11 +99,18 @@ let save_arg =
     & opt (some string) None
     & info [ "save" ] ~docv:"FILE" ~doc:"Serialize the complex to a file.")
 
+(* any registered model; cmdliner's enum errors with the available list *)
 let model_arg =
+  let alts =
+    List.map (fun m -> (Model_complex.name_of m, m)) (Model_complex.all ())
+  in
   Arg.(
     value
-    & opt (enum [ ("async", `Async); ("sync", `Sync); ("semi", `Semi) ]) `Sync
-    & info [ "model" ] ~docv:"MODEL" ~doc:"async, sync or semi.")
+    & opt (enum alts) (Model_complex.get "sync")
+    & info [ "model" ] ~docv:"MODEL"
+        ~doc:
+          (Printf.sprintf "One of %s."
+             (String.concat ", " (Model_complex.names ()))))
 
 (* ------------------------------------------------------------------ *)
 (* commands                                                            *)
@@ -126,66 +133,61 @@ let pseudosphere_cmd =
       const run $ n_arg $ values_arg $ facets_arg $ integral_arg $ dot_arg
       $ svg_arg $ save_arg)
 
-let build_complex model ~n ~f ~k ~p ~r ~values ~over =
-  let step s =
-    match model with
-    | `Async -> Async_complex.rounds ~n ~f ~r s
-    | `Sync -> Sync_complex.rounds ~k ~r s
-    | `Semi -> Semi_sync_complex.rounds ~k ~p ~n ~r s
-  in
-  if over then
-    Carrier.over_facets step (Input_complex.make ~n ~values:(Value.domain (values - 1)))
-  else step (input_simplex n)
+(* fail like a flag parse error: message plus the registered alternatives *)
+let validated (module M : Model_complex.MODEL) spec =
+  match M.validate spec with
+  | Ok spec -> spec
+  | Error msg ->
+      Format.eprintf "psc: model %s: %s@." M.name msg;
+      exit 2
 
-let model_cmd name doc model =
+let build_complex ((module M : Model_complex.MODEL) as m) spec ~values ~over =
+  let spec = validated m spec in
+  if over then
+    M.over_inputs spec
+      (Input_complex.make ~n:spec.Model_complex.n
+         ~values:(Value.domain (values - 1)))
+  else M.rounds spec (input_simplex spec.Model_complex.n)
+
+(* one subcommand per registered model, generated from the registry *)
+let model_cmd ((module M : Model_complex.MODEL) as m) =
   let run n f k p r values over facets integral dot svg save =
-    let c = build_complex model ~n ~f ~k ~p ~r ~values ~over in
-    describe ~show_facets:facets ~integral ?dot ?svg ?save name c;
-    match model with
-    | `Async ->
-        Format.printf "Lemma 12 claims connectivity >= %d@."
-          (Async_complex.lemma12_expected_connectivity ~m:n ~n ~f)
-    | `Sync ->
-        if n >= (r * k) + k then
-          Format.printf "Lemma 16/17 claims connectivity >= %d@."
-            (Sync_complex.lemma16_expected_connectivity ~m:n ~n ~k)
-    | `Semi ->
-        if n >= (r + 1) * k then
-          Format.printf "Lemma 21 claims connectivity >= %d@."
-            (Semi_sync_complex.lemma21_expected_connectivity ~m:n ~n ~k)
+    let spec = validated m { Model_complex.n; f; k; p; r } in
+    let c = build_complex m spec ~values ~over in
+    describe ~show_facets:facets ~integral ?dot ?svg ?save M.name c;
+    match M.expected_connectivity spec ~m:n with
+    | Some conn ->
+        Format.printf "the paper claims connectivity >= %d@." conn
+    | None -> ()
   in
-  Cmd.v (Cmd.info name ~doc)
+  Cmd.v (Cmd.info M.name ~doc:M.doc)
     Term.(
       const run $ n_arg $ f_arg $ k_arg $ p_arg $ r_arg $ values_arg
       $ over_inputs_arg $ facets_arg $ integral_arg $ dot_arg $ svg_arg
       $ save_arg)
 
-let async_cmd = model_cmd "async" "Build the asynchronous complex A^r (Section 6)." `Async
-
-let sync_cmd = model_cmd "sync" "Build the synchronous complex S^r (Section 7)." `Sync
-
-let semi_cmd =
-  model_cmd "semi" "Build the semi-synchronous complex M^r (Section 8)." `Semi
-
-let iis_cmd =
-  let run n r facets integral dot svg save =
-    let c = Iis_complex.rounds ~r (input_simplex n) in
-    describe ~show_facets:facets ~integral ?dot ?svg ?save "iis" c;
-    if r = 1 then
-      Format.printf "isomorphic to the chromatic subdivision: %b@."
-        (Iis_complex.isomorphic_to_chromatic (input_simplex n))
+let models_cmd =
+  let run list =
+    if list then List.iter print_endline (Model_complex.names ())
+    else
+      List.iter
+        (fun (module M : Model_complex.MODEL) ->
+          Format.printf "%-8s %s@." M.name M.doc)
+        (Model_complex.all ())
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"Print bare names, one per line.")
   in
   Cmd.v
-    (Cmd.info "iis"
-       ~doc:"Build the iterated immediate snapshot complex (Borowsky-Gafni).")
-    Term.(
-      const run $ n_arg $ r_arg $ facets_arg $ integral_arg $ dot_arg $ svg_arg
-      $ save_arg)
+    (Cmd.info "models" ~doc:"List the registered message-passing models.")
+    Term.(const run $ list_arg)
 
 let decide_cmd =
   let run model n f k p r task_k =
     let values = task_k + 1 in
-    let c = build_complex model ~n ~f ~k ~p ~r ~values ~over:true in
+    let c =
+      build_complex model { Model_complex.n; f; k; p; r } ~values ~over:true
+    in
     Format.printf "complex: %a@." Complex.pp_summary c;
     match Decision.solve ~complex:c ~allowed:Task.allowed ~k:task_k () with
     | Decision.Solution _ -> Format.printf "a %d-set decision map EXISTS@." task_k
@@ -216,24 +218,26 @@ let bound_cmd =
     Term.(const run $ n_arg $ f_arg $ k_arg $ c1_arg $ c2_arg $ d_arg)
 
 let mv_cmd =
-  let run model n k p =
-    let s = input_simplex n in
-    let pss =
-      match model with
-      | `Sync -> List.map snd (Sync_complex.pseudospheres ~k s)
-      | `Semi -> List.map snd (Semi_sync_complex.pseudospheres ~k ~p ~n s)
-      | `Async -> [ Async_complex.pseudosphere ~n ~f:k s ]
-    in
-    let proof = Mayer_vietoris.union_connectivity pss in
-    Format.printf "%a@.@." Mayer_vietoris.pp proof;
-    Format.printf "derived connectivity >= %d (%d inference steps)@."
-      (Mayer_vietoris.conn proof) (Mayer_vietoris.size proof);
-    Format.printf "numeric validation: %b@." (Mayer_vietoris.validate pss proof)
+  let run ((module M : Model_complex.MODEL) as model) n f k p =
+    let spec = validated model { Model_complex.n; f; k; p; r = 1 } in
+    match M.pseudosphere_decomposition with
+    | None ->
+        Format.eprintf
+          "psc: model %s is not a union of pseudospheres (no decomposition)@."
+          M.name;
+        exit 2
+    | Some pieces ->
+        let pss = pieces spec (input_simplex n) in
+        let proof = Mayer_vietoris.union_connectivity pss in
+        Format.printf "%a@.@." Mayer_vietoris.pp proof;
+        Format.printf "derived connectivity >= %d (%d inference steps)@."
+          (Mayer_vietoris.conn proof) (Mayer_vietoris.size proof);
+        Format.printf "numeric validation: %b@." (Mayer_vietoris.validate pss proof)
   in
   Cmd.v
     (Cmd.info "mv"
        ~doc:"Print a Mayer-Vietoris connectivity derivation (Theorem 2).")
-    Term.(const run $ model_arg $ n_arg $ k_arg $ p_arg)
+    Term.(const run $ model_arg $ n_arg $ f_arg $ k_arg $ p_arg)
 
 let run_cmd =
   let run n f crash_round victim heard =
@@ -313,5 +317,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ pseudosphere_cmd; async_cmd; sync_cmd; semi_cmd; iis_cmd;
-            decide_cmd; bound_cmd; mv_cmd; run_cmd; serve_cmd ]))
+          (List.map model_cmd (Model_complex.all ())
+          @ [ pseudosphere_cmd; models_cmd; decide_cmd; bound_cmd; mv_cmd;
+              run_cmd; serve_cmd ])))

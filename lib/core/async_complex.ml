@@ -39,7 +39,10 @@ let view_vertex s p base_label = function
 let one_round ~n ~f s =
   Psph.realize ~vertex:(view_vertex s) (pseudosphere ~n ~f s)
 
-let rounds ~n ~f ~r s = Carrier.iterate (one_round ~n ~f) r s
+(* Monotone (a face's complex is a subcomplex of a facet's), so a single
+   branch suffices; the shared operator adds (r, state) memoization. *)
+let rounds ~n ~f ~r s =
+  Carrier.compose r s ~branches:(fun s -> [ one_round ~n ~f s ])
 
 let over_inputs ~n ~f ~r inputs = Carrier.over_facets (rounds ~n ~f ~r) inputs
 

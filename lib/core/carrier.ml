@@ -8,3 +8,36 @@ let over_facets step c =
 let iterate step r s =
   let rec loop r c = if r <= 0 then c else loop (r - 1) (over_facets step c) in
   loop r (Complex.of_simplex s)
+
+(* The r-round iteration must recurse on the facets of every branch
+   complex separately, not on the facets of their union: a facet of one
+   branch may be a mere face of another branch's facet (e.g. an exact-K
+   synchronous facet in which every survivor heard all of K is a face of
+   the failure-free facet), yet its continuations are real executions.
+
+   Distinct branches of the recursion reach identical (round, state)
+   pairs — e.g. the failure-free facet of every branch in which all
+   survivors heard everything — so results are memoized per call on
+   [(r, Intern.simplex_id s)] (the branch generator is fixed for the
+   whole call). *)
+let compose ~branches r s =
+  let memo : (int * int, Complex.t) Hashtbl.t = Hashtbl.create 97 in
+  let rec go r s =
+    if r <= 0 then Complex.of_simplex s
+    else
+      let key = (r, Intern.simplex_id s) in
+      match Hashtbl.find_opt memo key with
+      | Some c -> c
+      | None ->
+          let c =
+            List.fold_left
+              (fun acc b ->
+                List.fold_left
+                  (fun acc t -> Complex.union acc (go (r - 1) t))
+                  acc (Complex.facets b))
+              Complex.empty (branches s)
+          in
+          Hashtbl.add memo key c;
+          c
+  in
+  go r s

@@ -18,3 +18,15 @@ val over_facets : (Simplex.t -> Complex.t) -> Complex.t -> Complex.t
 val iterate : (Simplex.t -> Complex.t) -> int -> Simplex.t -> Complex.t
 (** [iterate step r s]: apply the one-round operator [r] times, starting
     from the single simplex [s].  [iterate step 0 s] is the solid [s]. *)
+
+val compose : branches:(Simplex.t -> Complex.t list) -> int -> Simplex.t -> Complex.t
+(** [compose ~branches r s]: the generic [(r, state)]-memoized
+    round-composition operator shared by every registered model.
+    [branches s] lists the one-round complexes whose facets are each
+    recursed on {e separately} — the union of branch facets is not enough
+    for the non-monotone models, where an exact-failure facet can be a
+    face of the failure-free facet yet have continuations of its own.
+    For a monotone model, pass a single branch (the one-round complex).
+    Results are memoized on [(r, Intern.simplex_id s)], collapsing the
+    exponentially many recursion branches that revisit the same (round,
+    global-state) pair.  [compose ~branches 0 s] is the solid [s]. *)

@@ -30,13 +30,7 @@ let one_round s =
   in
   Complex.of_facets facets
 
-let rec rounds ~r s =
-  if r <= 0 then Complex.of_simplex s
-  else
-    List.fold_left
-      (fun acc t -> Complex.union acc (rounds ~r:(r - 1) t))
-      Complex.empty
-      (Complex.facets (one_round s))
+let rounds ~r s = Carrier.compose r s ~branches:(fun s -> [ one_round s ])
 
 let over_inputs ~r inputs = Carrier.over_facets (rounds ~r) inputs
 

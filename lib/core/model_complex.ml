@@ -1,0 +1,200 @@
+open Psph_topology
+open Psph_model
+
+type spec = { n : int; f : int; k : int; p : int; r : int }
+
+let default_spec = { n = 2; f = 1; k = 1; p = 2; r = 1 }
+
+let pp_spec ppf { n; f; k; p; r } =
+  Format.fprintf ppf "n=%d f=%d k=%d p=%d r=%d" n f k p r
+
+module type MODEL = sig
+  val name : string
+  val doc : string
+  val normalize : spec -> spec
+  val validate : spec -> (spec, string) result
+  val one_round : spec -> Simplex.t -> Complex.t
+  val rounds : spec -> Simplex.t -> Complex.t
+  val over_inputs : spec -> Complex.t -> Complex.t
+  val pseudosphere_decomposition : (spec -> Simplex.t -> Psph.t list) option
+  val expected_connectivity : spec -> m:int -> int option
+end
+
+type model = (module MODEL)
+
+(* ------------------------------------------------------------------ *)
+(* registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let registry : (string, model) Hashtbl.t = Hashtbl.create 8
+
+(* registration order drives every listing (CLI enums, serve, benches) *)
+let order : string list ref = ref []
+
+let name_of (module M : MODEL) = M.name
+
+let register ((module M : MODEL) as m) =
+  if Hashtbl.mem registry M.name then
+    invalid_arg ("Model_complex.register: duplicate model " ^ M.name);
+  Hashtbl.replace registry M.name m;
+  order := !order @ [ M.name ]
+
+let names () = !order
+
+let find name = Hashtbl.find_opt registry name
+
+let get name =
+  match find name with
+  | Some m -> m
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown model %S (available: %s)" name
+           (String.concat ", " (names ())))
+
+let all () = List.map (fun n -> Hashtbl.find registry n) !order
+
+let encode (module M : MODEL) spec =
+  let { n; f; k; p; r } = M.normalize spec in
+  Printf.sprintf "%s:n=%d,f=%d,k=%d,p=%d,r=%d" M.name n f k p r
+
+(* ------------------------------------------------------------------ *)
+(* the generic Lemma 11/14/19 relabelling                              *)
+(* ------------------------------------------------------------------ *)
+
+let intrinsic_map ~n = function
+  | Vertex.Proc (q, l) -> (
+      match View.of_label l with
+      | View.Round { heard; _ } ->
+          Vertex.proc q (Label.Pid_set (Pid.Set.of_list (List.map fst heard)))
+      | View.Timed_round { heard; _ } ->
+          let vec = Array.make (n + 1) 0 in
+          List.iter (fun (j, mu, _) -> vec.(j) <- mu) heard;
+          Vertex.proc q (Label.Vec vec)
+      | View.Init _ ->
+          invalid_arg "Model_complex.intrinsic_map: not a one-round view")
+  | (Vertex.Anon _ | Vertex.Bary _) as v -> v
+
+let decomposition_holds (module M : MODEL) spec s =
+  match M.pseudosphere_decomposition with
+  | None -> true
+  | Some pieces ->
+      let lhs = M.one_round spec s in
+      let rhs =
+        List.fold_left
+          (fun acc ps ->
+            Complex.union acc (Psph.realize ~vertex:Psph.default_vertex ps))
+          Complex.empty (pieces spec s)
+      in
+      Simplicial_map.is_isomorphism_via (intrinsic_map ~n:spec.n) lhs rhs
+
+(* ------------------------------------------------------------------ *)
+(* shared validation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_common spec =
+  if spec.n < 0 then Error "n must be >= 0"
+  else if spec.r < 0 then Error "r must be >= 0"
+  else Ok spec
+
+let ( let* ) r f = Result.bind r f
+
+(* ------------------------------------------------------------------ *)
+(* instances                                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Async_model = struct
+  let name = "async"
+  let doc = "Build the asynchronous complex A^r (Section 6)."
+  let normalize spec = { spec with k = 0; p = 0 }
+
+  let validate spec =
+    let* spec = check_common spec in
+    if spec.f < 0 then Error "f must be >= 0" else Ok (normalize spec)
+
+  let one_round { n; f; _ } s = Async_complex.one_round ~n ~f s
+  let rounds { n; f; r; _ } s = Async_complex.rounds ~n ~f ~r s
+  let over_inputs { n; f; r; _ } c = Async_complex.over_inputs ~n ~f ~r c
+
+  let pseudosphere_decomposition =
+    Some (fun { n; f; _ } s -> [ Async_complex.pseudosphere ~n ~f s ])
+
+  (* Lemma 12: no hypothesis beyond the parameters themselves *)
+  let expected_connectivity { n; f; _ } ~m =
+    Some (Async_complex.lemma12_expected_connectivity ~m ~n ~f)
+end
+
+module Sync_model = struct
+  let name = "sync"
+  let doc = "Build the synchronous complex S^r (Section 7)."
+  let normalize spec = { spec with f = 0; p = 0 }
+
+  let validate spec =
+    let* spec = check_common spec in
+    if spec.k < 0 then Error "k must be >= 0" else Ok (normalize spec)
+
+  let one_round { k; _ } s = Sync_complex.one_round ~k s
+  let rounds { k; r; _ } s = Sync_complex.rounds ~k ~r s
+  let over_inputs { k; r; _ } c = Sync_complex.over_inputs ~k ~r c
+
+  let pseudosphere_decomposition =
+    Some (fun { k; _ } s -> List.map snd (Sync_complex.pseudospheres ~k s))
+
+  (* Lemma 16/17: needs n >= rk + k *)
+  let expected_connectivity { n; k; r; _ } ~m =
+    if n >= (r * k) + k then
+      Some (Sync_complex.lemma16_expected_connectivity ~m ~n ~k)
+    else None
+end
+
+module Semi_sync_model = struct
+  let name = "semi"
+  let doc = "Build the semi-synchronous complex M^r (Section 8)."
+  let normalize spec = { spec with f = 0 }
+
+  let validate spec =
+    let* spec = check_common spec in
+    if spec.k < 0 then Error "k must be >= 0"
+    else if spec.p < 1 then Error "p must be >= 1"
+    else Ok (normalize spec)
+
+  let one_round { n; k; p; _ } s = Semi_sync_complex.one_round ~k ~p ~n s
+  let rounds { n; k; p; r; _ } s = Semi_sync_complex.rounds ~k ~p ~n ~r s
+  let over_inputs { n; k; p; r; _ } c = Semi_sync_complex.over_inputs ~k ~p ~n ~r c
+
+  let pseudosphere_decomposition =
+    Some
+      (fun { n; k; p; _ } s ->
+        List.map snd (Semi_sync_complex.pseudospheres ~k ~p ~n s))
+
+  (* Lemma 21: needs n >= (r + 1) k *)
+  let expected_connectivity { n; k; r; _ } ~m =
+    if n >= (r + 1) * k then
+      Some (Semi_sync_complex.lemma21_expected_connectivity ~m ~n ~k)
+    else None
+end
+
+(* The extensibility proof: the wait-free iterated-immediate-snapshot
+   model, registered as a fourth instance.  Nothing outside this block
+   knows about it, yet it is reachable from psc, psc serve, the engine
+   cache, benches and the generic tests. *)
+module Iis_model = struct
+  let name = "iis"
+  let doc = "Build the iterated immediate snapshot complex (Borowsky-Gafni)."
+  let normalize spec = { spec with f = 0; k = 0; p = 0 }
+  let validate spec = Result.map normalize (check_common spec)
+  let one_round _ s = Iis_complex.one_round s
+  let rounds { r; _ } s = Iis_complex.rounds ~r s
+  let over_inputs { r; _ } c = Iis_complex.over_inputs ~r c
+
+  (* a chromatic subdivision, not a union of pseudospheres *)
+  let pseudosphere_decomposition = None
+
+  (* a subdivision of the input simplex is contractible *)
+  let expected_connectivity _ ~m = Some m
+end
+
+let () =
+  register (module Async_model);
+  register (module Sync_model);
+  register (module Semi_sync_model);
+  register (module Iis_model)

@@ -1,0 +1,114 @@
+(** The first-class model registry.
+
+    The paper's whole point is that the asynchronous, synchronous and
+    semi-synchronous round complexes are {e one} construction — unions of
+    pseudospheres — viewed through different failure disciplines.  This
+    module makes that unification first-class: a {!MODEL} signature
+    packaging a model's name, parameter discipline and complex
+    constructors, and a registry through which every consumer (the query
+    engine, [psc serve], the [psc] subcommands, benches, examples and
+    tests) reaches all models generically.  Registering a new model makes
+    it reachable from all of them with zero consumer-side edits — the
+    {!section-instances} below register [async], [sync], [semi] and [iis]
+    this way.
+
+    All models draw their parameters from one {!spec} record; each model's
+    [normalize] zeroes the fields it ignores, so the canonical {!encode}
+    of two specs differing only in an irrelevant parameter coincide — the
+    property the engine's spec-level memo table relies on. *)
+
+open Psph_topology
+
+type spec = { n : int; f : int; k : int; p : int; r : int }
+(** The union of every model's parameters: dimension [n] ([n + 1]
+    processes), failure budget [f] (async), failures per round [k]
+    (sync/semi), microrounds per round [p] (semi), rounds [r].  A model
+    reads only the fields its [normalize] keeps. *)
+
+val default_spec : spec
+(** [{ n = 2; f = 1; k = 1; p = 2; r = 1 }] — the [psc] flag defaults. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+
+module type MODEL = sig
+  val name : string
+  (** Registry key and CLI/wire name ([async], [sync], ...). *)
+
+  val doc : string
+  (** One-line description, used for the generated [psc] subcommand. *)
+
+  val normalize : spec -> spec
+  (** Zero the parameters this model ignores.  Idempotent; two specs with
+      equal [normalize] images denote the same complex. *)
+
+  val validate : spec -> (spec, string) result
+  (** Range-check the relevant parameters and return the normalized spec,
+      or a human-readable error. *)
+
+  val one_round : spec -> Simplex.t -> Complex.t
+  (** The one-round protocol complex over an input simplex. *)
+
+  val rounds : spec -> Simplex.t -> Complex.t
+  (** The [spec.r]-round complex ([r = 0] gives the solid input), built
+      with the shared {!Carrier.compose} round-composition operator. *)
+
+  val over_inputs : spec -> Complex.t -> Complex.t
+  (** Union of {!rounds} over the facets of an input complex. *)
+
+  val pseudosphere_decomposition : (spec -> Simplex.t -> Psph.t list) option
+  (** The model's symbolic decomposition: pseudospheres (with intrinsic
+      value labels) whose union realizes the one-round complex up to the
+      relabelling {!intrinsic_map} — Lemmas 11, 14 and 19 in one shape.
+      [None] for models that are not pseudosphere unions (IIS: a
+      subdivision, hence contractible, unlike any pseudosphere union). *)
+
+  val expected_connectivity : spec -> m:int -> int option
+  (** The paper's connectivity lower bound for the [spec.r]-round complex
+      over an [m]-simplex, when the relevant lemma's hypothesis holds
+      (Lemmas 12, 16/17, 21); [None] when it does not apply. *)
+end
+
+type model = (module MODEL)
+
+(** {2 Registry} *)
+
+val register : model -> unit
+(** Make a model reachable from every registry consumer.  Listing order is
+    registration order.
+    @raise Invalid_argument on a duplicate name. *)
+
+val names : unit -> string list
+(** Registered names, in registration order. *)
+
+val all : unit -> model list
+
+val find : string -> model option
+
+val get : string -> model
+(** @raise Invalid_argument on an unknown name, listing the available
+    models in the message. *)
+
+val name_of : model -> string
+
+(** {2 Canonical encoding and the generic lemma check} *)
+
+val encode : model -> spec -> string
+(** A canonical, {!Psph_engine.Key}-feedable encoding of [(model, spec)]:
+    the model name plus the {e normalized} parameter vector.  Specs
+    differing only in parameters the model ignores encode identically, so
+    a cache keyed on [encode] can never be mis-keyed by an irrelevant
+    parameter. *)
+
+val intrinsic_map : n:int -> Vertex.t -> Vertex.t
+(** The generic Lemma 11/14/19 vertex relabelling: a full-information
+    one-round view becomes the intrinsic pseudosphere value that produced
+    it — the heard pid-set for untimed rounds, the length-[n + 1]
+    microround vector for timed rounds.
+    @raise Invalid_argument on an initial (round-0) view. *)
+
+val decomposition_holds : model -> spec -> Simplex.t -> bool
+(** The machine-checked unification statement, one model at a time: the
+    union of the realized {!MODEL.pseudosphere_decomposition} (plain
+    labels) is isomorphic, via {!intrinsic_map}, to the model's
+    [one_round] complex.  Vacuously [true] for models without a
+    decomposition. *)

@@ -44,32 +44,13 @@ let one_round ~k ~p ~n s =
     (fun acc (_, ps) -> Complex.union acc (Psph.realize ~vertex:(view_vertex ~p s) ps))
     Complex.empty (pseudospheres ~k ~p ~n s)
 
-(* As in the synchronous model, iterate on the facets of every
-   [M^1_{K,F}] separately (see Sync_complex.rounds), memoizing on
-   [(r, Intern.simplex_id s)] since distinct branches revisit identical
-   (round, state) pairs ([k], [p], [n] are fixed for the whole call). *)
+(* As in the synchronous model, recursion must visit the facets of every
+   [M^1_{K,F}] separately (see Carrier.compose). *)
 let rounds ~k ~p ~n ~r s =
-  let memo : (int * int, Complex.t) Hashtbl.t = Hashtbl.create 97 in
-  let rec go ~r s =
-    if r <= 0 then Complex.of_simplex s
-    else
-      let key = (r, Intern.simplex_id s) in
-      match Hashtbl.find_opt memo key with
-      | Some c -> c
-      | None ->
-          let c =
-            List.fold_left
-              (fun acc (_, ps) ->
-                List.fold_left
-                  (fun acc t -> Complex.union acc (go ~r:(r - 1) t))
-                  acc
-                  (Complex.facets (Psph.realize ~vertex:(view_vertex ~p s) ps)))
-              Complex.empty (pseudospheres ~k ~p ~n s)
-          in
-          Hashtbl.add memo key c;
-          c
-  in
-  go ~r s
+  Carrier.compose r s ~branches:(fun s ->
+      List.map
+        (fun (_, ps) -> Psph.realize ~vertex:(view_vertex ~p s) ps)
+        (pseudospheres ~k ~p ~n s))
 
 let over_inputs ~k ~p ~n ~r inputs = Carrier.over_facets (rounds ~k ~p ~n ~r) inputs
 

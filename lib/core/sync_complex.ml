@@ -43,37 +43,13 @@ let one_round ~k s =
     (fun acc (_, ps) -> Complex.union acc (Psph.realize ~vertex:(view_vertex s) ps))
     Complex.empty (pseudospheres ~k s)
 
-(* The r-round iteration must recurse on the facets of every S^1_K
-   separately, not on the facets of their union: an exact-K facet in which
-   every survivor heard all of K is a face of the failure-free facet, yet
-   its continuations (K dead from round 2 on) are real executions.
-
-   Distinct branches of the recursion reach identical (round, state)
-   pairs — e.g. the failure-free facet of every S^1_K in which all
-   survivors heard everything — so results are memoized per call on
-   [(r, Intern.simplex_id s)] ([k] is fixed for the whole call). *)
+(* The model is not monotone: recursion must visit the facets of every
+   S^1_K separately (see Carrier.compose). *)
 let rounds ~k ~r s =
-  let memo : (int * int, Complex.t) Hashtbl.t = Hashtbl.create 97 in
-  let rec go ~r s =
-    if r <= 0 then Complex.of_simplex s
-    else
-      let key = (r, Intern.simplex_id s) in
-      match Hashtbl.find_opt memo key with
-      | Some c -> c
-      | None ->
-          let c =
-            List.fold_left
-              (fun acc (_, ps) ->
-                List.fold_left
-                  (fun acc t -> Complex.union acc (go ~r:(r - 1) t))
-                  acc
-                  (Complex.facets (Psph.realize ~vertex:(view_vertex s) ps)))
-              Complex.empty (pseudospheres ~k s)
-          in
-          Hashtbl.add memo key c;
-          c
-  in
-  go ~r s
+  Carrier.compose r s ~branches:(fun s ->
+      List.map
+        (fun (_, ps) -> Psph.realize ~vertex:(view_vertex s) ps)
+        (pseudospheres ~k s))
 
 let over_inputs ~k ~r inputs = Carrier.over_facets (rounds ~k ~r) inputs
 

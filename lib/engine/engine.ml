@@ -10,7 +10,8 @@
    under the key.
 
    Symbolic specs get a second, cheaper canonicalization layer in front:
-   a normalized spec (ignored model parameters zeroed) maps to the content
+   a normalized spec (model specs canonicalized by the registered model's
+   own [normalize], via [Model_complex.encode]) maps to the content
    key of the complex it denotes, so a repeated [psph]/[model-complex]
    query skips construction and keying entirely and goes straight to the
    content slot.  This front table is what makes a warm cache fast —
@@ -30,12 +31,10 @@
 open Psph_topology
 open Pseudosphere
 
-type model = Async | Sync | Semi
-
 type spec =
   | Explicit of Complex.t
   | Psph of { n : int; values : int }
-  | Model of { model : model; n : int; f : int; k : int; p : int; r : int }
+  | Model of { model : string; params : Model_complex.spec }
 
 type answer = { betti : int array; connectivity : int }
 
@@ -53,20 +52,18 @@ type stats = {
   compute_s : float;
 }
 
-(* canonical form of a symbolic spec: parameters a model ignores are
-   zeroed, so e.g. sync queries differing only in [f] share a slot *)
-type spec_key =
-  | SPsph of int * int
-  | SModel of model * int * int * int * int * int
+(* canonical form of a symbolic spec: model specs go through the model's
+   own [normalize] (via [Model_complex.encode]), so parameters a model
+   ignores can never mis-key the cache — the model owns its discipline,
+   the engine just asks.
+   @raise Invalid_argument on an unknown model name. *)
+type spec_key = SPsph of int * int | SModel of string
 
 let spec_key_of = function
   | Explicit _ -> None
   | Psph { n; values } -> Some (SPsph (n, values))
-  | Model { model; n; f; k; p; r } ->
-      let f = match model with Async -> f | Sync | Semi -> 0 in
-      let k = match model with Async -> 0 | Sync | Semi -> k in
-      let p = match model with Semi -> p | Async | Sync -> 0 in
-      Some (SModel (model, n, f, k, p, r))
+  | Model { model; params } ->
+      Some (SModel (Model_complex.encode (Model_complex.get model) params))
 
 type t = {
   pool : Pool.t;
@@ -122,13 +119,11 @@ let build = function
       Psph.realize ~vertex:Psph.default_vertex
         (Psph.uniform ~base:(Simplex.proc_simplex n)
            (List.init values (fun i -> Label.Int i)))
-  | Model { model; n; f; k; p; r } -> (
-      if n < 0 || r < 0 then invalid_arg "Engine: model needs n, r >= 0";
-      let s = input_simplex n in
-      match model with
-      | Async -> Async_complex.rounds ~n ~f ~r s
-      | Sync -> Sync_complex.rounds ~k ~r s
-      | Semi -> Semi_sync_complex.rounds ~k ~p ~n ~r s)
+  | Model { model; params } -> (
+      let (module M : Model_complex.MODEL) = Model_complex.get model in
+      match M.validate params with
+      | Error msg -> invalid_arg (Printf.sprintf "Engine: %s model: %s" model msg)
+      | Ok params -> M.rounds params (input_simplex params.Model_complex.n))
 
 (* ------------------------------------------------------------------ *)
 (* evaluation                                                          *)

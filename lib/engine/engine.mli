@@ -11,17 +11,19 @@
     parallel.  See docs/ENGINE.md for policies and the wire protocol. *)
 
 open Psph_topology
-
-type model = Async | Sync | Semi
+open Pseudosphere
 
 type spec =
   | Explicit of Complex.t  (** an already-built complex *)
   | Psph of { n : int; values : int }
       (** [psi(P^n; {0..values-1})] with the paper's plain labelling *)
-  | Model of { model : model; n : int; f : int; k : int; p : int; r : int }
-      (** the [r]-round protocol complex over the standard input simplex
-          ([i mod 2] inputs), as in the [psc] model subcommands.  [f] is
-          used by [Async], [k] by [Sync]/[Semi], [p] by [Semi]. *)
+  | Model of { model : string; params : Model_complex.spec }
+      (** the [params.r]-round protocol complex of the named registered
+          model over the standard input simplex ([i mod 2] inputs), as in
+          the [psc] model subcommands.  The model's own [normalize]
+          decides which parameters matter, so any model registered in
+          {!Model_complex} is reachable — and correctly cache-keyed —
+          with no engine edits. *)
 
 type answer = { betti : int array; connectivity : int }
 
@@ -57,7 +59,8 @@ val create :
 
 val build : spec -> Complex.t
 (** The complex a spec denotes (no caching, no homology).
-    @raise Invalid_argument on negative parameters. *)
+    @raise Invalid_argument on invalid parameters or an unknown model
+    name (the message lists the registered models). *)
 
 val eval : t -> spec -> result
 

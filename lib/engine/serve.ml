@@ -6,7 +6,11 @@
      {"op":"psph",          "n":2, "values":3}
      {"op":"model-complex", "model":"sync", "n":3, "k":1, "r":2}
      {"op":"batch",         "requests":[ <any of the above> ]}
+     {"op":"models"}
      {"op":"stats"}
+
+   "model" accepts any name registered in Model_complex (the "models" op
+   lists them); an unknown name errors with the available list.
 
    "facets" entries are Complex_io simplex strings.  Numeric model
    parameters default like the psc flags (f=1, k=1, p=2, r=1).  Responses
@@ -63,19 +67,26 @@ let spec_of_request req =
   | Some "model-complex" ->
       let model =
         match Option.bind (Jsonl.member "model" req) Jsonl.to_string_opt with
-        | Some "async" -> Engine.Async
-        | Some "sync" -> Engine.Sync
-        | Some "semi" -> Engine.Semi
-        | _ -> bad "model must be \"async\", \"sync\" or \"semi\""
+        | None -> bad "missing string field \"model\""
+        | Some name -> (
+            match Pseudosphere.Model_complex.find name with
+            | Some _ -> name
+            | None ->
+                bad "unknown model %S (available: %s)" name
+                  (String.concat ", " (Pseudosphere.Model_complex.names ())))
       in
+      let d = Pseudosphere.Model_complex.default_spec in
       ( Engine.Model
           {
             model;
-            n = int_field req "n";
-            f = int_field ~default:1 req "f";
-            k = int_field ~default:1 req "k";
-            p = int_field ~default:2 req "p";
-            r = int_field ~default:1 req "r";
+            params =
+              {
+                Pseudosphere.Model_complex.n = int_field req "n";
+                f = int_field ~default:d.Pseudosphere.Model_complex.f req "f";
+                k = int_field ~default:d.k req "k";
+                p = int_field ~default:d.p req "p";
+                r = int_field ~default:d.r req "r";
+              };
           },
         Both )
   | Some op -> bad "unknown op %S" op
@@ -121,9 +132,21 @@ let stats_response engine =
           ] );
     ]
 
+let models_response () =
+  Jsonl.Obj
+    [
+      ("ok", Jsonl.Bool true);
+      ( "models",
+        Jsonl.Arr
+          (List.map
+             (fun n -> Jsonl.Str n)
+             (Pseudosphere.Model_complex.names ())) );
+    ]
+
 let handle_request engine req =
   match Option.bind (Jsonl.member "op" req) Jsonl.to_string_opt with
   | Some "stats" -> stats_response engine
+  | Some "models" -> models_response ()
   | Some "batch" ->
       let requests =
         match Option.bind (Jsonl.member "requests" req) Jsonl.to_list_opt with

@@ -230,7 +230,12 @@ let engine_unit_tests =
     Alcotest.test_case "model spec matches direct construction" `Quick (fun () ->
         let e = Lazy.force engine in
         let r =
-          E.eval e (E.Model { model = E.Sync; n = 2; f = 1; k = 1; p = 2; r = 1 })
+          E.eval e
+            (E.Model
+               {
+                 model = "sync";
+                 params = { Model_complex.default_spec with n = 2 };
+               })
         in
         let direct =
           Sync_complex.rounds ~k:1 ~r:1
@@ -327,6 +332,47 @@ let serve_tests =
             Alcotest.(check bool) "second failed" true
               (Jsonl.member "ok" second = Some (Jsonl.Bool false))
         | _ -> Alcotest.fail "expected two results");
+    Alcotest.test_case "models op lists the registry in order" `Quick (fun () ->
+        let e = Lazy.force engine in
+        let resp = Serve.handle_line e {|{"op":"models"}|} in
+        match Option.bind (obj_field "models" resp) Jsonl.to_list_opt with
+        | Some l ->
+            Alcotest.(check (list string))
+              "names"
+              (Model_complex.names ())
+              (List.filter_map Jsonl.to_string_opt l)
+        | None -> Alcotest.fail "no models field");
+    Alcotest.test_case "model-complex reaches every registered model" `Quick
+      (fun () ->
+        let e = Lazy.force engine in
+        List.iter
+          (fun name ->
+            let resp =
+              Serve.handle_line e
+                (Printf.sprintf {|{"op":"model-complex","model":%S,"n":2}|} name)
+            in
+            Alcotest.(check (option bool))
+              (name ^ " ok") (Some true)
+              (Option.map (fun v -> v = Jsonl.Bool true) (obj_field "ok" resp)))
+          (Model_complex.names ());
+        let resp =
+          Serve.handle_line e {|{"op":"model-complex","model":"nope","n":2}|}
+        in
+        match Option.bind (obj_field "error" resp) Jsonl.to_string_opt with
+        | Some msg ->
+            (* the error names the alternatives *)
+            List.iter
+              (fun name ->
+                let found =
+                  let n = String.length name and m = String.length msg in
+                  let rec go i =
+                    i + n <= m && (String.sub msg i n = name || go (i + 1))
+                  in
+                  go 0
+                in
+                Alcotest.(check bool) ("lists " ^ name) true found)
+              (Model_complex.names ())
+        | None -> Alcotest.fail "no error for unknown model");
     Alcotest.test_case "stats op reports engine counters" `Quick (fun () ->
         let e = Lazy.force engine in
         let resp = Serve.handle_line e {|{"op":"stats"}|} in

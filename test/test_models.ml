@@ -1,0 +1,321 @@
+(* Tests for the first-class model registry: registration invariants, the
+   model-owned spec normalization and its engine cache-keying consequences
+   (two specs differing only in an irrelevant parameter must share a cache
+   slot), and the paper's Lemma 11/14/19 pseudosphere decompositions
+   checked generically — one qcheck property instantiated per registered
+   model, no per-model match anywhere. *)
+
+open Psph_topology
+open Pseudosphere
+module MC = Model_complex
+module E = Psph_engine.Engine
+module Key = Psph_engine.Key
+
+let inputs n = List.init (n + 1) (fun i -> (i, i mod 2))
+
+let input_simplex n = Input_complex.simplex_of_inputs (inputs n)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* a spec with every parameter conspicuously nonzero: after [normalize],
+   the fields a model zeroes are exactly the ones it ignores *)
+let nines = { MC.n = 9; f = 9; k = 9; p = 9; r = 9 }
+
+(* ------------------------------------------------------------------ *)
+(* registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let registry_tests =
+  [
+    Alcotest.test_case "four models, in registration order" `Quick (fun () ->
+        Alcotest.(check (list string))
+          "names"
+          [ "async"; "sync"; "semi"; "iis" ]
+          (MC.names ()));
+    Alcotest.test_case "find/get/all agree on every name" `Quick (fun () ->
+        List.iter
+          (fun name ->
+            Alcotest.(check string) "get" name (MC.name_of (MC.get name));
+            match MC.find name with
+            | Some m -> Alcotest.(check string) "find" name (MC.name_of m)
+            | None -> Alcotest.fail ("find lost " ^ name))
+          (MC.names ());
+        Alcotest.(check (list string))
+          "all in order" (MC.names ())
+          (List.map MC.name_of (MC.all ())));
+    Alcotest.test_case "unknown model errors with the available list" `Quick
+      (fun () ->
+        match MC.get "bogus" with
+        | _ -> Alcotest.fail "get accepted an unknown model"
+        | exception Invalid_argument msg ->
+            List.iter
+              (fun sub ->
+                Alcotest.(check bool) ("mentions " ^ sub) true
+                  (contains ~sub msg))
+              ("bogus" :: MC.names ()));
+    Alcotest.test_case "duplicate registration rejected" `Quick (fun () ->
+        let dup : MC.model =
+          (module struct
+            let name = "async"
+            let doc = "impostor"
+            let normalize s = s
+            let validate s = Ok s
+            let one_round _ _ = Complex.empty
+            let rounds _ _ = Complex.empty
+            let over_inputs _ c = c
+            let pseudosphere_decomposition = None
+            let expected_connectivity _ ~m:_ = None
+          end)
+        in
+        (match MC.register dup with
+        | () -> Alcotest.fail "duplicate register succeeded"
+        | exception Invalid_argument _ -> ());
+        (* and the real instance is untouched *)
+        Alcotest.(check string) "still the original" "impostor"
+          (let (module M : MC.MODEL) = dup in
+           M.doc);
+        let (module A : MC.MODEL) = MC.get "async" in
+        Alcotest.(check bool) "original doc" false (A.doc = "impostor"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* model-owned normalization and canonical encoding                    *)
+(* ------------------------------------------------------------------ *)
+
+let zeroed (module M : MC.MODEL) =
+  let z = M.normalize nines in
+  List.filter_map
+    (fun (name, v) -> if v = 0 then Some name else None)
+    [ ("n", z.MC.n); ("f", z.MC.f); ("k", z.MC.k); ("p", z.MC.p); ("r", z.MC.r) ]
+
+let normalize_tests =
+  [
+    Alcotest.test_case "each model zeroes exactly its irrelevant params" `Quick
+      (fun () ->
+        let expect =
+          [
+            ("async", [ "k"; "p" ]);
+            ("sync", [ "f"; "p" ]);
+            ("semi", [ "f" ]);
+            ("iis", [ "f"; "k"; "p" ]);
+          ]
+        in
+        List.iter
+          (fun ((module M : MC.MODEL) as m) ->
+            Alcotest.(check (list string))
+              M.name (List.assoc M.name expect) (zeroed m))
+          (MC.all ()));
+    Alcotest.test_case "normalize is idempotent; validate normalizes" `Quick
+      (fun () ->
+        List.iter
+          (fun (module M : MC.MODEL) ->
+            let z = M.normalize nines in
+            Alcotest.(check bool) (M.name ^ " idempotent") true
+              (M.normalize z = z);
+            match M.validate { MC.default_spec with n = 2 } with
+            | Error msg -> Alcotest.fail (M.name ^ ": " ^ msg)
+            | Ok spec ->
+                Alcotest.(check bool) (M.name ^ " validated normal") true
+                  (M.normalize spec = spec))
+          (MC.all ()));
+    Alcotest.test_case "encode keys on the normalized spec" `Quick (fun () ->
+        List.iter
+          (fun ((module M : MC.MODEL) as m) ->
+            let spec = { MC.default_spec with n = 2 } in
+            Alcotest.(check string) M.name
+              (MC.encode m (M.normalize spec))
+              (MC.encode m spec);
+            Alcotest.(check bool) (M.name ^ " prefixed") true
+              (contains ~sub:(M.name ^ ":") (MC.encode m spec)))
+          (MC.all ());
+        (* distinct models never collide, even on identical params *)
+        let codes =
+          List.map (fun m -> MC.encode m MC.default_spec) (MC.all ())
+        in
+        Alcotest.(check int) "all distinct"
+          (List.length codes)
+          (List.length (List.sort_uniq String.compare codes)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* the satellite regression: irrelevant params share a cache slot      *)
+(* ------------------------------------------------------------------ *)
+
+let cache_tests =
+  [
+    Alcotest.test_case
+      "specs differing only in irrelevant params hit one cache slot" `Quick
+      (fun () ->
+        let e = E.create ~domains:0 ~capacity:64 () in
+        List.iter
+          (fun (module M : MC.MODEL) ->
+            let base = { MC.default_spec with n = 2 } in
+            let z = M.normalize nines in
+            (* bump exactly the parameters this model ignores *)
+            let bump v zeroed = if zeroed = 0 then v + 5 else v in
+            let perturbed =
+              {
+                base with
+                MC.f = bump base.MC.f z.MC.f;
+                k = bump base.MC.k z.MC.k;
+                p = bump base.MC.p z.MC.p;
+              }
+            in
+            Alcotest.(check bool) (M.name ^ " specs differ") false
+              (perturbed = base);
+            let r1 = E.eval e (E.Model { model = M.name; params = base }) in
+            let r2 = E.eval e (E.Model { model = M.name; params = perturbed }) in
+            Alcotest.(check bool) (M.name ^ " same key") true
+              (Key.equal r1.E.key r2.E.key);
+            Alcotest.(check bool) (M.name ^ " second eval cached") true
+              r2.E.cached;
+            (* a relevant parameter must change the slot *)
+            let r3 =
+              E.eval e
+                (E.Model { model = M.name; params = { base with MC.r = 2 } })
+            in
+            Alcotest.(check bool) (M.name ^ " r matters") false
+              (Key.equal r1.E.key r3.E.key))
+          (MC.all ());
+        E.shutdown e);
+    Alcotest.test_case "engine rejects invalid and unknown specs" `Quick
+      (fun () ->
+        let e = E.create ~domains:0 ~capacity:8 () in
+        List.iter
+          (fun params ->
+            match E.eval e (E.Model { model = "sync"; params }) with
+            | _ -> Alcotest.fail "invalid spec accepted"
+            | exception Invalid_argument _ -> ())
+          [
+            { MC.default_spec with n = -1 };
+            { MC.default_spec with r = -1 };
+            { MC.default_spec with k = -1 };
+          ];
+        (match E.eval e (E.Model { model = "bogus"; params = MC.default_spec }) with
+        | _ -> Alcotest.fail "unknown model accepted"
+        | exception Invalid_argument msg ->
+            Alcotest.(check bool) "lists models" true
+              (contains ~sub:"async" msg));
+        E.shutdown e);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 11/14/19 generically: decomposition union ≅ one round         *)
+(* ------------------------------------------------------------------ *)
+
+(* random input simplices with random values, plus random parameters;
+   invalid or hypothesis-violating draws are discarded by validate *)
+let gen_case =
+  QCheck2.Gen.(
+    int_range 1 3 >>= fun n ->
+    int_range 0 n >>= fun f ->
+    int_range 1 2 >>= fun k ->
+    int_range 1 2 >>= fun p ->
+    list_repeat (n + 1) (int_range 0 2)
+    |> map (fun vs -> (n, f, k, p, List.mapi (fun i v -> (i, v)) vs)))
+
+let decomposition_props =
+  let open QCheck2 in
+  List.map
+    (fun ((module M : MC.MODEL) as m) ->
+      Test.make ~count:25
+        ~name:(M.name ^ ": pseudosphere decomposition = one round (generic)")
+        gen_case
+        (fun (n, f, k, p, ins) ->
+          match M.validate { MC.n; f; k; p; r = 1 } with
+          | Error _ -> true
+          | Ok spec ->
+              MC.decomposition_holds m spec
+                (Input_complex.simplex_of_inputs ins)))
+    (MC.all ())
+  |> List.map QCheck_alcotest.to_alcotest
+
+(* one deterministic n=4 instance per decomposable model, per the paper *)
+let decomposition_n4 =
+  [
+    Alcotest.test_case "decomposition holds at n=4 for every model" `Slow
+      (fun () ->
+        List.iter
+          (fun ((module M : MC.MODEL) as m) ->
+            match M.validate { MC.n = 4; f = 2; k = 1; p = 2; r = 1 } with
+            | Error msg -> Alcotest.fail (M.name ^ ": " ^ msg)
+            | Ok spec ->
+                Alcotest.(check bool) M.name true
+                  (MC.decomposition_holds m spec (input_simplex 4)))
+          (MC.all ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* generic rounds semantics + the paper's connectivity claims          *)
+(* ------------------------------------------------------------------ *)
+
+let rounds_tests =
+  [
+    Alcotest.test_case "r=0 is the solid input simplex; r=1 is one_round"
+      `Quick (fun () ->
+        List.iter
+          (fun (module M : MC.MODEL) ->
+            let s = input_simplex 2 in
+            let spec =
+              match M.validate { MC.default_spec with n = 2 } with
+              | Ok spec -> spec
+              | Error msg -> Alcotest.fail (M.name ^ ": " ^ msg)
+            in
+            Alcotest.(check bool) (M.name ^ " r=0") true
+              (Complex.equal
+                 (M.rounds { spec with MC.r = 0 } s)
+                 (Complex.of_simplex s));
+            Alcotest.(check bool) (M.name ^ " r=1") true
+              (Complex.equal (M.rounds { spec with MC.r = 1 } s) (M.one_round spec s)))
+          (MC.all ()));
+    Alcotest.test_case "expected_connectivity is honoured at r=1,2 (n=2)"
+      `Quick (fun () ->
+        List.iter
+          (fun (module M : MC.MODEL) ->
+            List.iter
+              (fun r ->
+                let spec =
+                  match M.validate { MC.default_spec with n = 2; r } with
+                  | Ok spec -> spec
+                  | Error msg -> Alcotest.fail (M.name ^ ": " ^ msg)
+                in
+                match M.expected_connectivity spec ~m:2 with
+                | None -> ()
+                | Some conn ->
+                    let c = M.rounds spec (input_simplex 2) in
+                    Alcotest.(check bool)
+                      (Printf.sprintf "%s r=%d >= %d-connected" M.name r conn)
+                      true
+                      (Homology.is_k_connected c conn))
+              [ 1; 2 ])
+          (MC.all ()));
+    Alcotest.test_case "over_inputs contains rounds of every input facet"
+      `Quick (fun () ->
+        let ic = Input_complex.make ~n:1 ~values:[ 0; 1 ] in
+        List.iter
+          (fun (module M : MC.MODEL) ->
+            let spec =
+              match M.validate { MC.default_spec with n = 1 } with
+              | Ok spec -> spec
+              | Error msg -> Alcotest.fail (M.name ^ ": " ^ msg)
+            in
+            let c = M.over_inputs spec ic in
+            List.iter
+              (fun s ->
+                Alcotest.(check bool) (M.name ^ " facet subcomplex") true
+                  (Complex.subcomplex (M.rounds spec s) c))
+              (Complex.facets ic))
+          (MC.all ()));
+  ]
+
+let suites =
+  [
+    ("models.registry", registry_tests);
+    ("models.normalize", normalize_tests);
+    ("models.cache", cache_tests);
+    ("models.decomposition", decomposition_props @ decomposition_n4);
+    ("models.rounds", rounds_tests);
+  ]
