@@ -7,6 +7,7 @@
 
 open Bechamel
 open Toolkit
+open Psph_obs
 open Psph_topology
 open Psph_model
 open Pseudosphere
@@ -17,6 +18,18 @@ let inputs n = List.init (n + 1) (fun i -> (i, i mod 2))
 let input_simplex n = Input_complex.simplex_of_inputs (inputs n)
 
 let t name f = Test.make ~name (Staged.stage f)
+
+(* Wall-time one named phase through the Obs substrate: the run is one
+   observation in a [bench.<name>] histogram and the reported number is
+   that histogram's sum — the bench reads back what the instrumentation
+   recorded rather than keeping private timing state.  Each phase name is
+   used exactly once per process, so sum = the single run's duration. *)
+let timed name f =
+  let h = Obs.histogram ("bench." ^ name) in
+  let x = Obs.time h f in
+  (x, (Obs.histogram_stats h).Obs.sum)
+
+let phase name f = snd (timed name f)
 
 (* ------------------------------------------------------------------ *)
 (* figure benches                                                      *)
@@ -366,13 +379,8 @@ let engine_bench () =
   let batch =
     List.init batch_size (fun i -> List.nth shapes (i mod nshapes))
   in
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    f ();
-    Unix.gettimeofday () -. t0
-  in
   let naive_s =
-    time (fun () ->
+    phase "engine.naive" (fun () ->
         List.iter
           (fun spec ->
             let c = E.build spec in
@@ -382,8 +390,8 @@ let engine_bench () =
   in
   let domains = min 4 (max 2 (Domain.recommended_domain_count () - 1)) in
   let engine = E.create ~domains ~capacity:1024 () in
-  let cold_s = time (fun () -> ignore (E.eval_batch engine batch)) in
-  let warm_s = time (fun () -> ignore (E.eval_batch engine batch)) in
+  let cold_s = phase "engine.cold" (fun () -> ignore (E.eval_batch engine batch)) in
+  let warm_s = phase "engine.warm" (fun () -> ignore (E.eval_batch engine batch)) in
   let stats = E.stats engine in
   E.shutdown engine;
   let speedup_cold = naive_s /. cold_s and speedup_warm = naive_s /. warm_s in
@@ -432,11 +440,6 @@ let engine_bench () =
    per-model perf trajectory successive PRs can diff, generated from the
    registry so a newly registered model shows up with zero bench edits. *)
 let models_bench () =
-  let time f =
-    let t0 = Unix.gettimeofday () in
-    let x = f () in
-    (x, Unix.gettimeofday () -. t0)
-  in
   let s = input_simplex 2 in
   let rows =
     Model_complex.all ()
@@ -446,9 +449,10 @@ let models_bench () =
              | Ok spec -> spec
              | Error msg -> failwith (M.name ^ ": " ^ msg)
            in
-           let c1, r1_s = time (fun () -> M.rounds (spec 1) s) in
-           let conn, conn_s = time (fun () -> Homology.connectivity c1) in
-           let c2, r2_s = time (fun () -> M.rounds (spec 2) s) in
+           let timed_m p f = timed (Printf.sprintf "model.%s.%s" M.name p) f in
+           let c1, r1_s = timed_m "r1" (fun () -> M.rounds (spec 1) s) in
+           let conn, conn_s = timed_m "conn" (fun () -> Homology.connectivity c1) in
+           let c2, r2_s = timed_m "r2" (fun () -> M.rounds (spec 2) s) in
            (M.name, r1_s, conn_s, conn, Complex.num_simplices c1, r2_s,
             Complex.num_simplices c2))
   in

@@ -51,6 +51,23 @@ let describe ?(show_facets = false) ?(integral = false) ?dot ?svg ?save name c =
 (* flags                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* every subcommand takes --trace FILE: the run executes with a JSONL
+   channel sink installed, so spans and events from every layer (serve,
+   engine, pool, homology, models, sim) land in one file *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON-lines span/event trace of this run to $(docv) (see \
+           docs/OBSERVABILITY.md).")
+
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path -> Psph_obs.Obs.with_trace_file path f
+
 let n_arg =
   Arg.(value & opt int 2 & info [ "n" ] ~docv:"N" ~doc:"Dimension: $(docv)+1 processes.")
 
@@ -117,7 +134,8 @@ let model_arg =
 (* ------------------------------------------------------------------ *)
 
 let pseudosphere_cmd =
-  let run n values facets integral dot svg save =
+  let run trace n values facets integral dot svg save =
+    with_trace trace @@ fun () ->
     let ps =
       Psph.uniform ~base:(Simplex.proc_simplex n)
         (List.init values (fun i -> Label.Int i))
@@ -130,8 +148,8 @@ let pseudosphere_cmd =
   Cmd.v
     (Cmd.info "pseudosphere" ~doc:"Build psi(P^n; {0..V-1}) (Definition 3).")
     Term.(
-      const run $ n_arg $ values_arg $ facets_arg $ integral_arg $ dot_arg
-      $ svg_arg $ save_arg)
+      const run $ trace_arg $ n_arg $ values_arg $ facets_arg $ integral_arg
+      $ dot_arg $ svg_arg $ save_arg)
 
 (* fail like a flag parse error: message plus the registered alternatives *)
 let validated (module M : Model_complex.MODEL) spec =
@@ -151,7 +169,8 @@ let build_complex ((module M : Model_complex.MODEL) as m) spec ~values ~over =
 
 (* one subcommand per registered model, generated from the registry *)
 let model_cmd ((module M : Model_complex.MODEL) as m) =
-  let run n f k p r values over facets integral dot svg save =
+  let run trace n f k p r values over facets integral dot svg save =
+    with_trace trace @@ fun () ->
     let spec = validated m { Model_complex.n; f; k; p; r } in
     let c = build_complex m spec ~values ~over in
     describe ~show_facets:facets ~integral ?dot ?svg ?save M.name c;
@@ -162,12 +181,13 @@ let model_cmd ((module M : Model_complex.MODEL) as m) =
   in
   Cmd.v (Cmd.info M.name ~doc:M.doc)
     Term.(
-      const run $ n_arg $ f_arg $ k_arg $ p_arg $ r_arg $ values_arg
-      $ over_inputs_arg $ facets_arg $ integral_arg $ dot_arg $ svg_arg
-      $ save_arg)
+      const run $ trace_arg $ n_arg $ f_arg $ k_arg $ p_arg $ r_arg
+      $ values_arg $ over_inputs_arg $ facets_arg $ integral_arg $ dot_arg
+      $ svg_arg $ save_arg)
 
 let models_cmd =
-  let run list =
+  let run trace list =
+    with_trace trace @@ fun () ->
     if list then List.iter print_endline (Model_complex.names ())
     else
       List.iter
@@ -180,10 +200,11 @@ let models_cmd =
   in
   Cmd.v
     (Cmd.info "models" ~doc:"List the registered message-passing models.")
-    Term.(const run $ list_arg)
+    Term.(const run $ trace_arg $ list_arg)
 
 let decide_cmd =
-  let run model n f k p r task_k =
+  let run trace model n f k p r task_k =
+    with_trace trace @@ fun () ->
     let values = task_k + 1 in
     let c =
       build_complex model { Model_complex.n; f; k; p; r } ~values ~over:true
@@ -198,10 +219,13 @@ let decide_cmd =
   Cmd.v
     (Cmd.info "decide"
        ~doc:"Search for a k-set agreement decision map on a protocol complex.")
-    Term.(const run $ model_arg $ n_arg $ f_arg $ k_arg $ p_arg $ r_arg $ task_k_arg)
+    Term.(
+      const run $ trace_arg $ model_arg $ n_arg $ f_arg $ k_arg $ p_arg $ r_arg
+      $ task_k_arg)
 
 let bound_cmd =
-  let run n f k c1 c2 d =
+  let run trace n f k c1 c2 d =
+    with_trace trace @@ fun () ->
     Format.printf "Corollary 13 (async): %d-set agreement with f=%d is %s@." k f
       (if Lower_bound.corollary13_impossible ~f ~k then "impossible"
        else "not excluded");
@@ -215,10 +239,11 @@ let bound_cmd =
   let d_arg = Arg.(value & opt int 10 & info [ "d" ] ~doc:"Max message delay.") in
   Cmd.v
     (Cmd.info "bound" ~doc:"Evaluate the paper's closed-form lower bounds.")
-    Term.(const run $ n_arg $ f_arg $ k_arg $ c1_arg $ c2_arg $ d_arg)
+    Term.(const run $ trace_arg $ n_arg $ f_arg $ k_arg $ c1_arg $ c2_arg $ d_arg)
 
 let mv_cmd =
-  let run ((module M : Model_complex.MODEL) as model) n f k p =
+  let run trace ((module M : Model_complex.MODEL) as model) n f k p =
+    with_trace trace @@ fun () ->
     let spec = validated model { Model_complex.n; f; k; p; r = 1 } in
     match M.pseudosphere_decomposition with
     | None ->
@@ -237,10 +262,11 @@ let mv_cmd =
   Cmd.v
     (Cmd.info "mv"
        ~doc:"Print a Mayer-Vietoris connectivity derivation (Theorem 2).")
-    Term.(const run $ model_arg $ n_arg $ f_arg $ k_arg $ p_arg)
+    Term.(const run $ trace_arg $ model_arg $ n_arg $ f_arg $ k_arg $ p_arg)
 
 let run_cmd =
-  let run n f crash_round victim heard =
+  let run trace n f crash_round victim heard =
+    with_trace trace @@ fun () ->
     let protocol = Protocols.flood_consensus ~f in
     let plan =
       if victim < 0 then [] else [ (crash_round, victim, Pid.Set.of_list heard) ]
@@ -267,16 +293,30 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run flooding consensus under a crash plan.")
-    Term.(const run $ n_arg $ f_arg $ crash_round_arg $ victim_arg $ heard_arg)
+    Term.(
+      const run $ trace_arg $ n_arg $ f_arg $ crash_round_arg $ victim_arg
+      $ heard_arg)
 
 let serve_cmd =
-  let run domains cache_size persist par_threshold =
+  let run trace metrics domains cache_size persist par_threshold =
+    with_trace trace @@ fun () ->
     let engine =
       Psph_engine.Engine.create ~domains ~capacity:cache_size ?persist
         ~par_threshold ()
     in
     Psph_engine.Serve.run engine stdin stdout;
-    Psph_engine.Engine.shutdown engine
+    Psph_engine.Engine.shutdown engine;
+    (* stderr, so the stdout protocol stream stays parseable *)
+    if metrics then
+      prerr_endline (Psph_obs.Jsonl.to_string (Psph_obs.Obs.snapshot_json ()))
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "On exit, print the full metrics snapshot (counters, gauges, \
+             histograms, span totals) as one JSON object on stderr.")
   in
   let domains_arg =
     Arg.(
@@ -308,8 +348,93 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Serve topology queries over JSON lines on stdin/stdout (ops: betti, \
-          connectivity, psph, model-complex, batch, stats; see docs/ENGINE.md).")
-    Term.(const run $ domains_arg $ cache_arg $ persist_arg $ par_threshold_arg)
+          connectivity, psph, model-complex, batch, models, stats, metrics; \
+          see docs/ENGINE.md).")
+    Term.(
+      const run $ trace_arg $ metrics_arg $ domains_arg $ cache_arg
+      $ persist_arg $ par_threshold_arg)
+
+let sim_cmd =
+  let run trace c1 c2 d n until slow_solo after_step validate =
+    with_trace trace @@ fun () ->
+    if c1 < 1 || c2 < c1 || d < 1 then begin
+      Format.eprintf "psc: sim needs 1 <= c1 <= c2 and d >= 1@.";
+      exit 2
+    end;
+    let cfg = { Sim.c1; c2; d } in
+    let adv =
+      match slow_solo with
+      | None -> Sim.lockstep cfg
+      | Some survivor ->
+          let after_step =
+            match after_step with
+            | Some s -> s
+            | None -> Sim.microrounds cfg (* one full round, then alone *)
+          in
+          Sim.slow_solo cfg ~survivor ~after_step
+    in
+    let t = Sim.run cfg ~n adv ~until in
+    Pid.Map.iter
+      (fun q events ->
+        let steps, recvs =
+          List.fold_left
+            (fun (s, r) -> function
+              | Sim.Stepped _ -> (s + 1, r)
+              | Sim.Received _ -> (s, r + 1))
+            (0, 0) events
+        in
+        Format.printf "%a: %d steps, %d receives@." Pid.pp q steps recvs)
+      t;
+    if validate then
+      match Trace_check.validate cfg t with
+      | [] -> Format.printf "trace satisfies the timing model@."
+      | violations ->
+          List.iter
+            (fun v -> Format.eprintf "violation: %a@." Trace_check.pp_violation v)
+            violations;
+          exit 1
+  in
+  let c1_arg = Arg.(value & opt int 1 & info [ "c1" ] ~doc:"Min step interval.") in
+  let c2_arg = Arg.(value & opt int 2 & info [ "c2" ] ~doc:"Max step interval.") in
+  let d_arg = Arg.(value & opt int 4 & info [ "d" ] ~doc:"Max message delay.") in
+  let until_arg =
+    Arg.(value & opt int 20 & info [ "until" ] ~docv:"T" ~doc:"Simulate through time $(docv).")
+  in
+  let slow_solo_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "slow-solo" ] ~docv:"PID"
+          ~doc:
+            "Use the slow-solo adversary: everyone else crashes after \
+             $(b,--after-step) and $(docv) continues at the slowest legal pace.")
+  in
+  let after_step_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "after-step" ] ~docv:"S"
+          ~doc:
+            "Step after which the slow-solo crash happens (default: one full \
+             round of microrounds).")
+  in
+  let validate_arg =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "Re-check the produced trace against the timing-model axioms \
+             (step intervals, delivery bound, FIFO, no spoofing); exit \
+             non-zero and print each violation if any fail.")
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:
+         "Run the semi-synchronous discrete-event simulator (Section 8) and \
+          optionally validate the trace against the model's axioms.")
+    Term.(
+      const run $ trace_arg $ c1_arg $ c2_arg $ d_arg $ n_arg $ until_arg
+      $ slow_solo_arg $ after_step_arg $ validate_arg)
 
 let () =
   let doc = "pseudosphere calculator (Herlihy-Rajsbaum-Tuttle, PODC 1998)" in
@@ -319,4 +444,4 @@ let () =
        (Cmd.group info
           (List.map model_cmd (Model_complex.all ())
           @ [ pseudosphere_cmd; models_cmd; decide_cmd; bound_cmd; mv_cmd;
-              run_cmd; serve_cmd ])))
+              run_cmd; sim_cmd; serve_cmd ])))

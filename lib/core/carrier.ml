@@ -1,3 +1,4 @@
+open Psph_obs
 open Psph_topology
 
 let over_facets step c =
@@ -6,7 +7,21 @@ let over_facets step c =
     Complex.empty (Complex.facets c)
 
 let iterate step r s =
-  let rec loop r c = if r <= 0 then c else loop (r - 1) (over_facets step c) in
+  let rec loop k c =
+    if k <= 0 then c
+    else begin
+      (* trace-only round marker; the sink check keeps the null-sink path
+         from paying for the simplex count (Set cardinal is O(n)) *)
+      if Obs.current_sink () <> Obs.Null then
+        Obs.event "model.round"
+          ~attrs:
+            [
+              ("round", Jsonl.int (r - k + 1));
+              ("simplices", Jsonl.int (Complex.num_simplices c));
+            ];
+      loop (k - 1) (over_facets step c)
+    end
+  in
   loop r (Complex.of_simplex s)
 
 (* The r-round iteration must recurse on the facets of every branch
@@ -29,6 +44,9 @@ let compose ~branches r s =
       match Hashtbl.find_opt memo key with
       | Some c -> c
       | None ->
+          (* one trace event per distinct (rounds-remaining, state) node
+             actually expanded; memo hits are silent *)
+          Obs.event "model.round" ~attrs:[ ("remaining", Jsonl.int r) ];
           let c =
             List.fold_left
               (fun acc b ->

@@ -1,3 +1,4 @@
+open Psph_obs
 open Psph_topology
 open Psph_model
 
@@ -33,10 +34,39 @@ let order : string list ref = ref []
 
 let name_of (module M : MODEL) = M.name
 
+let encode_with (module M : MODEL) spec =
+  let { n; f; k; p; r } = M.normalize spec in
+  Printf.sprintf "%s:n=%d,f=%d,k=%d,p=%d,r=%d" M.name n f k p r
+
+(* every registered model's complex constructions run inside
+   [model.one_round] / [model.rounds] spans carrying the canonical spec,
+   so model cost is attributed in traces no matter which front end (psc,
+   serve, engine, tests) asked — models register plain code and get
+   instrumentation for free *)
+let instrument ((module M : MODEL) : model) : model =
+  (module struct
+    include M
+
+    let one_round spec s =
+      Obs.with_span "model.one_round"
+        ~attrs:[ ("spec", Jsonl.Str (encode_with (module M) spec)) ]
+        (fun _ -> M.one_round spec s)
+
+    let rounds spec s =
+      Obs.with_span "model.rounds"
+        ~attrs:[ ("spec", Jsonl.Str (encode_with (module M) spec)) ]
+        (fun _ -> M.rounds spec s)
+
+    let over_inputs spec c =
+      Obs.with_span "model.over_inputs"
+        ~attrs:[ ("spec", Jsonl.Str (encode_with (module M) spec)) ]
+        (fun _ -> M.over_inputs spec c)
+  end)
+
 let register ((module M : MODEL) as m) =
   if Hashtbl.mem registry M.name then
     invalid_arg ("Model_complex.register: duplicate model " ^ M.name);
-  Hashtbl.replace registry M.name m;
+  Hashtbl.replace registry M.name (instrument m);
   order := !order @ [ M.name ]
 
 let names () = !order
@@ -53,9 +83,7 @@ let get name =
 
 let all () = List.map (fun n -> Hashtbl.find registry n) !order
 
-let encode (module M : MODEL) spec =
-  let { n; f; k; p; r } = M.normalize spec in
-  Printf.sprintf "%s:n=%d,f=%d,k=%d,p=%d,r=%d" M.name n f k p r
+let encode = encode_with
 
 (* ------------------------------------------------------------------ *)
 (* the generic Lemma 11/14/19 relabelling                              *)

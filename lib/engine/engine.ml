@@ -22,12 +22,23 @@
    bounded LRU holds the actual answers, and a spec whose answer was
    evicted just recomputes and re-enters.
 
-   Thread-safety: the engine lock guards both tables and the counters.
-   The underlying computations are safe to run on worker domains because
-   [Intern]'s tables are mutex-guarded and everything else on the path is
-   immutable (a racing duplicate miss computes the same answer twice and
-   the second [Lru.add] is a no-op overwrite — wasteful, never wrong). *)
+   Observability: every [eval] runs in an [engine.query] root span
+   carrying the content key and the hit/miss outcome, so a trace can tell
+   a cache hit from a cold compute at a glance; build and compute wall
+   time go to the [engine.build_s] / [engine.compute_s] histograms, the
+   query count to the [engine.queries] counter, and the cache and pool
+   report themselves under [engine.cache.*] / [engine.pool.*].  There is
+   no private timing state left in this module — [stats] is a read of the
+   {!Obs} registry, which also means it aggregates across every engine
+   instance in the process.
 
+   Thread-safety: the engine lock guards both tables.  The underlying
+   computations are safe to run on worker domains because [Intern]'s
+   tables are mutex-guarded and everything else on the path is immutable
+   (a racing duplicate miss computes the same answer twice and the second
+   [Lru.add] is a no-op overwrite — wasteful, never wrong). *)
+
+open Psph_obs
 open Psph_topology
 open Pseudosphere
 
@@ -65,6 +76,12 @@ let spec_key_of = function
   | Model { model; params } ->
       Some (SModel (Model_complex.encode (Model_complex.get model) params))
 
+let queries_c = lazy (Obs.counter "engine.queries")
+
+let build_h = lazy (Obs.histogram "engine.build_s")
+
+let compute_h = lazy (Obs.histogram "engine.compute_s")
+
 type t = {
   pool : Pool.t;
   cache : (Key.t, answer) Lru.t;
@@ -72,9 +89,6 @@ type t = {
   lock : Mutex.t;
   persist : string option;
   par_threshold : int;
-  mutable queries : int;
-  mutable build_s : float;
-  mutable compute_s : float;
 }
 
 let default_domains () =
@@ -84,15 +98,12 @@ let create ?domains ?(capacity = 4096) ?persist ?(par_threshold = 2048) () =
   let domains = match domains with Some d -> d | None -> default_domains () in
   let t =
     {
-      pool = Pool.create ~domains;
-      cache = Lru.create ~capacity;
+      pool = Pool.create ~metrics:"engine.pool" ~domains ();
+      cache = Lru.create ~metrics:"engine.cache" ~capacity ();
       spec_memo = Hashtbl.create 64;
       lock = Mutex.create ();
       persist;
       par_threshold;
-      queries = 0;
-      build_s = 0.0;
-      compute_s = 0.0;
     }
   in
   Option.iter
@@ -162,52 +173,54 @@ let compute t c =
   else List.iter (fun (d, job) -> r.(d) <- job ()) jobs;
   answer_of_ranks c r
 
-let now () = Unix.gettimeofday ()
-
 (* slow path: build the complex, derive its content key, consult the LRU.
    [sk_opt] is the caller's spec key, recorded so the next occurrence of
    the same spec takes the fast path. *)
 let eval_uncached t sk_opt spec =
-  let t0 = now () in
+  let t0 = Obs.now () in
   let c = build spec in
   let key = Key.of_complex c in
-  let t1 = now () in
+  let t1 = Obs.now () in
+  Obs.observe (Lazy.force build_h) (t1 -. t0);
   Mutex.lock t.lock;
-  t.build_s <- t.build_s +. (t1 -. t0);
   Option.iter (fun sk -> Hashtbl.replace t.spec_memo sk key) sk_opt;
   let hit = Lru.find_opt t.cache key in
   Mutex.unlock t.lock;
   match hit with
   | Some answer -> { key; answer; cached = true }
   | None ->
-      let answer = compute t c in
-      let t2 = now () in
+      let answer =
+        Obs.time (Lazy.force compute_h) (fun () -> compute t c)
+      in
       Mutex.lock t.lock;
-      t.compute_s <- t.compute_s +. (t2 -. t1);
       Lru.add t.cache key answer;
       Mutex.unlock t.lock;
       { key; answer; cached = false }
 
 let eval t spec =
-  let sk_opt = spec_key_of spec in
-  Mutex.lock t.lock;
-  t.queries <- t.queries + 1;
-  let fast =
-    match sk_opt with
-    | None -> None
-    | Some sk -> (
-        match Hashtbl.find_opt t.spec_memo sk with
+  Obs.with_span "engine.query" (fun sp ->
+      Obs.incr (Lazy.force queries_c);
+      let sk_opt = spec_key_of spec in
+      Mutex.lock t.lock;
+      let fast =
+        match sk_opt with
         | None -> None
-        | Some key -> (
-            match Lru.find_opt t.cache key with
-            | Some answer -> Some { key; answer; cached = true }
-            | None ->
-                (* the answer was evicted; drop the binding and rebuild *)
-                Hashtbl.remove t.spec_memo sk;
-                None))
-  in
-  Mutex.unlock t.lock;
-  match fast with Some r -> r | None -> eval_uncached t sk_opt spec
+        | Some sk -> (
+            match Hashtbl.find_opt t.spec_memo sk with
+            | None -> None
+            | Some key -> (
+                match Lru.find_opt t.cache key with
+                | Some answer -> Some { key; answer; cached = true }
+                | None ->
+                    (* the answer was evicted; drop the binding and rebuild *)
+                    Hashtbl.remove t.spec_memo sk;
+                    None))
+      in
+      Mutex.unlock t.lock;
+      let r = match fast with Some r -> r | None -> eval_uncached t sk_opt spec in
+      Obs.set_attr sp "key" (Jsonl.Str (Key.to_hex r.key));
+      Obs.set_attr sp "cached" (Jsonl.Bool r.cached);
+      r)
 
 let eval_batch t specs =
   if Pool.size t.pool = 0 then List.map (eval t) specs
@@ -215,21 +228,19 @@ let eval_batch t specs =
 
 let stats t =
   Mutex.lock t.lock;
-  let s =
-    {
-      hits = Lru.hits t.cache;
-      misses = Lru.misses t.cache;
-      evictions = Lru.evictions t.cache;
-      cache_len = Lru.length t.cache;
-      jobs = Pool.jobs_run t.pool;
-      queries = t.queries;
-      domains = Pool.size t.pool;
-      build_s = t.build_s;
-      compute_s = t.compute_s;
-    }
-  in
+  let cache_len = Lru.length t.cache in
   Mutex.unlock t.lock;
-  s
+  {
+    hits = Lru.hits t.cache;
+    misses = Lru.misses t.cache;
+    evictions = Lru.evictions t.cache;
+    cache_len;
+    jobs = Pool.jobs_run t.pool;
+    queries = Obs.counter_value (Lazy.force queries_c);
+    domains = Pool.size t.pool;
+    build_s = (Obs.histogram_stats (Lazy.force build_h)).Obs.sum;
+    compute_s = (Obs.histogram_stats (Lazy.force compute_h)).Obs.sum;
+  }
 
 let flush t =
   Option.iter

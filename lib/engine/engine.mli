@@ -8,7 +8,9 @@
     Misses run their per-dimension boundary-rank eliminations on a
     {!Pool.t} of worker domains when the complex is large enough to pay
     for the fan-out; batches additionally evaluate independent queries in
-    parallel.  See docs/ENGINE.md for policies and the wire protocol. *)
+    parallel.  Every {!eval} runs in an [engine.query] span carrying the
+    content key and hit/miss outcome (see docs/OBSERVABILITY.md).  See
+    docs/ENGINE.md for policies and the wire protocol. *)
 
 open Psph_topology
 open Pseudosphere
@@ -40,6 +42,11 @@ type stats = {
   build_s : float;  (** wall time spent building + keying complexes *)
   compute_s : float;  (** wall time spent in homology on cache misses *)
 }
+(** A read of the {!Psph_obs.Obs} registry ([engine.cache.*],
+    [engine.pool.*], [engine.queries], [engine.build_s],
+    [engine.compute_s]) plus this engine's cache length.  The registry is
+    process-global, so with several engines in one process the counters
+    aggregate across them. *)
 
 type t
 

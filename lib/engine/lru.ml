@@ -1,7 +1,13 @@
 (* A size-bounded LRU memo table: hashtable for lookup, intrusive
    doubly-linked list for recency order.  Not thread-safe on its own; the
    engine serializes access under its lock (cache operations are tiny next
-   to the homology computations they memoize, so one lock is plenty). *)
+   to the homology computations they memoize, so one lock is plenty).
+
+   Hit/miss/eviction accounting lives in the {!Obs} registry under the
+   [metrics] prefix, not in private fields: instances sharing a prefix
+   share the counters, and the serve [metrics] op sees them for free. *)
+
+open Psph_obs
 
 type ('k, 'v) node = {
   nkey : 'k;
@@ -15,32 +21,32 @@ type ('k, 'v) t = {
   tbl : ('k, ('k, 'v) node) Hashtbl.t;
   mutable mru : ('k, 'v) node option;
   mutable lru : ('k, 'v) node option;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
+  hits : Obs.counter;
+  misses : Obs.counter;
+  evictions : Obs.counter;
 }
 
-let create ~capacity =
+let create ?(metrics = "lru") ~capacity () =
   if capacity < 1 then invalid_arg "Lru.create: capacity must be positive";
   {
     capacity;
     tbl = Hashtbl.create (min capacity 1024);
     mru = None;
     lru = None;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
+    hits = Obs.counter (metrics ^ ".hits");
+    misses = Obs.counter (metrics ^ ".misses");
+    evictions = Obs.counter (metrics ^ ".evictions");
   }
 
 let length t = Hashtbl.length t.tbl
 
 let capacity t = t.capacity
 
-let hits t = t.hits
+let hits t = Obs.counter_value t.hits
 
-let misses t = t.misses
+let misses t = Obs.counter_value t.misses
 
-let evictions t = t.evictions
+let evictions t = Obs.counter_value t.evictions
 
 let unlink t n =
   (match n.prev with Some p -> p.next <- n.next | None -> t.mru <- n.next);
@@ -57,10 +63,10 @@ let push_front t n =
 let find_opt t k =
   match Hashtbl.find_opt t.tbl k with
   | None ->
-      t.misses <- t.misses + 1;
+      Obs.incr t.misses;
       None
   | Some n ->
-      t.hits <- t.hits + 1;
+      Obs.incr t.hits;
       if t.mru != Some n then begin
         unlink t n;
         push_front t n
@@ -73,7 +79,7 @@ let evict_lru t =
   | Some n ->
       unlink t n;
       Hashtbl.remove t.tbl n.nkey;
-      t.evictions <- t.evictions + 1
+      Obs.incr t.evictions
 
 let add t k v =
   match Hashtbl.find_opt t.tbl k with

@@ -6,18 +6,36 @@
    Deadlock safety: [submit] called from inside a worker runs the job
    inline instead of enqueuing.  Without this, a query job that fans out
    per-dimension rank jobs and awaits them could fill every worker with
-   waiters and leave nobody to run the inner jobs. *)
+   waiters and leave nobody to run the inner jobs.
+
+   Observability: queue depth and busy-worker gauges, dequeued/inline job
+   counters and a per-job latency histogram are registered in {!Obs} under
+   the [metrics] prefix.  Each queued job runs inside a [<metrics>.job]
+   span whose parent is the span that was current at [submit] time — the
+   bridge that keeps a worker's rank eliminations nested under the request
+   that asked for them. *)
+
+open Psph_obs
 
 type job = { run : unit -> unit }
+
+type metrics = {
+  span_name : string;
+  jobs : Obs.counter;  (** dequeued by a worker *)
+  inline : Obs.counter;  (** ran inline: zero domains or nested submit *)
+  depth : Obs.gauge;  (** jobs currently queued *)
+  busy : Obs.gauge;  (** workers currently running a job *)
+  job_s : Obs.histogram;  (** per-dequeued-job wall time *)
+}
 
 type t = {
   m : Mutex.t;
   nonempty : Condition.t;
   queue : job Queue.t;
   mutable stopping : bool;
-  mutable jobs_run : int;
   mutable workers : unit Domain.t array;
   mutable worker_ids : Domain.id list;
+  metrics : metrics;
 }
 
 type 'a state = Pending | Done of 'a | Failed of exn
@@ -26,11 +44,7 @@ type 'a future = { fm : Mutex.t; fc : Condition.t; mutable state : 'a state }
 
 let size t = Array.length t.workers
 
-let jobs_run t =
-  Mutex.lock t.m;
-  let n = t.jobs_run in
-  Mutex.unlock t.m;
-  n
+let jobs_run t = Obs.counter_value t.metrics.jobs
 
 let in_worker t = List.mem (Domain.self ()) t.worker_ids
 
@@ -42,22 +56,33 @@ let rec worker_loop t =
   if Queue.is_empty t.queue then Mutex.unlock t.m (* stopping: drain done *)
   else begin
     let job = Queue.pop t.queue in
-    t.jobs_run <- t.jobs_run + 1;
     Mutex.unlock t.m;
-    job.run ();
+    Obs.incr t.metrics.jobs;
+    Obs.gauge_add t.metrics.depth (-1.0);
+    Obs.gauge_add t.metrics.busy 1.0;
+    Fun.protect ~finally:(fun () -> Obs.gauge_add t.metrics.busy (-1.0))
+      (fun () -> Obs.time t.metrics.job_s job.run);
     worker_loop t
   end
 
-let create ~domains =
+let create ?(metrics = "pool") ~domains () =
   let t =
     {
       m = Mutex.create ();
       nonempty = Condition.create ();
       queue = Queue.create ();
       stopping = false;
-      jobs_run = 0;
       workers = [||];
       worker_ids = [];
+      metrics =
+        {
+          span_name = metrics ^ ".job";
+          jobs = Obs.counter (metrics ^ ".jobs");
+          inline = Obs.counter (metrics ^ ".inline");
+          depth = Obs.gauge (metrics ^ ".queue_depth");
+          busy = Obs.gauge (metrics ^ ".busy");
+          job_s = Obs.histogram (metrics ^ ".job_s");
+        };
     }
   in
   let n = max 0 domains in
@@ -66,17 +91,29 @@ let create ~domains =
   t.worker_ids <- Array.to_list (Array.map Domain.get_id workers);
   t
 
-let run_inline f =
+let run_inline t f =
+  Obs.incr t.metrics.inline;
   match f () with
   | v -> { fm = Mutex.create (); fc = Condition.create (); state = Done v }
-  | exception e -> { fm = Mutex.create (); fc = Condition.create (); state = Failed e }
+  | exception e ->
+      { fm = Mutex.create (); fc = Condition.create (); state = Failed e }
 
 let submit t f =
-  if Array.length t.workers = 0 || in_worker t then run_inline f
+  if Array.length t.workers = 0 || in_worker t then run_inline t f
   else begin
     let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+    (* re-root the job's spans under whatever span is submitting, so the
+       trace nests request -> pool job -> the work, across domains *)
+    let parent = Obs.current_span_id () in
     let run () =
-      let outcome = match f () with v -> Done v | exception e -> Failed e in
+      let outcome =
+        match
+          Obs.with_parent parent (fun () ->
+              Obs.with_span t.metrics.span_name (fun _ -> f ()))
+        with
+        | v -> Done v
+        | exception e -> Failed e
+      in
       Mutex.lock fut.fm;
       fut.state <- outcome;
       Condition.broadcast fut.fc;
@@ -88,6 +125,7 @@ let submit t f =
       invalid_arg "Pool.submit: pool is shut down"
     end;
     Queue.push { run } t.queue;
+    Obs.gauge_add t.metrics.depth 1.0;
     Condition.signal t.nonempty;
     Mutex.unlock t.m;
     fut

@@ -5,20 +5,29 @@
     value or exception.  A pool of zero domains degenerates to inline
     execution, and a submit from inside a worker also runs inline, so
     nested fan-out (a query job spawning per-dimension rank jobs) cannot
-    deadlock the queue. *)
+    deadlock the queue.
+
+    All accounting flows through the {!Psph_obs.Obs} registry under the
+    [metrics] name prefix: counters [<metrics>.jobs] (dequeued) and
+    [<metrics>.inline], gauges [<metrics>.queue_depth] and
+    [<metrics>.busy] (worker utilization), histogram [<metrics>.job_s].
+    Each queued job runs in a [<metrics>.job] span parented to the span
+    current at submit time, so traces stay nested across domains. *)
 
 type t
 
 type 'a future
 
-val create : domains:int -> t
-(** Spawn [max 0 domains] worker domains. *)
+val create : ?metrics:string -> domains:int -> unit -> t
+(** Spawn [max 0 domains] worker domains.  [metrics] (default ["pool"])
+    prefixes the registered metric and span names. *)
 
 val size : t -> int
 (** Number of worker domains. *)
 
 val jobs_run : t -> int
-(** Jobs dequeued by workers so far (inline runs are not counted). *)
+(** Current value of the shared [<metrics>.jobs] counter (jobs dequeued
+    by workers; inline runs are counted under [<metrics>.inline]). *)
 
 val submit : t -> (unit -> 'a) -> 'a future
 (** Enqueue a job (or run it inline, see above).

@@ -8,6 +8,7 @@
      {"op":"batch",         "requests":[ <any of the above> ]}
      {"op":"models"}
      {"op":"stats"}
+     {"op":"metrics"}
 
    "model" accepts any name registered in Model_complex (the "models" op
    lists them); an unknown name errors with the available list.
@@ -17,9 +18,21 @@
    echo "id" when present, carry "ok", and on success the canonical "key",
    the requested measurements, and "cached".  A batch response holds
    "results" in request order; its members are evaluated in parallel on
-   the engine's pool.  Malformed input yields {"ok":false,"error":...} and
-   the loop keeps going — one bad request must not kill the server. *)
+   the engine's pool.
 
+   Robustness: [handle_line] never raises.  Expected failures (parse
+   errors, bad requests, invalid parameters) and unexpected handler
+   exceptions alike produce {"ok":false,"error":...} — echoing the
+   request's "id" when one was parsed — and the loop keeps going.  One
+   bad request must not kill the server.
+
+   Observability: each line runs in a [serve.request] span carrying a
+   process-wide request counter and the parsed op name, and its wall time
+   lands in a per-op [serve.op.<op>] histogram ("invalid" when no op was
+   parsed).  The [metrics] op — and a "metrics" field on [stats] —
+   returns the full {!Obs.snapshot_json}. *)
+
+open Psph_obs
 open Psph_topology
 
 exception Bad_request of string
@@ -130,7 +143,11 @@ let stats_response engine =
             ("build_s", Jsonl.Num s.build_s);
             ("compute_s", Jsonl.Num s.compute_s);
           ] );
+      ("metrics", Obs.snapshot_json ());
     ]
+
+let metrics_response () =
+  Jsonl.Obj [ ("ok", Jsonl.Bool true); ("metrics", Obs.snapshot_json ()) ]
 
 let models_response () =
   Jsonl.Obj
@@ -146,6 +163,7 @@ let models_response () =
 let handle_request engine req =
   match Option.bind (Jsonl.member "op" req) Jsonl.to_string_opt with
   | Some "stats" -> stats_response engine
+  | Some "metrics" -> metrics_response ()
   | Some "models" -> models_response ()
   | Some "batch" ->
       let requests =
@@ -180,16 +198,41 @@ let handle_request engine req =
       let spec, want = spec_of_request req in
       Jsonl.Obj (with_id req (result_fields want (Engine.eval engine spec)))
 
+(* process-wide request counter; attached to every [serve.request] span so
+   a trace's requests stay distinguishable even without client "id"s *)
+let request_ids = Atomic.make 0
+
+let requests_c = lazy (Obs.counter "serve.requests")
+
 let handle_line engine line =
-  let response =
-    match Jsonl.of_string line with
-    | exception Jsonl.Parse_error m -> error_response ("parse error: " ^ m)
-    | req -> (
-        try handle_request engine req with
-        | Bad_request m -> error_response ~req m
-        | Invalid_argument m | Failure m -> error_response ~req m)
-  in
-  Jsonl.to_string response
+  let rid = Atomic.fetch_and_add request_ids 1 in
+  Obs.incr (Lazy.force requests_c);
+  Obs.with_span "serve.request"
+    ~attrs:[ ("request", Jsonl.int rid) ]
+    (fun sp ->
+      let t0 = Obs.now () in
+      let op = ref "invalid" in
+      let response =
+        match Jsonl.of_string line with
+        | exception Jsonl.Parse_error m -> error_response ("parse error: " ^ m)
+        | exception e ->
+            (* e.g. Stack_overflow from pathologically nested input *)
+            error_response ("parse error: " ^ Printexc.to_string e)
+        | req -> (
+            (match Option.bind (Jsonl.member "op" req) Jsonl.to_string_opt with
+            | Some o -> op := o
+            | None -> ());
+            try handle_request engine req with
+            | Bad_request m -> error_response ~req m
+            | Invalid_argument m | Failure m -> error_response ~req m
+            | e ->
+                (* a handler bug or resource blow-up must answer this
+                   request, not kill the serve loop *)
+                error_response ~req ("internal error: " ^ Printexc.to_string e))
+      in
+      Obs.set_attr sp "op" (Jsonl.Str !op);
+      Obs.observe (Obs.histogram ("serve.op." ^ !op)) (Obs.now () -. t0);
+      Jsonl.to_string response)
 
 let run engine ic oc =
   let rec loop () =

@@ -2,13 +2,23 @@
 
     One request object per input line, one response object per output
     line.  Ops: [betti], [connectivity], [psph], [model-complex], [batch]
-    (members evaluated in parallel), [stats].  Malformed requests produce
-    [{"ok":false,"error":...}] responses and the loop continues.  The full
-    wire protocol is specified in docs/ENGINE.md. *)
+    (members evaluated in parallel), [models], [stats], and [metrics]
+    (the full {!Psph_obs.Obs.snapshot_json} of counters, gauges,
+    histograms and span totals; [stats] carries the same snapshot in a
+    "metrics" field).  The full wire protocol is specified in
+    docs/ENGINE.md and docs/OBSERVABILITY.md.
+
+    Every request runs in a [serve.request] span (attrs: a process-wide
+    request counter and the op name) and is timed into a per-op
+    [serve.op.<op>] histogram.
+
+    Malformed requests — and any unexpected exception a handler raises —
+    produce [{"ok":false,"error":...}] responses, echoing the request's
+    ["id"] when one was parsed, and the loop continues. *)
 
 val handle_line : Engine.t -> string -> string
 (** Process one request line, returning the response line (no trailing
-    newline).  Never raises on malformed input. *)
+    newline).  Never raises. *)
 
 val run : Engine.t -> in_channel -> out_channel -> unit
 (** Serve until EOF (responses flushed per line), then {!Engine.flush}. *)

@@ -6,9 +6,23 @@
    e.g. "00ab..ff 0 1,0,1".  Loading is tolerant: malformed lines are
    skipped, so a truncated file (crash mid-flush) costs cache warmth, not
    correctness — content addressing guarantees a stale or corrupt entry
-   can only be dropped, never mismatched. *)
+   can only be dropped, never mismatched.
+
+   Persistence latency and load outcomes are reported through {!Obs}:
+   [store.save_s] (write latency histogram, inside a [store.save] span),
+   [store.load_s], and the [store.loaded] / [store.skipped] counters. *)
+
+open Psph_obs
 
 type entry = { betti : int array; connectivity : int }
+
+let save_s = lazy (Obs.histogram "store.save_s")
+
+let load_s = lazy (Obs.histogram "store.load_s")
+
+let loaded_lines = lazy (Obs.counter "store.loaded")
+
+let skipped_lines = lazy (Obs.counter "store.skipped")
 
 let entry_to_line key e =
   Printf.sprintf "%s %d %s" (Key.to_hex key) e.connectivity
@@ -31,26 +45,38 @@ let entry_of_line line =
   | _ -> None
 
 let save path entries =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  List.iter
-    (fun (key, e) ->
-      output_string oc (entry_to_line key e);
-      output_char oc '\n')
-    entries;
-  close_out oc;
-  Sys.rename tmp path
+  Obs.with_span "store.save"
+    ~attrs:[ ("entries", Jsonl.int (List.length entries)) ]
+    (fun _ ->
+      Obs.time (Lazy.force save_s) (fun () ->
+          let tmp = path ^ ".tmp" in
+          let oc = open_out tmp in
+          List.iter
+            (fun (key, e) ->
+              output_string oc (entry_to_line key e);
+              output_char oc '\n')
+            entries;
+          close_out oc;
+          Sys.rename tmp path))
 
 let load path =
   if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in path in
-    let rec loop acc =
-      match input_line ic with
-      | line -> loop (match entry_of_line line with Some e -> e :: acc | None -> acc)
-      | exception End_of_file -> List.rev acc
-    in
-    let entries = loop [] in
-    close_in ic;
-    entries
-  end
+  else
+    Obs.time (Lazy.force load_s) (fun () ->
+        let ic = open_in path in
+        let rec loop acc =
+          match input_line ic with
+          | line ->
+              loop
+                (match entry_of_line line with
+                | Some e ->
+                    Obs.incr (Lazy.force loaded_lines);
+                    e :: acc
+                | None ->
+                    Obs.incr (Lazy.force skipped_lines);
+                    acc)
+          | exception End_of_file -> List.rev acc
+        in
+        let entries = loop [] in
+        close_in ic;
+        entries)

@@ -3,7 +3,12 @@
     A line-oriented text format ([<hex key> <connectivity> <betti CSV>]);
     {!load} skips malformed lines, so partial writes degrade to cache
     misses.  Writes go through a temp file and rename, so readers never
-    observe a half-written store. *)
+    observe a half-written store.
+
+    Write/load latency and per-line load outcomes are reported through
+    the {!Psph_obs.Obs} registry: histograms [store.save_s] and
+    [store.load_s], counters [store.loaded] and [store.skipped], and a
+    [store.save] span carrying the entry count. *)
 
 type entry = { betti : int array; connectivity : int }
 

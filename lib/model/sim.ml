@@ -1,3 +1,4 @@
+open Psph_obs
 open Psph_topology
 
 type config = { c1 : int; c2 : int; d : int }
@@ -25,6 +26,16 @@ type event = EStep of Pid.t * int | EDeliver of { src : Pid.t; dst : Pid.t; sent
 let clamp lo hi x = max lo (min hi x)
 
 let run cfg ~n adv ~until =
+  Obs.with_span "sim.run"
+    ~attrs:
+      [
+        ("n", Jsonl.int n);
+        ("until", Jsonl.int until);
+        ("c1", Jsonl.int cfg.c1);
+        ("c2", Jsonl.int cfg.c2);
+        ("d", Jsonl.int cfg.d);
+      ]
+  @@ fun _ ->
   let traces = Array.make (n + 1) [] in
   let crashed = Array.make (n + 1) false in
   (* FIFO watermark per channel *)
@@ -58,6 +69,14 @@ let run cfg ~n adv ~until =
         (match ev with
         | EStep (q, step) ->
             if not crashed.(q) then begin
+              (* trace-only: a no-op unless a sink is recording *)
+              Obs.event "sim.step"
+                ~attrs:
+                  [
+                    ("pid", Jsonl.int q);
+                    ("step", Jsonl.int step);
+                    ("time", Jsonl.int time);
+                  ];
               traces.(q) <- Stepped { time; step } :: traces.(q);
               let others = List.filter (fun r -> not (Pid.equal r q)) (Pid.all n) in
               (match adv.crash q with
@@ -71,8 +90,17 @@ let run cfg ~n adv ~until =
                   schedule (time + dt) (EStep (q, step + 1)))
             end
         | EDeliver { src; dst; sent_step } ->
-            if not crashed.(dst) then
-              traces.(dst) <- Received { time; src; sent_step } :: traces.(dst));
+            if not crashed.(dst) then begin
+              Obs.event "sim.deliver"
+                ~attrs:
+                  [
+                    ("src", Jsonl.int src);
+                    ("dst", Jsonl.int dst);
+                    ("sent_step", Jsonl.int sent_step);
+                    ("time", Jsonl.int time);
+                  ];
+              traces.(dst) <- Received { time; src; sent_step } :: traces.(dst)
+            end);
         loop ()
   in
   loop ();

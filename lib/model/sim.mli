@@ -19,7 +19,12 @@
     The output is, per process, the chronological list of observable
     events.  Two executions are indistinguishable to a process up to given
     times when its untimed observation prefixes coincide — the relation
-    driving the time-stretching argument of Corollary 22. *)
+    driving the time-stretching argument of Corollary 22.
+
+    Observability: {!run} executes inside a [sim.run] span (attrs: [n],
+    [until], [c1], [c2], [d]) and emits a [sim.step] / [sim.deliver]
+    trace event per simulated event — no-ops unless an {!Psph_obs.Obs}
+    sink is recording. *)
 
 open Psph_topology
 

@@ -1,3 +1,5 @@
+open Psph_obs
+
 module SMap = Map.Make (Simplex)
 
 (* Reference (slow-path) index and boundary-matrix construction, kept for
@@ -154,7 +156,16 @@ let rank_jobs ?max_dim c =
           Bitmat.rank mat
         end
       in
-      (r, List.init upper (fun i -> (i + 1, fun () -> rank_of_dim (i + 1))))
+      ( r,
+        List.init upper (fun i ->
+            let d = i + 1 in
+            ( d,
+              fun () ->
+                (* each elimination is a [homology.rank] span so traces
+                   show where a query's compute time went, per dimension *)
+                Obs.with_span "homology.rank"
+                  ~attrs:[ ("dim", Jsonl.int d) ]
+                  (fun _ -> rank_of_dim d) )) )
     end
   end
 

@@ -22,7 +22,9 @@ val rank_jobs :
     thunks close over immutable per-dimension key lists built eagerly, so
     they may be evaluated in any order — including concurrently on separate
     domains, which is how the query engine parallelizes one large homology
-    computation.  The caller stores [compute ()] into [r.(d)]. *)
+    computation.  The caller stores [compute ()] into [r.(d)].  Each thunk
+    runs in a [homology.rank] span (attr [dim]) in the {!Psph_obs.Obs}
+    substrate, so per-dimension elimination cost shows up in traces. *)
 
 val reduced_betti : ?max_dim:int -> Complex.t -> int array
 (** [reduced_betti c] is the array of reduced Z/2 Betti numbers

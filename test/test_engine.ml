@@ -11,7 +11,8 @@ module Key = Psph_engine.Key
 module Lru = Psph_engine.Lru
 module Pool = Psph_engine.Pool
 module Store = Psph_engine.Store
-module Jsonl = Psph_engine.Jsonl
+module Jsonl = Psph_obs.Jsonl
+module Obs = Psph_obs.Obs
 module Serve = Psph_engine.Serve
 
 let v = Vertex.anon
@@ -62,8 +63,11 @@ let key_tests =
 
 let lru_tests =
   [
+    (* exact-count assertions need per-test metric prefixes: the Obs
+       registry is process-global, so two Lrus sharing a prefix share
+       counters *)
     Alcotest.test_case "eviction order is least-recently-used" `Quick (fun () ->
-        let l = Lru.create ~capacity:2 in
+        let l = Lru.create ~metrics:"test.lru.evict" ~capacity:2 () in
         Lru.add l "a" 1;
         Lru.add l "b" 2;
         ignore (Lru.find_opt l "a");
@@ -74,20 +78,20 @@ let lru_tests =
         Alcotest.(check (option int)) "c kept" (Some 3) (Lru.find_opt l "c");
         Alcotest.(check int) "one eviction" 1 (Lru.evictions l));
     Alcotest.test_case "counters track hits and misses" `Quick (fun () ->
-        let l = Lru.create ~capacity:4 in
+        let l = Lru.create ~metrics:"test.lru.counts" ~capacity:4 () in
         Lru.add l 1 "x";
         ignore (Lru.find_opt l 1);
         ignore (Lru.find_opt l 2);
         Alcotest.(check int) "hits" 1 (Lru.hits l);
         Alcotest.(check int) "misses" 1 (Lru.misses l));
     Alcotest.test_case "overwrite keeps length" `Quick (fun () ->
-        let l = Lru.create ~capacity:4 in
+        let l = Lru.create ~capacity:4 () in
         Lru.add l 1 "x";
         Lru.add l 1 "y";
         Alcotest.(check int) "length" 1 (Lru.length l);
         Alcotest.(check (option string)) "newest" (Some "y") (Lru.find_opt l 1));
     Alcotest.test_case "to_list is MRU first" `Quick (fun () ->
-        let l = Lru.create ~capacity:4 in
+        let l = Lru.create ~capacity:4 () in
         Lru.add l 1 ();
         Lru.add l 2 ();
         Lru.add l 3 ();
@@ -103,22 +107,22 @@ let lru_tests =
 let pool_tests =
   [
     Alcotest.test_case "run_all preserves order across domains" `Quick (fun () ->
-        let p = Pool.create ~domains:2 in
+        let p = Pool.create ~domains:2 () in
         let results = Pool.run_all p (List.init 20 (fun i () -> i * i)) in
         Pool.shutdown p;
         Alcotest.(check (list int)) "squares" (List.init 20 (fun i -> i * i)) results);
     Alcotest.test_case "exceptions propagate through await" `Quick (fun () ->
-        let p = Pool.create ~domains:1 in
+        let p = Pool.create ~domains:1 () in
         let fut = Pool.submit p (fun () -> failwith "boom") in
         Alcotest.check_raises "boom" (Failure "boom") (fun () -> Pool.await fut);
         Pool.shutdown p);
     Alcotest.test_case "zero domains runs inline" `Quick (fun () ->
-        let p = Pool.create ~domains:0 in
+        let p = Pool.create ~domains:0 () in
         Alcotest.(check int) "inline" 7 (Pool.await (Pool.submit p (fun () -> 7)));
         Pool.shutdown p);
     Alcotest.test_case "nested submit from a worker does not deadlock" `Quick
       (fun () ->
-        let p = Pool.create ~domains:1 in
+        let p = Pool.create ~domains:1 () in
         let outer =
           Pool.submit p (fun () ->
               (* the single worker is busy with us; inner must run inline *)
@@ -161,6 +165,84 @@ let store_tests =
         Alcotest.(check bool)
           "bad betti" true
           (Store.entry_of_line (String.make 32 '0' ^ " 1 a,b") = None));
+    Alcotest.test_case "tolerant loader: truncated final line" `Quick (fun () ->
+        let good1 =
+          Store.entry_to_line
+            (Key.of_complex (cx [ [ 0; 1 ] ]))
+            { Store.betti = [| 1; 0 |]; connectivity = 0 }
+        in
+        let good2 =
+          Store.entry_to_line
+            (Key.of_complex (cx [ [ 1; 2 ] ]))
+            { Store.betti = [| 1; 0 |]; connectivity = 0 }
+        in
+        let path = Filename.temp_file "psph_trunc" ".txt" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out path in
+            (* crash mid-flush: the third entry is cut off mid-key, no
+               trailing newline *)
+            output_string oc (good1 ^ "\n" ^ good2 ^ "\n");
+            output_string oc (String.sub good1 0 17);
+            close_out oc;
+            Alcotest.(check int)
+              "both whole entries survive" 2
+              (List.length (Store.load path))));
+    Alcotest.test_case "tolerant loader: garbage mid-file" `Quick (fun () ->
+        let good k =
+          Store.entry_to_line
+            (Key.of_complex (cx [ [ 0; k ] ]))
+            { Store.betti = [| 1; 0 |]; connectivity = 0 }
+        in
+        let path = Filename.temp_file "psph_garbage" ".txt" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out path in
+            output_string oc
+              (good 1 ^ "\n\x00\x01 not a line at all\n" ^ good 2 ^ "\n");
+            close_out oc;
+            let loaded = Store.load path in
+            Alcotest.(check int) "entries around the garbage" 2
+              (List.length loaded)));
+    Alcotest.test_case "tolerant loader: empty file" `Quick (fun () ->
+        let path = Filename.temp_file "psph_empty" ".txt" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () -> Alcotest.(check int) "no entries" 0 (List.length (Store.load path))));
+    Alcotest.test_case "flush after corrupt load rewrites a clean store" `Quick
+      (fun () ->
+        let path = Filename.temp_file "psph_rewrite" ".txt" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let good =
+              Store.entry_to_line
+                (Key.of_complex (cx [ [ 0; 1 ] ]))
+                { Store.betti = [| 1; 0 |]; connectivity = 0 }
+            in
+            let oc = open_out path in
+            output_string oc (good ^ "\nbroken line\n" ^ String.sub good 0 9);
+            close_out oc;
+            let e = E.create ~domains:0 ~persist:path () in
+            ignore (E.eval e (E.Psph { n = 1; values = 2 }));
+            E.shutdown e;
+            (* after the rewrite every line must parse again *)
+            let ic = open_in path in
+            let rec lines acc =
+              match input_line ic with
+              | l -> lines (l :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            let ls = lines [] in
+            close_in ic;
+            Alcotest.(check bool) "store grew" true (List.length ls >= 2);
+            List.iter
+              (fun l ->
+                Alcotest.(check bool) "line parses" true
+                  (Store.entry_of_line l <> None))
+              ls));
     Alcotest.test_case "engine reloads a persisted cache" `Quick (fun () ->
         let path = Filename.temp_file "psph_persist" ".txt" in
         Fun.protect
@@ -379,8 +461,127 @@ let serve_tests =
         match obj_field "stats" resp with
         | Some stats ->
             Alcotest.(check bool) "has hits" true
-              (Option.bind (Jsonl.member "hits" stats) Jsonl.to_int_opt <> None)
+              (Option.bind (Jsonl.member "hits" stats) Jsonl.to_int_opt <> None);
+            Alcotest.(check bool) "stats carries metrics snapshot" true
+              (obj_field "metrics" resp <> None)
         | None -> Alcotest.fail "no stats field");
+    Alcotest.test_case "metrics op returns the registry snapshot" `Quick
+      (fun () ->
+        let e = Lazy.force engine in
+        (* at least one query first, so engine spans exist *)
+        ignore (Serve.handle_line e {|{"op":"psph","n":1,"values":2}|});
+        let resp = Serve.handle_line e {|{"op":"metrics"}|} in
+        match obj_field "metrics" resp with
+        | None -> Alcotest.fail "no metrics field"
+        | Some m -> (
+            Alcotest.(check bool) "has counters" true
+              (Jsonl.member "counters" m <> None);
+            match Jsonl.member "spans" m with
+            | None -> Alcotest.fail "no spans section"
+            | Some spans -> (
+                match Jsonl.member "engine.query" spans with
+                | None -> Alcotest.fail "no engine.query span totals"
+                | Some agg ->
+                    let count =
+                      Option.value ~default:0
+                        (Option.bind (Jsonl.member "count" agg) Jsonl.to_int_opt)
+                    in
+                    Alcotest.(check bool) "engine spans recorded" true (count > 0))));
+    ( (* satellite: any unexpected handler exception must answer the
+         request (with its id) and leave the loop alive *)
+      let module Poison : Model_complex.MODEL = struct
+        let name = "test-poison"
+        let doc = "test-only model whose construction raises"
+        let normalize spec = spec
+        let validate spec = Ok spec
+        let one_round _ _ = raise Not_found
+        let rounds _ _ = raise Not_found
+        let over_inputs _ _ = raise Not_found
+        let pseudosphere_decomposition = None
+        let expected_connectivity _ ~m:_ = None
+      end in
+      Alcotest.test_case "handler exceptions answer instead of killing serve"
+        `Quick (fun () ->
+          (* registered at run time, after every registry-listing test has
+             already executed *)
+          Model_complex.register (module Poison);
+          let e = Lazy.force engine in
+          let resp =
+            Serve.handle_line e
+              {|{"id":77,"op":"model-complex","model":"test-poison","n":2}|}
+          in
+          Alcotest.(check (option bool))
+            "not ok" (Some true)
+            (Option.map (fun v -> v = Jsonl.Bool false) (obj_field "ok" resp));
+          Alcotest.(check (option int))
+            "id echoed" (Some 77)
+            (Option.bind (obj_field "id" resp) Jsonl.to_int_opt);
+          (match Option.bind (obj_field "error" resp) Jsonl.to_string_opt with
+          | Some msg ->
+              Alcotest.(check bool) "internal error reported" true
+                (String.length msg > 0)
+          | None -> Alcotest.fail "no error field");
+          (* the loop must keep serving after the blow-up *)
+          let next = Serve.handle_line e {|{"op":"psph","n":1,"values":2}|} in
+          Alcotest.(check (option bool))
+            "still serving" (Some true)
+            (Option.map (fun v -> v = Jsonl.Bool true) (obj_field "ok" next))) );
+    Alcotest.test_case "pathologically nested input answers an error" `Quick
+      (fun () ->
+        let e = Lazy.force engine in
+        let bomb = String.concat "" (List.init 400_000 (fun _ -> "[")) in
+        let resp = Serve.handle_line e bomb in
+        Alcotest.(check (option bool))
+          "not ok" (Some true)
+          (Option.map (fun v -> v = Jsonl.Bool false) (obj_field "ok" resp)));
+    Alcotest.test_case "trace nests serve -> engine -> pool -> homology" `Quick
+      (fun () ->
+        (* dedicated engine with real workers and a zero-ish parallel
+           threshold, so a cold query must fan rank jobs to the pool *)
+        let e = E.create ~domains:2 ~capacity:16 ~par_threshold:1 () in
+        Obs.set_sink Obs.Memory;
+        Obs.clear_records ();
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.set_sink Obs.Null;
+            Obs.clear_records ();
+            E.shutdown e)
+          (fun () ->
+            let resp = Serve.handle_line e {|{"op":"psph","n":3,"values":2}|} in
+            Alcotest.(check (option bool))
+              "ok" (Some true)
+              (Option.map (fun v -> v = Jsonl.Bool true) (obj_field "ok" resp));
+            let spans =
+              List.filter_map
+                (function
+                  | Obs.Span_record { name; id; parent; _ } ->
+                      Some (id, (name, parent))
+                  | Obs.Event_record _ -> None)
+                (Obs.records ())
+            in
+            let rec chain id =
+              match List.assoc_opt id spans with
+              | None -> []
+              | Some (name, parent) -> (
+                  name :: (match parent with None -> [] | Some p -> chain p))
+            in
+            let rank_chains =
+              List.filter_map
+                (fun (id, (name, _)) ->
+                  if name = "homology.rank" then Some (chain id) else None)
+                spans
+            in
+            Alcotest.(check bool) "some rank spans" true (rank_chains <> []);
+            List.iter
+              (fun c ->
+                Alcotest.(check (list string))
+                  "nesting"
+                  [
+                    "homology.rank"; "engine.pool.job"; "engine.query";
+                    "serve.request";
+                  ]
+                  c)
+              rank_chains));
     (* must stay last in the last suite: stops the shared engine's domains *)
     Alcotest.test_case "shutdown" `Quick (fun () ->
         E.shutdown (Lazy.force engine));

@@ -1,0 +1,281 @@
+(* The observability substrate on its own: metric registry semantics
+   (get-or-create by name, cross-instance sharing), histogram statistics,
+   span nesting through the ambient per-domain context — including the
+   [with_parent] bridge used to carry a parent across a queue or domain
+   boundary — events, sinks, and the JSON snapshot/trace encodings.
+
+   These tests mutate the global registry and sink; every case that
+   installs a sink restores Null before returning, and counter assertions
+   use test-private metric names so ordering does not matter. *)
+
+module Obs = Psph_obs.Obs
+module Jsonl = Psph_obs.Jsonl
+
+let with_memory_sink f =
+  Obs.set_sink Obs.Memory;
+  Obs.clear_records ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_sink Obs.Null;
+      Obs.clear_records ())
+    f
+
+let counter_tests =
+  [
+    Alcotest.test_case "counters are shared by name" `Quick (fun () ->
+        let a = Obs.counter "test.obs.shared" in
+        let b = Obs.counter "test.obs.shared" in
+        Obs.incr a;
+        Obs.incr b ~by:2;
+        Alcotest.(check int) "one cell" 3 (Obs.counter_value a));
+    Alcotest.test_case "gauges add and set" `Quick (fun () ->
+        let g = Obs.gauge "test.obs.gauge" in
+        Obs.gauge_set g 4.0;
+        Obs.gauge_add g (-1.5);
+        Alcotest.(check (float 1e-9)) "value" 2.5 (Obs.gauge_value g));
+    Alcotest.test_case "histograms track count/sum/min/max" `Quick (fun () ->
+        let h = Obs.histogram "test.obs.hist" in
+        Obs.observe h 0.25;
+        Obs.observe h 0.75;
+        let s = Obs.histogram_stats h in
+        Alcotest.(check int) "count" 2 s.Obs.count;
+        Alcotest.(check (float 1e-9)) "sum" 1.0 s.Obs.sum;
+        Alcotest.(check (float 1e-9)) "min" 0.25 s.Obs.min;
+        Alcotest.(check (float 1e-9)) "max" 0.75 s.Obs.max);
+    Alcotest.test_case "time observes wall clock and passes the value through"
+      `Quick (fun () ->
+        let h = Obs.histogram "test.obs.timed" in
+        Alcotest.(check int) "result" 5 (Obs.time h (fun () -> 5));
+        Alcotest.(check int) "observed once" 1 (Obs.histogram_stats h).Obs.count);
+    Alcotest.test_case "time observes even when the thunk raises" `Quick
+      (fun () ->
+        let h = Obs.histogram "test.obs.raises" in
+        (try Obs.time h (fun () -> failwith "x") with Failure _ -> ());
+        Alcotest.(check int) "observed" 1 (Obs.histogram_stats h).Obs.count);
+  ]
+
+let span_tests =
+  [
+    Alcotest.test_case "spans nest through the ambient context" `Quick
+      (fun () ->
+        with_memory_sink (fun () ->
+            Obs.with_span "outer" (fun _ ->
+                let outer_id = Obs.current_span_id () in
+                Alcotest.(check bool) "outer has an id" true (outer_id <> None);
+                Obs.with_span "inner" (fun _ ->
+                    Alcotest.(check bool)
+                      "inner shadows outer" true
+                      (Obs.current_span_id () <> outer_id));
+                Alcotest.(check (option int))
+                  "outer restored after inner" outer_id
+                  (Obs.current_span_id ()));
+            let spans =
+              List.filter_map
+                (function
+                  | Obs.Span_record { name; parent; _ } -> Some (name, parent)
+                  | Obs.Event_record _ -> None)
+                (Obs.records ())
+            in
+            (* inner closes (and records) first *)
+            match spans with
+            | [ ("inner", Some _); ("outer", None) ] -> ()
+            | _ -> Alcotest.fail "unexpected span records"));
+    Alcotest.test_case "with_parent re-roots across a context break" `Quick
+      (fun () ->
+        with_memory_sink (fun () ->
+            let captured = ref None in
+            Obs.with_span "submitter" (fun _ ->
+                captured := Obs.current_span_id ());
+            Alcotest.(check bool) "captured the live span" true
+              (!captured <> None);
+            (* later, "on another domain": no ambient span here *)
+            Alcotest.(check (option int)) "no ambient" None (Obs.current_span_id ());
+            Obs.with_parent !captured (fun () ->
+                Obs.with_span "job" (fun _ -> ()));
+            let job_parent =
+              List.find_map
+                (function
+                  | Obs.Span_record { name = "job"; parent; _ } -> Some parent
+                  | _ -> None)
+                (Obs.records ())
+            in
+            Alcotest.(check (option (option int)))
+              "job hangs off the submitter" (Some !captured) job_parent));
+    Alcotest.test_case "span aggregates accumulate without a sink" `Quick
+      (fun () ->
+        let before = (Obs.span_stats "test.obs.span").Obs.spans in
+        Obs.with_span "test.obs.span" (fun _ -> ());
+        Obs.with_span "test.obs.span" (fun _ -> ());
+        let after = Obs.span_stats "test.obs.span" in
+        Alcotest.(check int) "two more spans" (before + 2) after.Obs.spans;
+        Alcotest.(check bool) "time accrued" true (after.Obs.total_s >= 0.0));
+    Alcotest.test_case "attrs set mid-span are recorded" `Quick (fun () ->
+        with_memory_sink (fun () ->
+            Obs.with_span "attributed" ~attrs:[ ("a", Jsonl.int 1) ] (fun sp ->
+                Obs.set_attr sp "b" (Jsonl.Str "two"));
+            match Obs.records () with
+            | [ Obs.Span_record { attrs; _ } ] ->
+                Alcotest.(check int) "both attrs" 2 (List.length attrs)
+            | _ -> Alcotest.fail "expected one span record"));
+    Alcotest.test_case "events attach to the current span" `Quick (fun () ->
+        with_memory_sink (fun () ->
+            Obs.with_span "holder" (fun _ ->
+                let holder_id = Obs.current_span_id () in
+                Obs.event "ping" ~attrs:[ ("k", Jsonl.int 7) ];
+                let ev =
+                  List.find_map
+                    (function
+                      | Obs.Event_record { name = "ping"; span; _ } -> Some span
+                      | _ -> None)
+                    (Obs.records ())
+                in
+                Alcotest.(check (option (option int)))
+                  "event parented" (Some holder_id) ev)));
+    Alcotest.test_case "events are dropped under the Null sink" `Quick
+      (fun () ->
+        Obs.event "nobody-listening";
+        Alcotest.(check int) "no records" 0 (List.length (Obs.records ())));
+  ]
+
+let sink_tests =
+  [
+    Alcotest.test_case "channel sink writes parseable JSONL" `Quick (fun () ->
+        let path = Filename.temp_file "psph_obs" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Obs.with_trace_file path (fun () ->
+                Obs.with_span "traced" (fun _ -> Obs.event "mark"));
+            Alcotest.(check bool)
+              "sink restored" true
+              (Obs.current_sink () = Obs.Null);
+            let ic = open_in path in
+            let rec lines acc =
+              match input_line ic with
+              | l -> lines (l :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            let ls = lines [] in
+            close_in ic;
+            Alcotest.(check int) "one event + one span" 2 (List.length ls);
+            List.iter
+              (fun l ->
+                match Jsonl.of_string l with
+                | Jsonl.Obj fields ->
+                    Alcotest.(check bool) "tagged" true
+                      (List.mem_assoc "t" fields)
+                | _ -> Alcotest.fail "not an object")
+              ls));
+    Alcotest.test_case "snapshot_json carries all four sections" `Quick
+      (fun () ->
+        ignore (Obs.counter "test.obs.snap");
+        match Obs.snapshot_json () with
+        | Jsonl.Obj fields ->
+            List.iter
+              (fun k ->
+                Alcotest.(check bool) k true (List.mem_assoc k fields))
+              [ "counters"; "gauges"; "histograms"; "spans" ]
+        | _ -> Alcotest.fail "snapshot is not an object");
+    Alcotest.test_case "snapshot sees registered metrics" `Quick (fun () ->
+        let c = Obs.counter "test.obs.visible" in
+        Obs.incr c ~by:41;
+        let s = Obs.snapshot () in
+        match List.assoc_opt "test.obs.visible" s.Obs.counters with
+        | Some v -> Alcotest.(check bool) "counted" true (v >= 41)
+        | None -> Alcotest.fail "metric missing from snapshot");
+  ]
+
+(* Satellite: corrupted traces must report the *right* violation kind,
+   not just a non-empty list — one hand-built bad trace per checker,
+   matched on the diagnostic text that [pp_violation] prints. *)
+
+open Psph_topology
+open Psph_model
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+let cfg = { Sim.c1 = 2; c2 = 3; d = 4 }
+
+let trace_of bindings = Pid.Map.of_seq (List.to_seq bindings)
+
+let kind name checker trace ~pid ~sub =
+  Alcotest.test_case name `Quick (fun () ->
+      match checker trace with
+      | [] -> Alcotest.fail "corruption not detected"
+      | vs ->
+          Alcotest.(check bool)
+            "blames the right process" true
+            (List.exists (fun v -> v.Trace_check.process = pid) vs);
+          Alcotest.(check bool)
+            (Printf.sprintf "diagnostic mentions %S" sub)
+            true
+            (List.exists
+               (fun v ->
+                 contains ~sub
+                   (Format.asprintf "%a" Trace_check.pp_violation v))
+               vs))
+
+let violation_tests =
+  [
+    kind "step interval outside [c1, c2]"
+      (Trace_check.check_step_intervals cfg)
+      (trace_of
+         [ (0, [ Sim.Stepped { time = 2; step = 1 };
+                 Sim.Stepped { time = 12; step = 2 } ]) ])
+      ~pid:0 ~sub:"interval";
+    kind "delivery later than d"
+      (Trace_check.check_delivery_bound cfg)
+      (trace_of
+         [ (0, [ Sim.Stepped { time = 2; step = 1 } ]);
+           (1, [ Sim.Received { time = 20; src = 0; sent_step = 1 } ]) ])
+      ~pid:1 ~sub:"delivered after";
+    kind "out-of-order channel"
+      Trace_check.check_fifo
+      (trace_of
+         [ (1, [ Sim.Received { time = 5; src = 0; sent_step = 2 };
+                 Sim.Received { time = 6; src = 0; sent_step = 1 } ]) ])
+      ~pid:1 ~sub:"FIFO";
+    kind "message its sender never sent"
+      Trace_check.check_no_spoofing
+      (trace_of
+         [ (0, [ Sim.Stepped { time = 2; step = 1 } ]);
+           (1, [ Sim.Received { time = 3; src = 0; sent_step = 7 } ]) ])
+      ~pid:1 ~sub:"never sent";
+    Alcotest.test_case "validate aggregates every checker" `Quick (fun () ->
+        let bad =
+          trace_of
+            [ (0, [ Sim.Stepped { time = 2; step = 1 };
+                    Sim.Stepped { time = 12; step = 2 } ]);
+              (1, [ Sim.Received { time = 5; src = 0; sent_step = 2 };
+                    Sim.Received { time = 6; src = 0; sent_step = 1 };
+                    Sim.Received { time = 20; src = 0; sent_step = 1 };
+                    Sim.Received { time = 21; src = 0; sent_step = 9 } ]) ]
+        in
+        let texts =
+          List.map
+            (fun v -> Format.asprintf "%a" Trace_check.pp_violation v)
+            (Trace_check.validate cfg bad)
+        in
+        List.iter
+          (fun sub ->
+            Alcotest.(check bool)
+              (Printf.sprintf "reports %S" sub)
+              true
+              (List.exists (contains ~sub) texts))
+          [ "interval"; "delivered after"; "FIFO"; "never sent" ]);
+    Alcotest.test_case "a lockstep run is clean" `Quick (fun () ->
+        let t = Sim.run cfg ~n:2 (Sim.lockstep cfg) ~until:24 in
+        Alcotest.(check int) "no violations" 0
+          (List.length (Trace_check.validate cfg t)));
+  ]
+
+let suites =
+  [
+    ("obs metrics", counter_tests);
+    ("obs spans", span_tests);
+    ("obs sinks", sink_tests);
+    ("trace violation kinds", violation_tests);
+  ]
