@@ -479,6 +479,101 @@ let models_bench () =
   close_out oc;
   print_endline "wrote BENCH_models.json"
 
+(* Loopback TCP throughput: the framed transport end to end (client ->
+   server -> Serve.handle_line -> back), measured on a warm cache so the
+   number is the transport's, not homology's.  One phase per connection
+   count; wall time and rates read back from the [bench.net.*]
+   histograms the runs observe into, quantiles from the raw latency
+   samples.  Results go to BENCH_net.json. *)
+let net_bench () =
+  let module E = Psph_engine.Engine in
+  let module Serve = Psph_engine.Serve in
+  let open Psph_net in
+  let engine = E.create ~domains:0 ~capacity:64 () in
+  match
+    Server.listen
+      ~handler:(Serve.handle_line engine)
+      { Addr.host = "127.0.0.1"; port = 0 }
+  with
+  | Error m ->
+      E.shutdown engine;
+      prerr_endline ("net bench skipped: " ^ m)
+  | Ok srv ->
+      Server.start srv;
+      let addr = { Addr.host = "127.0.0.1"; port = Server.port srv } in
+      let line = {|{"op":"psph","n":2,"values":2}|} in
+      let total = 2000 in
+      let run conns =
+        let rtt_h = Obs.histogram (Printf.sprintf "bench.net.rtt_%dconn" conns) in
+        let per = total / conns in
+        let lats = Array.make (per * conns) 0. in
+        let wall =
+          phase
+            (Printf.sprintf "net.loopback_%dconn" conns)
+            (fun () ->
+              let worker w =
+                let c = Client.create ~retries:1 addr in
+                for i = 0 to per - 1 do
+                  let t0 = Obs.monotonic () in
+                  (match Client.request c line with
+                  | Ok _ -> ()
+                  | Error e -> failwith (Client.error_message e));
+                  lats.((w * per) + i) <- Obs.monotonic () -. t0
+                done;
+                Client.close c
+              in
+              List.iter Thread.join
+                (List.init conns (fun w -> Thread.create worker w)))
+        in
+        Array.iter (Obs.observe rtt_h) lats;
+        let st = Obs.histogram_stats rtt_h in
+        Array.sort compare lats;
+        let q p =
+          lats.(min (Array.length lats - 1)
+                  (int_of_float (p *. float_of_int (Array.length lats))))
+        in
+        ( conns,
+          st.Obs.count,
+          wall,
+          float_of_int st.Obs.count /. wall,
+          st.Obs.sum /. float_of_int st.Obs.count,
+          q 0.5,
+          q 0.99 )
+      in
+      (* warm: the first query computes, everything after is a cache hit *)
+      let warm = Client.create addr in
+      (match Client.request warm line with
+      | Ok _ -> ()
+      | Error e -> failwith ("net bench warm-up: " ^ Client.error_message e));
+      Client.close warm;
+      let rows = List.map run [ 1; 4 ] in
+      Server.stop srv;
+      E.shutdown engine;
+      Format.printf "@.loopback TCP throughput (%d cached queries):@." total;
+      List.iter
+        (fun (conns, n, wall, rps, mean, p50, p99) ->
+          Format.printf
+            "  %d conn%s  %6d req in %6.2f s   %8.0f req/s   mean %6.3f ms   \
+             p50 %6.3f ms   p99 %6.3f ms@."
+            conns
+            (if conns = 1 then " " else "s")
+            n wall rps (1000. *. mean) (1000. *. p50) (1000. *. p99))
+        rows;
+      let oc = open_out "BENCH_net.json" in
+      Printf.fprintf oc "{\n  \"requests\": %d,\n  \"connections\": {\n" total;
+      List.iteri
+        (fun i (conns, n, wall, rps, mean, p50, p99) ->
+          Printf.fprintf oc
+            "    \"%d\": { \"requests\": %d, \"wall_s\": %.6f, \
+             \"requests_per_s\": %.1f, \"mean_ms\": %.4f, \"p50_ms\": %.4f, \
+             \"p99_ms\": %.4f }%s\n"
+            conns n wall rps (1000. *. mean) (1000. *. p50) (1000. *. p99)
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  }\n}\n";
+      close_out oc;
+      print_endline "wrote BENCH_net.json"
+
 let () =
   let quota =
     if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.5
@@ -540,4 +635,5 @@ let () =
   close_out oc;
   print_endline "wrote BENCH_homology.json";
   engine_bench ();
-  models_bench ()
+  models_bench ();
+  net_bench ()

@@ -297,18 +297,84 @@ let run_cmd =
       const run $ trace_arg $ n_arg $ f_arg $ crash_round_arg $ victim_arg
       $ heard_arg)
 
+(* HOST:PORT addresses for the net subcommands *)
+let addr_conv =
+  let parse s =
+    match Psph_net.Addr.parse s with
+    | Ok a -> Ok a
+    | Error m -> Error (`Msg m)
+  in
+  Arg.conv
+    (parse, fun ppf a -> Format.pp_print_string ppf (Psph_net.Addr.to_string a))
+
+(* stderr, so the stdout protocol stream stays parseable *)
+let dump_metrics_stderr () =
+  prerr_endline (Psph_obs.Jsonl.to_string (Psph_obs.Obs.snapshot_json ()))
+
+(* graceful stop on SIGINT/SIGTERM: ask the server to drain, remember the
+   conventional 128+signal exit code for after the drain completes *)
+let stop_server_on_signals server code =
+  let graceful signum exit_code =
+    Sys.set_signal signum
+      (Sys.Signal_handle
+         (fun _ ->
+           code := exit_code;
+           Psph_net.Server.request_stop server))
+  in
+  graceful Sys.sigint 130;
+  graceful Sys.sigterm 143
+
 let serve_cmd =
-  let run trace metrics domains cache_size persist par_threshold =
-    with_trace trace @@ fun () ->
-    let engine =
-      Psph_engine.Engine.create ~domains ~capacity:cache_size ?persist
-        ~par_threshold ()
+  let run trace metrics listen max_conns deadline_ms domains cache_size persist
+      par_threshold =
+    let code =
+      with_trace trace @@ fun () ->
+      let engine =
+        Psph_engine.Engine.create ~domains ~capacity:cache_size ?persist
+          ~par_threshold ()
+      in
+      match listen with
+      | None ->
+          (* Ctrl-C must not lose unflushed store writes: flush and dump
+             metrics before dying nonzero *)
+          let bail exit_code =
+            Sys.Signal_handle
+              (fun _ ->
+                (try Psph_engine.Engine.flush engine with _ -> ());
+                if metrics then dump_metrics_stderr ();
+                exit exit_code)
+          in
+          Sys.set_signal Sys.sigint (bail 130);
+          Sys.set_signal Sys.sigterm (bail 143);
+          Psph_engine.Serve.run engine stdin stdout;
+          Psph_engine.Engine.shutdown engine;
+          if metrics then dump_metrics_stderr ();
+          0
+      | Some addr -> (
+          let deadline_s =
+            Option.map (fun ms -> float_of_int ms /. 1000.) deadline_ms
+          in
+          match
+            Psph_net.Server.listen ~max_conns ?deadline_s
+              ~handler:(Psph_engine.Serve.handle_line engine)
+              addr
+          with
+          | Error m ->
+              Format.eprintf "psc: serve: %s@." m;
+              exit 1
+          | Ok server ->
+              let code = ref 0 in
+              stop_server_on_signals server code;
+              (* readiness line on stderr (CI waits for it; stdout stays
+                 protocol-clean in both transports) *)
+              Format.eprintf "psc serve: listening on %s:%d@." addr.Psph_net.Addr.host
+                (Psph_net.Server.port server);
+              Psph_net.Server.serve server;
+              Psph_engine.Engine.shutdown engine;
+              if metrics then dump_metrics_stderr ();
+              !code)
     in
-    Psph_engine.Serve.run engine stdin stdout;
-    Psph_engine.Engine.shutdown engine;
-    (* stderr, so the stdout protocol stream stays parseable *)
-    if metrics then
-      prerr_endline (Psph_obs.Jsonl.to_string (Psph_obs.Obs.snapshot_json ()))
+    if code <> 0 then exit code
   in
   let metrics_arg =
     Arg.(
@@ -344,15 +410,178 @@ let serve_cmd =
             "Fan a single query's per-dimension rank jobs onto the pool once \
              the complex has at least $(docv) simplexes.")
   in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "listen" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Serve the same protocol over TCP (length-prefixed JSONL frames, \
+             see docs/NET.md) instead of stdin/stdout.  Port 0 picks a free \
+             port (announced on stderr).")
+  in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Bound on concurrent TCP connections (excess waits in the backlog).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline for TCP requests: a request whose handler \
+             runs longer is answered with an error instead of its late result.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Serve topology queries over JSON lines on stdin/stdout (ops: betti, \
-          connectivity, psph, model-complex, batch, models, stats, metrics; \
-          see docs/ENGINE.md).")
+         "Serve topology queries over JSON lines on stdin/stdout — or over \
+          TCP with $(b,--listen) (ops: betti, connectivity, psph, \
+          model-complex, batch, models, stats, metrics; see docs/ENGINE.md \
+          and docs/NET.md).")
     Term.(
-      const run $ trace_arg $ metrics_arg $ domains_arg $ cache_arg
-      $ persist_arg $ par_threshold_arg)
+      const run $ trace_arg $ metrics_arg $ listen_arg $ max_conns_arg
+      $ deadline_arg $ domains_arg $ cache_arg $ persist_arg
+      $ par_threshold_arg)
+
+let connect_arg =
+  Arg.(
+    required
+    & opt (some addr_conv) None
+    & info [ "connect" ] ~docv:"HOST:PORT" ~doc:"Server (or router) to talk to.")
+
+let timeout_ms_arg =
+  Arg.(
+    value & opt int 5000
+    & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Per-attempt request timeout.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retries on retryable failures (refused connection, timeout, torn \
+           frame), with exponential backoff and jitter.")
+
+let query_cmd =
+  let run trace connect timeout_ms retries =
+    let code =
+      with_trace trace @@ fun () ->
+      let client = Psph_net.Client.create ~timeout_ms ~retries connect in
+      let failures = ref 0 in
+      let rec loop () =
+        match input_line stdin with
+        | exception End_of_file -> ()
+        | line when String.trim line = "" -> loop ()
+        | line ->
+            (match Psph_net.Client.request client line with
+            | Ok resp -> print_endline resp
+            | Error e ->
+                incr failures;
+                print_endline
+                  (Psph_obs.Jsonl.to_string
+                     (Psph_obs.Jsonl.Obj
+                        [
+                          ("ok", Psph_obs.Jsonl.Bool false);
+                          ( "error",
+                            Psph_obs.Jsonl.Str
+                              (Psph_net.Client.error_message e) );
+                        ])));
+            flush stdout;
+            loop ()
+      in
+      loop ();
+      Psph_net.Client.close client;
+      if !failures > 0 then 1 else 0
+    in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Send JSON-lines requests from stdin to a TCP $(b,psc serve \
+          --listen) (or $(b,psc route)) endpoint, one response per line on \
+          stdout.  Exits nonzero if any request failed at the transport \
+          layer (server-side {\"ok\":false,...} responses pass through).")
+    Term.(const run $ trace_arg $ connect_arg $ timeout_ms_arg $ retries_arg)
+
+let route_cmd =
+  let run trace listen backends max_conns replicas timeout_ms retries
+      check_period_ms =
+    let code =
+      with_trace trace @@ fun () ->
+      let router =
+        Psph_net.Router.create ~replicas ~timeout_ms ~retries ~check_period_ms
+          backends
+      in
+      Psph_net.Router.start_health_checks router;
+      match
+        Psph_net.Server.listen ~max_conns
+          ~handler:(Psph_net.Router.route router)
+          listen
+      with
+      | Error m ->
+          Format.eprintf "psc: route: %s@." m;
+          exit 1
+      | Ok server ->
+          let code = ref 0 in
+          stop_server_on_signals server code;
+          Format.eprintf "psc route: listening on %s:%d, %d backends@."
+            listen.Psph_net.Addr.host
+            (Psph_net.Server.port server)
+            (List.length backends);
+          Psph_net.Server.serve server;
+          Psph_net.Router.stop router;
+          !code
+    in
+    if code <> 0 then exit code
+  in
+  let listen_arg =
+    Arg.(
+      required
+      & opt (some addr_conv) None
+      & info [ "listen" ] ~docv:"HOST:PORT" ~doc:"Address to accept clients on.")
+  in
+  let backend_arg =
+    Arg.(
+      non_empty
+      & opt_all addr_conv []
+      & info [ "backend" ] ~docv:"HOST:PORT"
+          ~doc:
+            "A backend $(b,psc serve --listen) endpoint; repeatable.  \
+             Requests shard across backends by content key (docs/NET.md).")
+  in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-conns" ] ~docv:"N" ~doc:"Bound on concurrent client connections.")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:"Virtual nodes per backend on the consistent-hash ring.")
+  in
+  let check_period_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "check-period-ms" ] ~docv:"MS"
+          ~doc:"Interval between backend health probes.")
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Shard serve-protocol requests across several $(b,psc serve \
+          --listen) backends by consistent hashing on the query's content \
+          key, with health checks, failover, and a degraded \
+          {\"ok\":false,\"error\":\"no backend\"} answer when nothing is \
+          reachable (see docs/NET.md).")
+    Term.(
+      const run $ trace_arg $ listen_arg $ backend_arg $ max_conns_arg
+      $ replicas_arg $ timeout_ms_arg $ retries_arg $ check_period_arg)
 
 let sim_cmd =
   let run trace c1 c2 d n until slow_solo after_step validate =
@@ -444,4 +673,4 @@ let () =
        (Cmd.group info
           (List.map model_cmd (Model_complex.all ())
           @ [ pseudosphere_cmd; models_cmd; decide_cmd; bound_cmd; mv_cmd;
-              run_cmd; sim_cmd; serve_cmd ])))
+              run_cmd; sim_cmd; serve_cmd; query_cmd; route_cmd ])))

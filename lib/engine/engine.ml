@@ -177,10 +177,10 @@ let compute t c =
    [sk_opt] is the caller's spec key, recorded so the next occurrence of
    the same spec takes the fast path. *)
 let eval_uncached t sk_opt spec =
-  let t0 = Obs.now () in
+  let t0 = Obs.monotonic () in
   let c = build spec in
   let key = Key.of_complex c in
-  let t1 = Obs.now () in
+  let t1 = Obs.monotonic () in
   Obs.observe (Lazy.force build_h) (t1 -. t0);
   Mutex.lock t.lock;
   Option.iter (fun sk -> Hashtbl.replace t.spec_memo sk key) sk_opt;

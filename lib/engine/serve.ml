@@ -210,7 +210,7 @@ let handle_line engine line =
   Obs.with_span "serve.request"
     ~attrs:[ ("request", Jsonl.int rid) ]
     (fun sp ->
-      let t0 = Obs.now () in
+      let t0 = Obs.monotonic () in
       let op = ref "invalid" in
       let response =
         match Jsonl.of_string line with
@@ -231,7 +231,7 @@ let handle_line engine line =
                 error_response ~req ("internal error: " ^ Printexc.to_string e))
       in
       Obs.set_attr sp "op" (Jsonl.Str !op);
-      Obs.observe (Obs.histogram ("serve.op." ^ !op)) (Obs.now () -. t0);
+      Obs.observe (Obs.histogram ("serve.op." ^ !op)) (Obs.monotonic () -. t0);
       Jsonl.to_string response)
 
 let run engine ic oc =

@@ -18,7 +18,9 @@
 
 val handle_line : Engine.t -> string -> string
 (** Process one request line, returning the response line (no trailing
-    newline).  Never raises. *)
+    newline).  Never raises.  This is the transport-independent core:
+    {!run} drives it from stdio and [Psph_net.Server] drives the same
+    function over TCP (see docs/NET.md). *)
 
 val run : Engine.t -> in_channel -> out_channel -> unit
 (** Serve until EOF (responses flushed per line), then {!Engine.flush}. *)

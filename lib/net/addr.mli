@@ -1,0 +1,18 @@
+(** "HOST:PORT" endpoint addresses for the TCP transport.
+
+    The one address syntax shared by [psc serve --listen], [psc query
+    --connect] and [psc route --backend]: a host (dotted quad or name)
+    and a decimal port, separated by the last [':'].  Resolution happens
+    at connect/bind time, so an address can be parsed and carried around
+    without the resolver. *)
+
+type t = { host : string; port : int }
+
+val parse : string -> (t, string) result
+(** Split and validate "HOST:PORT" (port in 0..65535; 0 means "let the
+    kernel pick" and is only meaningful for listening). *)
+
+val to_string : t -> string
+
+val resolve : t -> (Unix.sockaddr, string) result
+(** [inet_addr_of_string] first, then [gethostbyname]. *)

@@ -1,0 +1,226 @@
+(* Reconnecting request/response client: exponential backoff with full
+   jitter on retryable failures, fail-fast on protocol violations.
+
+   The deadline discipline: each attempt gets [timeout_ms] of budget
+   covering connect, send and receive, enforced with a nonblocking
+   connect + select and SO_RCVTIMEO on reads.  Any attempt that fails —
+   including by timeout — discards the socket, because a response that
+   arrives after we stopped waiting for it would be mistaken for the
+   answer to the *next* request. *)
+
+open Psph_obs
+
+type error = Timeout | Connection of string | Protocol of string
+
+let is_retryable = function Timeout | Connection _ -> true | Protocol _ -> false
+
+let error_message = function
+  | Timeout -> "request timed out"
+  | Connection m -> m
+  | Protocol m -> "protocol error: " ^ m
+
+exception Err of error
+
+type metrics = {
+  requests : Obs.counter;
+  errors : Obs.counter;
+  retries : Obs.counter;
+  reconnects : Obs.counter;
+  timeouts : Obs.counter;
+  request_s : Obs.histogram;
+  span_name : string;
+}
+
+type t = {
+  addr : Addr.t;
+  timeout_s : float;
+  max_retries : int;
+  backoff_s : float;
+  max_backoff_s : float;
+  max_frame : int;
+  rng : Random.State.t;
+  lock : Mutex.t;
+  mutable sock : Unix.file_descr option;
+  m : metrics;
+}
+
+let create ?(metrics = "net.client") ?(timeout_ms = 5000) ?(retries = 3)
+    ?(backoff_ms = 50) ?(max_backoff_ms = 2000)
+    ?(max_frame = Frame.max_frame_default) addr =
+  {
+    addr;
+    timeout_s = float_of_int timeout_ms /. 1000.;
+    max_retries = max 0 retries;
+    backoff_s = float_of_int backoff_ms /. 1000.;
+    max_backoff_s = float_of_int max_backoff_ms /. 1000.;
+    max_frame;
+    rng = Random.State.make_self_init ();
+    lock = Mutex.create ();
+    sock = None;
+    m =
+      {
+        requests = Obs.counter (metrics ^ ".requests");
+        errors = Obs.counter (metrics ^ ".errors");
+        retries = Obs.counter (metrics ^ ".retries");
+        reconnects = Obs.counter (metrics ^ ".reconnects");
+        timeouts = Obs.counter (metrics ^ ".timeouts");
+        request_s = Obs.histogram (metrics ^ ".request_s");
+        span_name = metrics ^ ".request";
+      };
+  }
+
+let addr t = t.addr
+
+let disconnect t =
+  match t.sock with
+  | None -> ()
+  | Some fd ->
+      t.sock <- None;
+      (try Unix.close fd with _ -> ())
+
+let close t =
+  Mutex.lock t.lock;
+  disconnect t;
+  Mutex.unlock t.lock
+
+let connection fmt = Printf.ksprintf (fun m -> raise (Err (Connection m))) fmt
+
+let connect_with_timeout t deadline =
+  let sockaddr =
+    match Addr.resolve t.addr with
+    | Ok sa -> sa
+    | Error m -> raise (Err (Connection m))
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.set_nonblock fd;
+    (match Unix.connect fd sockaddr with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _)
+      -> (
+        let budget = deadline -. Obs.monotonic () in
+        if budget <= 0. then raise (Err Timeout);
+        match Unix.select [] [ fd ] [] budget with
+        | _, [], _ -> raise (Err Timeout)
+        | _ -> (
+            match Unix.getsockopt_error fd with
+            | None -> ()
+            | Some e ->
+                connection "connect to %s: %s" (Addr.to_string t.addr)
+                  (Unix.error_message e)))
+    | exception Unix.Unix_error (e, _, _) ->
+        connection "connect to %s: %s" (Addr.to_string t.addr)
+          (Unix.error_message e));
+    Unix.clear_nonblock fd;
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+    fd
+  with e ->
+    (try Unix.close fd with _ -> ());
+    raise e
+
+let ensure_connected t deadline =
+  match t.sock with
+  | Some fd -> fd
+  | None ->
+      Obs.incr t.m.reconnects;
+      let fd = connect_with_timeout t deadline in
+      t.sock <- Some fd;
+      fd
+
+let send_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) ->
+          connection "send failed: %s" (Unix.error_message e)
+  in
+  go 0
+
+(* read whole frames until one payload is complete or the deadline runs
+   out; a fresh reader per attempt, so a failed attempt can never leave a
+   half-frame behind to corrupt the next one *)
+let recv_frame t fd deadline =
+  let reader = Frame.reader ~max_frame:t.max_frame () in
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match Frame.next reader with
+    | Some payload -> payload
+    | None -> (
+        let budget = deadline -. Obs.monotonic () in
+        if budget <= 0. then raise (Err Timeout);
+        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO budget with _ -> ());
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> connection "connection closed by server (torn frame)"
+        | n -> (
+            match Frame.feed reader buf 0 n with
+            | () -> go ()
+            | exception Frame.Oversized len ->
+                raise
+                  (Err
+                     (Protocol
+                        (Printf.sprintf "oversized frame from server (%d bytes)"
+                           len))))
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            raise (Err Timeout)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error (e, _, _) ->
+            connection "receive failed: %s" (Unix.error_message e))
+  in
+  go ()
+
+(* carry the ambient span id across the wire (only while tracing: the
+   rewrite costs a parse, and span ids only mean something to a trace) *)
+let with_span_parent line =
+  match Obs.current_span_id () with
+  | Some id when Obs.current_sink () <> Obs.Null -> (
+      match Jsonl.of_string_opt line with
+      | Some (Jsonl.Obj fields) ->
+          Jsonl.to_string (Jsonl.Obj (fields @ [ ("span_parent", Jsonl.int id) ]))
+      | _ -> line)
+  | _ -> line
+
+let attempt_once t line =
+  let deadline = Obs.monotonic () +. t.timeout_s in
+  let fd = ensure_connected t deadline in
+  send_all fd (Frame.encode ~max_frame:t.max_frame (with_span_parent line));
+  recv_frame t fd deadline
+
+let backoff_delay t n =
+  let cap = Float.min t.max_backoff_s (t.backoff_s *. (2. ** float_of_int n)) in
+  Random.State.float t.rng cap
+
+let request t line =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  Obs.incr t.m.requests;
+  Obs.with_span t.m.span_name (fun sp ->
+      Obs.time t.m.request_s (fun () ->
+          let rec go n =
+            match attempt_once t line with
+            | response ->
+                Obs.set_attr sp "attempts" (Jsonl.int (n + 1));
+                Ok response
+            | exception Err e ->
+                disconnect t;
+                if e = Timeout then Obs.incr t.m.timeouts;
+                if is_retryable e && n < t.max_retries then begin
+                  Obs.incr t.m.retries;
+                  Thread.delay (backoff_delay t n);
+                  go (n + 1)
+                end
+                else begin
+                  Obs.incr t.m.errors;
+                  Obs.set_attr sp "attempts" (Jsonl.int (n + 1));
+                  Obs.set_attr sp "error" (Jsonl.Str (error_message e));
+                  Error e
+                end
+            | exception e ->
+                disconnect t;
+                Obs.incr t.m.errors;
+                Error (Connection (Printexc.to_string e))
+          in
+          go 0))

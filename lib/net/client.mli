@@ -1,0 +1,60 @@
+(** A resilient client for the framed JSONL protocol.
+
+    One request = one frame out, one frame back, over a connection that
+    is (re)established on demand.  {!request} classifies failures:
+
+    - {b retryable} — connect refused/unreachable, request timeout, the
+      connection dying mid-frame (torn frame).  Retried up to [retries]
+      times with exponential backoff plus full jitter, reconnecting each
+      time (a timed-out connection is always discarded: a late response
+      arriving on it would desync request/response pairing).
+    - {b fatal} — protocol errors (an oversized or unparseable frame
+      from the server).  Never retried: the peer is speaking a different
+      language, not having a bad moment.
+
+    Server-side [{"ok":false,...}] responses are successful requests at
+    this layer; interpreting them is the caller's business.
+
+    Observability ([net.client.*]): request/error/retry/reconnect
+    counters and a latency histogram; each {!request} runs in a
+    [net.client.request] span whose id is injected into the outgoing
+    JSON as ["span_parent"], which the {!Server} re-roots under — the
+    bridge that makes loopback traces nest across the socket (injection
+    only happens while a trace sink is live, so production requests go
+    out byte-untouched). *)
+
+type error =
+  | Timeout
+  | Connection of string  (** retryable transport failure *)
+  | Protocol of string  (** fatal: the peer broke the framing contract *)
+
+val is_retryable : error -> bool
+
+val error_message : error -> string
+
+type t
+
+val create :
+  ?metrics:string ->
+  ?timeout_ms:int ->
+  ?retries:int ->
+  ?backoff_ms:int ->
+  ?max_backoff_ms:int ->
+  ?max_frame:int ->
+  Addr.t ->
+  t
+(** No I/O happens here; the first {!request} connects.  Defaults:
+    [timeout_ms] 5000 (per attempt, covering connect + send + receive),
+    [retries] 3 (so up to 4 attempts), [backoff_ms] 50 doubling per
+    retry up to [max_backoff_ms] 2000, with full jitter. *)
+
+val addr : t -> Addr.t
+
+val request : t -> string -> (string, error) result
+(** Send one line, wait for the response line.  Serialized per client
+    (one in-flight request at a time).  The returned error is the last
+    attempt's. *)
+
+val close : t -> unit
+(** Drop the connection, if any.  The client stays usable: the next
+    {!request} reconnects. *)

@@ -1,0 +1,303 @@
+(* Consistent-hash request routing.
+
+   The ring is fixed at creation: [replicas] points per backend, each the
+   FNV-1a hash of "host:port#i", sorted.  A request's shard key hashes to
+   a ring position; its failover order is the distinct backends met
+   walking clockwise from there.  This is the standard construction —
+   removing a backend only remaps keys whose first hit was that backend,
+   which is what keeps N-1 warm caches warm when one backend dies. *)
+
+open Psph_obs
+open Psph_topology
+
+type backend = {
+  baddr : Addr.t;
+  client : Client.t;
+  health : Client.t;  (** separate connection so probes never queue behind requests *)
+  mutable alive : bool;
+}
+
+type metrics = {
+  requests : Obs.counter;
+  forwarded : Obs.counter;
+  failover : Obs.counter;
+  no_backend : Obs.counter;
+  backends_up : Obs.gauge;
+  request_s : Obs.histogram;
+  span_name : string;
+  prefix : string;
+}
+
+type t = {
+  bks : backend array;
+  ring : (int * int) array;  (** (point, backend index), sorted by point *)
+  rr : int Atomic.t;  (** rotation for keyless requests *)
+  check_period_s : float;
+  mutable health_thread : Thread.t option;
+  stopping : bool Atomic.t;
+  m : metrics;
+}
+
+(* FNV-1a, folded to a nonnegative OCaml int — deterministic across
+   processes and runs, unlike Hashtbl.hash's unspecified evolution *)
+let fnv1a s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Int64.to_int (Int64.shift_right_logical !h 2)
+
+let create ?(metrics = "net.router") ?(replicas = 64) ?(timeout_ms = 5000)
+    ?(retries = 1) ?(check_period_ms = 1000)
+    ?(max_frame = Frame.max_frame_default) addrs =
+  if addrs = [] then invalid_arg "Router.create: no backends";
+  let bks =
+    Array.of_list
+      (List.map
+         (fun baddr ->
+           {
+             baddr;
+             client =
+               Client.create ~metrics:(metrics ^ ".client") ~timeout_ms ~retries
+                 ~max_frame baddr;
+             health =
+               Client.create ~metrics:(metrics ^ ".health")
+                 ~timeout_ms:(min timeout_ms 1000) ~retries:0 ~max_frame baddr;
+             alive = true;
+           })
+         addrs)
+  in
+  let ring =
+    Array.init (Array.length bks * replicas) (fun j ->
+        let i = j / replicas and v = j mod replicas in
+        (fnv1a (Printf.sprintf "%s#%d" (Addr.to_string bks.(i).baddr) v), i))
+  in
+  Array.sort compare ring;
+  let m =
+    {
+      requests = Obs.counter (metrics ^ ".requests");
+      forwarded = Obs.counter (metrics ^ ".forwarded");
+      failover = Obs.counter (metrics ^ ".failover");
+      no_backend = Obs.counter (metrics ^ ".no_backend");
+      backends_up = Obs.gauge (metrics ^ ".backends_up");
+      request_s = Obs.histogram (metrics ^ ".request_s");
+      span_name = metrics ^ ".request";
+      prefix = metrics;
+    }
+  in
+  Obs.gauge_set m.backends_up (float_of_int (Array.length bks));
+  {
+    bks;
+    ring;
+    rr = Atomic.make 0;
+    check_period_s = float_of_int check_period_ms /. 1000.;
+    health_thread = None;
+    stopping = Atomic.make false;
+    m;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* shard keys                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let int_member name j = Option.bind (Jsonl.member name j) Jsonl.to_int_opt
+
+(* mirror of the engine's spec canonicalization (Engine.spec_key_of):
+   psph by parameters, models by the registered model's own normalized
+   encoding, explicit facets by their content address — so the router
+   agrees with the backend caches about which requests are "the same" *)
+let shard_key line =
+  match Jsonl.of_string_opt line with
+  | Some (Jsonl.Obj _ as req) -> (
+      match Option.bind (Jsonl.member "op" req) Jsonl.to_string_opt with
+      | Some "psph" -> (
+          match (int_member "n" req, int_member "values" req) with
+          | Some n, Some v -> Some (Printf.sprintf "psph:%d:%d" n v)
+          | _ -> None)
+      | Some "model-complex" -> (
+          match Option.bind (Jsonl.member "model" req) Jsonl.to_string_opt with
+          | None -> None
+          | Some name -> (
+              match
+                (Pseudosphere.Model_complex.find name, int_member "n" req)
+              with
+              | Some model, Some n ->
+                  let d = Pseudosphere.Model_complex.default_spec in
+                  let get f dflt = Option.value (int_member f req) ~default:dflt in
+                  let spec =
+                    {
+                      Pseudosphere.Model_complex.n;
+                      f = get "f" d.Pseudosphere.Model_complex.f;
+                      k = get "k" d.k;
+                      p = get "p" d.p;
+                      r = get "r" d.r;
+                    }
+                  in
+                  (* encode normalizes via the model; an invalid spec
+                     still shards deterministically on the raw encoding *)
+                  Some
+                    (try Pseudosphere.Model_complex.encode model spec
+                     with _ ->
+                       Printf.sprintf "%s:%d:%d:%d:%d:%d" name spec.n spec.f
+                         spec.k spec.p spec.r)
+              | _ -> None))
+      | Some ("betti" | "connectivity") -> (
+          match Option.bind (Jsonl.member "facets" req) Jsonl.to_list_opt with
+          | None -> None
+          | Some facets -> (
+              let strs = List.filter_map Jsonl.to_string_opt facets in
+              match
+                List.map Complex_io.simplex_of_string strs
+                |> Complex.of_facets |> Psph_engine.Key.of_complex
+                |> Psph_engine.Key.to_hex
+              with
+              | hex -> Some ("key:" ^ hex)
+              | exception _ ->
+                  (* unparseable facets: still pin repeats together *)
+                  Some ("facets:" ^ String.concat ";" strs)))
+      | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* ring lookup                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* first ring index with point >= h, wrapping *)
+let ring_start t h =
+  let n = Array.length t.ring in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.ring.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let preference t line =
+  let nb = Array.length t.bks in
+  match shard_key line with
+  | Some key ->
+      let start = ring_start t (fnv1a key) in
+      let seen = Array.make nb false in
+      let order = ref [] in
+      let n = Array.length t.ring in
+      let found = ref 0 in
+      let i = ref 0 in
+      while !found < nb && !i < n do
+        let b = snd t.ring.((start + !i) mod n) in
+        if not seen.(b) then begin
+          seen.(b) <- true;
+          order := b :: !order;
+          incr found
+        end;
+        incr i
+      done;
+      List.rev !order
+  | None ->
+      let c = Atomic.fetch_and_add t.rr 1 in
+      List.init nb (fun i -> (c + i) mod nb)
+
+let backends t = Array.to_list (Array.map (fun b -> (b.baddr, b.alive)) t.bks)
+
+(* ------------------------------------------------------------------ *)
+(* routing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let refresh_up_gauge t =
+  let up = Array.fold_left (fun n b -> if b.alive then n + 1 else n) 0 t.bks in
+  Obs.gauge_set t.m.backends_up (float_of_int up)
+
+let mark t i alive =
+  let b = t.bks.(i) in
+  if b.alive <> alive then begin
+    b.alive <- alive;
+    Obs.event
+      (t.m.prefix ^ if alive then ".backend_up" else ".backend_down")
+      ~attrs:[ ("backend", Jsonl.Str (Addr.to_string b.baddr)) ];
+    refresh_up_gauge t
+  end
+
+let degraded line =
+  let fields = [ ("ok", Jsonl.Bool false); ("error", Jsonl.Str "no backend") ] in
+  let fields =
+    match Jsonl.of_string_opt line with
+    | Some (Jsonl.Obj _ as o) -> (
+        match Jsonl.member "id" o with
+        | Some id -> ("id", id) :: fields
+        | None -> fields)
+    | _ -> fields
+  in
+  Jsonl.to_string (Jsonl.Obj fields)
+
+let route t line =
+  Obs.incr t.m.requests;
+  Obs.with_span t.m.span_name (fun sp ->
+      Obs.time t.m.request_s (fun () ->
+          let prefs = preference t line in
+          (* live backends first, each dead one still gets a last-resort
+             try (it may have revived since the prober last looked) *)
+          let live, dead = List.partition (fun i -> t.bks.(i).alive) prefs in
+          let rec go first = function
+            | [] ->
+                Obs.incr t.m.no_backend;
+                Obs.set_attr sp "degraded" (Jsonl.Bool true);
+                degraded line
+            | i :: rest -> (
+                match Client.request t.bks.(i).client line with
+                | Ok resp ->
+                    mark t i true;
+                    Obs.incr t.m.forwarded;
+                    Obs.set_attr sp "backend"
+                      (Jsonl.Str (Addr.to_string t.bks.(i).baddr));
+                    resp
+                | Error _ ->
+                    (* retryable or fatal, this backend is no good for
+                       this request: mark it down and fail over *)
+                    mark t i false;
+                    if not first then Obs.incr t.m.failover;
+                    go false rest)
+          in
+          go true (live @ dead)))
+
+(* ------------------------------------------------------------------ *)
+(* health checks                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let probe = {|{"op":"models"}|}
+
+let check_once t =
+  Array.iteri
+    (fun i b ->
+      match Client.request b.health probe with
+      | Ok _ -> mark t i true
+      | Error _ -> mark t i false)
+    t.bks
+
+let rec health_loop t =
+  if not (Atomic.get t.stopping) then begin
+    check_once t;
+    (* sleep in small slices so [stop] never waits a full period *)
+    let slices = int_of_float (Float.ceil (t.check_period_s /. 0.05)) in
+    let rec nap i =
+      if i > 0 && not (Atomic.get t.stopping) then begin
+        Thread.delay (Float.min 0.05 t.check_period_s);
+        nap (i - 1)
+      end
+    in
+    nap (max 1 slices);
+    health_loop t
+  end
+
+let start_health_checks t =
+  if t.health_thread = None then
+    t.health_thread <- Some (Thread.create (fun () -> health_loop t) ())
+
+let stop t =
+  Atomic.set t.stopping true;
+  Option.iter Thread.join t.health_thread;
+  t.health_thread <- None;
+  Array.iter
+    (fun b ->
+      Client.close b.client;
+      Client.close b.health)
+    t.bks

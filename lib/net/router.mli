@@ -1,0 +1,71 @@
+(** Consistent-hash routing of serve requests across N backends.
+
+    The router is itself a serve-protocol peer: put {!route} behind a
+    {!Server} and clients talk to it exactly as they would to a single
+    backend.  Each request is forwarded to a backend chosen by
+    consistent hashing on the request's {b shard key}:
+
+    - [betti]/[connectivity]: the content address ({!Psph_engine.Key})
+      of the complex the facets denote — the same key the backend's memo
+      store will use, so repeats of a shape always land on the backend
+      whose cache is warm for it;
+    - [psph]/[model-complex]: the normalized-spec encoding (the model's
+      own {!Pseudosphere.Model_complex.encode}), which is cheaper than
+      building the complex and canonicalizes exactly as the engine's
+      spec memo does;
+    - everything else ([batch], [stats], ...): no affinity — spread
+      round-robin over live backends.
+
+    Hashing is a fixed ring ([replicas] virtual nodes per backend, FNV
+    over "host:port#i"), so adding or removing a backend only remaps the
+    keys that touched it.  A request tries backends in ring order,
+    live ones first: a retryable failure marks the backend dead and
+    fails over to the next; when nothing answers, the router degrades to
+    [{"ok":false,"error":"no backend"}] (id echoed) instead of crashing.
+    A background health checker probes every backend with [{"op":
+    "models"}] and revives dead ones.
+
+    Observability ([net.router.*]): request/forwarded/failover/
+    no_backend counters, a backends-up gauge, per-request latency, a
+    [net.router.request] span per routed request and backend_up/down
+    events from the health checker. *)
+
+type t
+
+val create :
+  ?metrics:string ->
+  ?replicas:int ->
+  ?timeout_ms:int ->
+  ?retries:int ->
+  ?check_period_ms:int ->
+  ?max_frame:int ->
+  Addr.t list ->
+  t
+(** No I/O; backends are assumed alive until a probe or request says
+    otherwise.  [replicas] (default 64) virtual nodes per backend;
+    [timeout_ms]/[retries] configure the per-backend clients (retries
+    default 1 — the ring-level failover is the real retry);
+    [check_period_ms] (default 1000) spaces health probes.
+    @raise Invalid_argument on an empty backend list. *)
+
+val shard_key : string -> string option
+(** The shard string of a request line, [None] when the request has no
+    key affinity (batch/stats/... or unparseable). *)
+
+val preference : t -> string -> int list
+(** Backend indexes in ring (failover) order for a request line.  Pure
+    ring arithmetic — exposed for tests; keyless lines rotate. *)
+
+val backends : t -> (Addr.t * bool) list
+(** Address and liveness of each backend, in index order. *)
+
+val route : t -> string -> string
+(** Forward one request line, failing over as needed; the degraded
+    answer if no backend responds.  Never raises — this is the
+    {!Server.handler} of [psc route]. *)
+
+val start_health_checks : t -> unit
+(** Spawn the background prober (idempotent). *)
+
+val stop : t -> unit
+(** Stop the prober and close every backend connection. *)

@@ -1,0 +1,260 @@
+(* The accept loop: one listening socket, one handler systhread per
+   connection, all feeding one line handler (in production,
+   [Serve.handle_line engine] — the engine's Domain pool does the heavy
+   lifting; these threads mostly block on sockets).
+
+   Stop protocol: [request_stop] must be callable from a SIGINT/SIGTERM
+   handler, i.e. possibly from *inside* the accept thread with the server
+   lock in any state.  So the stopping flag is an Atomic (no lock), the
+   listening socket is shutdown immediately (wakes/aborts the accept), and
+   everything that needs the lock — waking idle connections so the drain
+   can finish — happens on the normal-context drain path in [serve]. *)
+
+open Psph_obs
+
+type handler = string -> string
+
+type metrics = {
+  accepted : Obs.counter;
+  closed : Obs.counter;
+  requests : Obs.counter;
+  frame_errors : Obs.counter;  (** oversized/garbage framing from a peer *)
+  torn : Obs.counter;  (** peer died mid-frame *)
+  deadline_exceeded : Obs.counter;
+  active : Obs.gauge;
+  request_s : Obs.histogram;
+}
+
+type t = {
+  lsock : Unix.file_descr;
+  port : int;
+  handler : handler;
+  max_conns : int;
+  deadline_s : float option;
+  max_frame : int;
+  lock : Mutex.t;
+  cond : Condition.t;  (** connection-count changes (capacity and drain) *)
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  mutable next_conn : int;
+  stopping : bool Atomic.t;
+  mutable server_thread : Thread.t option;
+  m : metrics;
+}
+
+let make_metrics prefix =
+  {
+    accepted = Obs.counter (prefix ^ ".accepted");
+    closed = Obs.counter (prefix ^ ".closed");
+    requests = Obs.counter (prefix ^ ".requests");
+    frame_errors = Obs.counter (prefix ^ ".frame_errors");
+    torn = Obs.counter (prefix ^ ".torn");
+    deadline_exceeded = Obs.counter (prefix ^ ".deadline_exceeded");
+    active = Obs.gauge (prefix ^ ".active");
+    request_s = Obs.histogram (prefix ^ ".request_s");
+  }
+
+let listen ?(metrics = "net.server") ?(backlog = 64) ?(max_conns = 64)
+    ?deadline_s ?(max_frame = Frame.max_frame_default) ~handler addr =
+  match Addr.resolve addr with
+  | Error _ as e -> e
+  | Ok sockaddr -> (
+      let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      try
+        Unix.setsockopt sock Unix.SO_REUSEADDR true;
+        Unix.bind sock sockaddr;
+        Unix.listen sock backlog;
+        let port =
+          match Unix.getsockname sock with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> addr.Addr.port
+        in
+        Ok
+          {
+            lsock = sock;
+            port;
+            handler;
+            max_conns = max 1 max_conns;
+            deadline_s;
+            max_frame;
+            lock = Mutex.create ();
+            cond = Condition.create ();
+            conns = Hashtbl.create 16;
+            next_conn = 0;
+            stopping = Atomic.make false;
+            server_thread = None;
+            m = make_metrics metrics;
+          }
+      with Unix.Unix_error (e, fn, _) ->
+        (try Unix.close sock with _ -> ());
+        Error
+          (Printf.sprintf "cannot listen on %s: %s (%s)" (Addr.to_string addr)
+             (Unix.error_message e) fn))
+
+let port t = t.port
+
+(* full write; sockets may take large frames in pieces *)
+let send_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let send_frame t fd payload = send_all fd (Frame.encode ~max_frame:t.max_frame payload)
+
+(* an error response in the serve wire shape, echoing the request "id"
+   when the original line parses far enough to have one *)
+let error_line ?orig msg =
+  let fields = [ ("ok", Jsonl.Bool false); ("error", Jsonl.Str msg) ] in
+  let fields =
+    match Option.bind orig Jsonl.of_string_opt with
+    | Some (Jsonl.Obj _ as o) -> (
+        match Jsonl.member "id" o with
+        | Some id -> ("id", id) :: fields
+        | None -> fields)
+    | _ -> fields
+  in
+  Jsonl.to_string (Jsonl.Obj fields)
+
+let span_parent_of line =
+  match Jsonl.of_string_opt line with
+  | Some (Jsonl.Obj _ as o) -> Option.bind (Jsonl.member "span_parent" o) Jsonl.to_int_opt
+  | _ -> None
+
+let handle_request t line =
+  Obs.incr t.m.requests;
+  let t0 = Obs.monotonic () in
+  (* re-root under the span id the client put on the wire, so a loopback
+     trace nests net.client.request -> serve.request across the socket;
+     only meaningful (and only looked for) when a sink is live *)
+  let parent =
+    if Obs.current_sink () = Obs.Null then None else span_parent_of line
+  in
+  let response =
+    try Obs.with_parent parent (fun () -> t.handler line)
+    with e -> error_line ~orig:line ("internal error: " ^ Printexc.to_string e)
+  in
+  let elapsed = Obs.monotonic () -. t0 in
+  Obs.observe t.m.request_s elapsed;
+  match t.deadline_s with
+  | Some d when elapsed > d ->
+      (* cooperative: the work already ran, but the contract with the
+         client is an error once the deadline has passed *)
+      Obs.incr t.m.deadline_exceeded;
+      error_line ~orig:line
+        (Printf.sprintf "deadline exceeded (%.0f ms limit)" (1000. *. d))
+  | _ -> response
+
+let conn_loop t fd =
+  let reader = Frame.reader ~max_frame:t.max_frame () in
+  let buf = Bytes.create 65536 in
+  let rec drain_frames () =
+    match Frame.next reader with
+    | Some line ->
+        let resp = handle_request t line in
+        (try send_frame t fd resp
+         with Frame.Oversized n ->
+           Obs.incr t.m.frame_errors;
+           send_frame t fd
+             (error_line ~orig:line
+                (Printf.sprintf "response too large (%d bytes, max %d)" n
+                   t.max_frame)));
+        (* draining: finish the in-flight request, then hang up *)
+        if not (Atomic.get t.stopping) then drain_frames ()
+    | None -> read_more ()
+  and read_more () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> if Frame.pending reader > 0 then Obs.incr t.m.torn
+    | n -> (
+        match Frame.feed reader buf 0 n with
+        | () -> drain_frames ()
+        | exception Frame.Oversized len ->
+            (* the stream is desynced past this point: answer and close *)
+            Obs.incr t.m.frame_errors;
+            send_frame t fd
+              (error_line
+                 (Printf.sprintf "frame too large (%d bytes, max %d)" len
+                    t.max_frame)))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_more ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+  in
+  drain_frames ()
+
+let conn_main t id fd =
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with _ -> ());
+      Mutex.lock t.lock;
+      Hashtbl.remove t.conns id;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.lock;
+      Obs.incr t.m.closed;
+      Obs.gauge_add t.m.active (-1.0))
+    (fun () -> try conn_loop t fd with _ -> ())
+
+let request_stop t =
+  if not (Atomic.exchange t.stopping true) then
+    (* aborts a blocked/future accept; everything lock-protected happens
+       on the drain path, keeping this safe inside a signal handler *)
+    try Unix.shutdown t.lsock Unix.SHUTDOWN_ALL with _ -> ()
+
+let serve t =
+  let rec accept_loop () =
+    Mutex.lock t.lock;
+    while
+      Hashtbl.length t.conns >= t.max_conns && not (Atomic.get t.stopping)
+    do
+      Condition.wait t.cond t.lock
+    done;
+    Mutex.unlock t.lock;
+    if not (Atomic.get t.stopping) then
+      match Unix.accept ~cloexec:true t.lsock with
+      | fd, _ ->
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+          Obs.incr t.m.accepted;
+          Obs.gauge_add t.m.active 1.0;
+          Mutex.lock t.lock;
+          let id = t.next_conn in
+          t.next_conn <- id + 1;
+          Hashtbl.add t.conns id fd;
+          Mutex.unlock t.lock;
+          ignore (Thread.create (fun () -> conn_main t id fd) ());
+          accept_loop ()
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+          accept_loop ()
+      | exception Unix.Unix_error _ ->
+          (* EMFILE and friends: back off and retry unless stopping
+             (shutdown of the listening socket also lands here) *)
+          if not (Atomic.get t.stopping) then begin
+            (try Thread.delay 0.05 with _ -> ());
+            accept_loop ()
+          end
+  in
+  (try accept_loop () with _ -> ());
+  (* drain: wake idle connections (their reads return EOF), then wait for
+     every handler thread to finish its in-flight request and deregister *)
+  Mutex.lock t.lock;
+  let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [] in
+  Mutex.unlock t.lock;
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+    fds;
+  Mutex.lock t.lock;
+  while Hashtbl.length t.conns > 0 do
+    Condition.wait t.cond t.lock
+  done;
+  Mutex.unlock t.lock;
+  try Unix.close t.lsock with _ -> ()
+
+let start t = t.server_thread <- Some (Thread.create (fun () -> serve t) ())
+
+let stop t =
+  request_stop t;
+  match t.server_thread with
+  | Some th ->
+      Thread.join th;
+      t.server_thread <- None
+  | None -> ()

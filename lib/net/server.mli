@@ -1,0 +1,69 @@
+(** A TCP front end for a line handler: the accept loop that puts
+    {!Psph_engine.Serve.handle_line} behind a socket.
+
+    Each accepted connection gets one handler thread that decodes
+    {!Frame}s, hands every payload to the handler, and writes the
+    response back as a frame.  The handler threads all feed the one
+    engine (whose Domain pool does the parallel work), so a connection
+    is cheap: a thread, a reader buffer, a socket.
+
+    Robustness mirrors the stdio serve loop: a connection that sends
+    garbage framing, dies mid-frame, or trips the oversized-frame guard
+    is answered (when possible) and closed — the server never crashes and
+    other connections never notice.  [max_conns] bounds the connection
+    pool; excess connections wait in the kernel backlog.  [deadline_s]
+    is a cooperative per-request deadline: a request whose handler runs
+    past it is answered with [{"ok":false,"error":"deadline exceeded"}]
+    instead of its (late) result.
+
+    Shutdown is graceful: {!request_stop} stops accepting and wakes idle
+    connections, in-flight requests run to completion and their
+    responses are written, then {!serve} returns so the caller can flush
+    the engine's store.
+
+    Observability ([net.server.*], catalogued in docs/NET.md): accepted/
+    closed/requests/frame_errors/torn/deadline_exceeded counters, an
+    active-connections gauge, a per-request latency histogram — and
+    every request is handled with its ambient span parent re-rooted to
+    the ["span_parent"] field of the request (injected by {!Client}), so
+    in-process loopback traces nest [net.client.request ->
+    serve.request -> engine.query] across the socket boundary. *)
+
+type handler = string -> string
+(** Must never raise ({!Psph_engine.Serve.handle_line} already
+    guarantees this); a raise is caught, answered as an internal error,
+    and counted, but indicates a handler bug. *)
+
+type t
+
+val listen :
+  ?metrics:string ->
+  ?backlog:int ->
+  ?max_conns:int ->
+  ?deadline_s:float ->
+  ?max_frame:int ->
+  handler:handler ->
+  Addr.t ->
+  (t, string) result
+(** Bind and listen ([SO_REUSEADDR] set; port 0 lets the kernel pick —
+    read it back with {!port}).  [metrics] prefixes the metric names
+    (default ["net.server"]; the router passes ["net.router"]).
+    [max_conns] defaults to 64. *)
+
+val port : t -> int
+
+val serve : t -> unit
+(** Run the accept loop in the calling thread until {!request_stop},
+    then drain: wait for every live connection to finish its in-flight
+    request and close.  Never raises. *)
+
+val start : t -> unit
+(** {!serve} on a background thread. *)
+
+val request_stop : t -> unit
+(** Flag the server as stopping and wake the accept loop and idle
+    connection reads.  Returns immediately; safe to call from a signal
+    handler or another thread.  Idempotent. *)
+
+val stop : t -> unit
+(** {!request_stop}, then wait until {!serve} has drained and returned. *)

@@ -1,0 +1,16 @@
+/* CLOCK_MONOTONIC for the observability substrate: durations must not go
+   negative (or jump) when the wall clock steps, so spans and histograms
+   time themselves against this clock and keep gettimeofday only for trace
+   timestamps.  No OCaml package in the image exposes a monotonic clock,
+   hence the one-function stub. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value psph_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -12,6 +12,13 @@ type attrs = (string * Jsonl.t) list
 
 let now () = Unix.gettimeofday ()
 
+external monotonic_ns : unit -> int64 = "psph_obs_monotonic_ns"
+
+(* durations are measured on this clock so a wall-clock step (NTP, VM
+   migration) can never produce a negative span or histogram entry; [now]
+   stays wall-clock and is used only for trace timestamps *)
+let monotonic () = Int64.to_float (monotonic_ns ()) *. 1e-9
+
 (* ------------------------------------------------------------------ *)
 (* metric registry                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -95,8 +102,8 @@ let observe h v =
   Mutex.unlock h.hlock
 
 let time h f =
-  let t0 = now () in
-  Fun.protect ~finally:(fun () -> observe h (now () -. t0)) f
+  let t0 = monotonic () in
+  Fun.protect ~finally:(fun () -> observe h (monotonic () -. t0)) f
 
 let histogram_stats h =
   Mutex.lock h.hlock;
@@ -223,28 +230,53 @@ let with_trace_file path f =
 type span = {
   id : int;
   parent : int option;
-  start : float;
+  start : float;  (** wall clock, for the trace timestamp *)
+  start_mono : float;  (** monotonic, for the duration *)
   mutable sattrs : attrs;
 }
 
-(* the ambient context on a domain: the current live span, or a bare
+(* the ambient context of a thread: the current live span, or a bare
    parent id carried across a queue/domain boundary by [with_parent] *)
 type frame = Live of span | Ctx of int
 
 let next_id = Atomic.make 1
 
-let ambient : frame option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+(* Ambient state is per-thread, not just per-domain: the TCP server runs
+   one handler systhread per connection inside one domain, and those
+   threads must not trample each other's span nesting.  Each domain keeps
+   its own table keyed by thread id (only its own threads touch it), under
+   a domain-local mutex because systhread preemption can land mid-update. *)
+let ambient_tbl : (int, frame) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let ambient_lock : Mutex.t Domain.DLS.key = Domain.DLS.new_key Mutex.create
+
+let with_ambient f =
+  let lock = Domain.DLS.get ambient_lock in
+  let tbl = Domain.DLS.get ambient_tbl in
+  Mutex.lock lock;
+  let r = f tbl (Thread.id (Thread.self ())) in
+  Mutex.unlock lock;
+  r
+
+let current_frame () = with_ambient (fun tbl tid -> Hashtbl.find_opt tbl tid)
+
+let set_frame frame =
+  with_ambient (fun tbl tid ->
+      match frame with
+      | Some fr -> Hashtbl.replace tbl tid fr
+      | None -> Hashtbl.remove tbl tid)
 
 let current_span_id () =
-  match Domain.DLS.get ambient with
+  match current_frame () with
   | Some (Live s) -> Some s.id
   | Some (Ctx id) -> Some id
   | None -> None
 
 let with_frame frame f =
-  let saved = Domain.DLS.get ambient in
-  Domain.DLS.set ambient frame;
-  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient saved) f
+  let saved = current_frame () in
+  set_frame frame;
+  Fun.protect ~finally:(fun () -> set_frame saved) f
 
 let with_parent parent f =
   with_frame (Option.map (fun id -> Ctx id) parent) f
@@ -258,12 +290,15 @@ let with_span ?(attrs = []) name f =
       id = Atomic.fetch_and_add next_id 1;
       parent;
       start = now ();
+      start_mono = monotonic ();
       sattrs = List.rev attrs;
     }
   in
   let close () =
-    let stop = now () in
-    record_span_agg name (stop -. s.start);
+    (* duration on the monotonic clock; the trace [stop] is derived from
+       it so [dur_s = stop - start] stays non-negative under clock steps *)
+    let dur = monotonic () -. s.start_mono in
+    record_span_agg name dur;
     if !the_sink != Null then
       emit
         (Span_record
@@ -272,7 +307,7 @@ let with_span ?(attrs = []) name f =
              id = s.id;
              parent = s.parent;
              start = s.start;
-             stop;
+             stop = s.start +. dur;
              attrs = s.sattrs;
            })
   in

@@ -12,8 +12,9 @@
       Counters and gauges are atomic (safe to touch from worker domains);
       histograms serialize under a tiny per-histogram lock.
 
-    - {b Spans}: named wall-clock intervals with parent/child nesting.
-      The current span is ambient, per-domain state; {!with_span} opens a
+    - {b Spans}: named time intervals with parent/child nesting (wall
+      clock for the trace timestamp, monotonic clock for the duration).
+      The current span is ambient, per-thread state; {!with_span} opens a
       child of whatever span is current, and {!with_parent} re-roots a
       computation under an explicit parent id so a job submitted to a
       worker pool stays attached to the span that enqueued it.  Every
@@ -35,8 +36,15 @@ type attrs = (string * Jsonl.t) list
     without further encoding. *)
 
 val now : unit -> float
-(** The substrate clock, in seconds.  Wall clock ({!Unix.gettimeofday});
-    all durations below are differences of this clock. *)
+(** The wall clock ({!Unix.gettimeofday}), in seconds.  Used only for
+    trace timestamps; durations are measured with {!monotonic} so a
+    wall-clock step can never produce a negative span or histogram
+    observation. *)
+
+val monotonic : unit -> float
+(** [CLOCK_MONOTONIC], in seconds since an arbitrary origin.  The clock
+    every duration in this module is measured on; comparable only within
+    one process. *)
 
 (** {1 Counters} *)
 

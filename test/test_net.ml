@@ -1,0 +1,370 @@
+(* lib/net tests: framing (unit + qcheck fuzz over random chunking),
+   client/server loopback against the real engine (byte-identical with
+   the stdio serve loop, deadlines, oversized frames, span nesting
+   across the socket), and router hashing + failover with a dying
+   backend. *)
+
+open Psph_net
+module Obs = Psph_obs.Obs
+module Jsonl = Psph_obs.Jsonl
+module E = Psph_engine.Engine
+module Serve = Psph_engine.Serve
+
+let check = Alcotest.check
+
+let fail = Alcotest.fail
+
+let string, int, bool = Alcotest.(string, int, bool)
+
+let option, list = Alcotest.(option, list)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_contains what line sub =
+  if not (contains line sub) then
+    fail (Printf.sprintf "%s: %S not found in %S" what sub line)
+
+let loopback port = { Addr.host = "127.0.0.1"; port }
+
+(* ------------------------------------------------------------------ *)
+(* Addr                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let addr_tests =
+  [
+    Alcotest.test_case "parse HOST:PORT" `Quick (fun () ->
+        (match Addr.parse "127.0.0.1:8080" with
+        | Ok a ->
+            check string "host" "127.0.0.1" a.Addr.host;
+            check int "port" 8080 a.Addr.port
+        | Error m -> fail m);
+        (match Addr.parse "somehost:0" with
+        | Ok a -> check int "port 0 allowed" 0 a.Addr.port
+        | Error m -> fail m);
+        List.iter
+          (fun s ->
+            check bool (Printf.sprintf "%S rejected" s) true
+              (Result.is_error (Addr.parse s)))
+          [ "noport"; "h:"; ":80"; "h:abc"; "h:70000"; "h:-1" ]);
+    Alcotest.test_case "to_string round-trips" `Quick (fun () ->
+        match Addr.parse "10.0.0.1:443" with
+        | Ok a -> check string "round-trip" "10.0.0.1:443" (Addr.to_string a)
+        | Error m -> fail m);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Frame: unit                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let drain r =
+  let rec go acc =
+    match Frame.next r with Some p -> go (p :: acc) | None -> List.rev acc
+  in
+  go []
+
+let frame_tests =
+  [
+    Alcotest.test_case "encode/decode, byte-transparent" `Quick (fun () ->
+        let payloads = [ ""; "{\"op\":\"stats\"}"; "with\nnewline\x00and nul" ] in
+        let r = Frame.reader () in
+        Frame.feed_string r (String.concat "" (List.map Frame.encode payloads));
+        check (list string) "all frames" payloads (drain r);
+        check int "clean boundary" 0 (Frame.pending r));
+    Alcotest.test_case "byte-at-a-time feed" `Quick (fun () ->
+        let wire = Frame.encode "slow" ^ Frame.encode "drip" in
+        let r = Frame.reader () in
+        String.iter (fun c -> Frame.feed_string r (String.make 1 c)) wire;
+        check (list string) "frames" [ "slow"; "drip" ] (drain r));
+    Alcotest.test_case "pending counts a torn frame" `Quick (fun () ->
+        let wire = Frame.encode "abcdef" in
+        let r = Frame.reader () in
+        Frame.feed_string r (String.sub wire 0 7);
+        check (option string) "incomplete" None (Frame.next r);
+        check int "buffered bytes" 7 (Frame.pending r);
+        Frame.feed_string r (String.sub wire 7 (String.length wire - 7));
+        check (option string) "completed" (Some "abcdef") (Frame.next r);
+        check int "boundary again" 0 (Frame.pending r));
+    Alcotest.test_case "oversized encode refused" `Quick (fun () ->
+        match Frame.encode ~max_frame:8 "123456789" with
+        | _ -> fail "encode should have raised"
+        | exception Frame.Oversized n -> check int "offending length" 9 n);
+    Alcotest.test_case "oversized header poisons the reader" `Quick (fun () ->
+        let r = Frame.reader ~max_frame:8 () in
+        Frame.feed_string r (Frame.encode ~max_frame:8 "12345678");
+        check (option string) "exactly max ok" (Some "12345678") (Frame.next r);
+        (match Frame.feed_string r (Frame.encode "123456789") with
+        | _ -> fail "oversized header should have raised"
+        | exception Frame.Oversized n -> check int "advertised length" 9 n);
+        (* the stream is desynced: even a well-formed frame re-raises *)
+        match Frame.feed_string r (Frame.encode "ok") with
+        | _ -> fail "poisoned reader should keep raising"
+        | exception Frame.Oversized n -> check int "original length" 9 n);
+    Alcotest.test_case "sign-bit length is oversized" `Quick (fun () ->
+        let r = Frame.reader () in
+        match Frame.feed_string r "\x80\x00\x00\x01x" with
+        | _ -> fail "negative length should have raised"
+        | exception Frame.Oversized _ -> ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Frame: qcheck fuzz                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let frame_props =
+  let open QCheck2 in
+  [
+    Test.make ~name:"round-trip survives any chunking" ~count:300
+      Gen.(pair (list_size (0 -- 8) (string_size (0 -- 300))) (1 -- 13))
+      (fun (payloads, chunk) ->
+        let wire = String.concat "" (List.map Frame.encode payloads) in
+        let buf = Bytes.of_string wire in
+        let r = Frame.reader () in
+        let n = Bytes.length buf in
+        let i = ref 0 in
+        while !i < n do
+          let len = min chunk (n - !i) in
+          Frame.feed r buf !i len;
+          i := !i + len
+        done;
+        drain r = payloads && Frame.pending r = 0);
+    Test.make ~name:"torn frame completes on the next feed" ~count:300
+      Gen.(pair (string_size (0 -- 200)) (0 -- 1000))
+      (fun (payload, cut) ->
+        let wire = Frame.encode payload in
+        let k = cut mod String.length wire in
+        let r = Frame.reader () in
+        Frame.feed_string r (String.sub wire 0 k);
+        let torn = Frame.next r = None && Frame.pending r = k in
+        Frame.feed_string r (String.sub wire k (String.length wire - k));
+        torn && Frame.next r = Some payload && Frame.pending r = 0);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Client/Server loopback                                              *)
+(* ------------------------------------------------------------------ *)
+
+let with_server ?deadline_s ?max_frame handler f =
+  match Server.listen ?deadline_s ?max_frame ~handler (loopback 0) with
+  | Error m -> fail m
+  | Ok srv ->
+      Server.start srv;
+      Fun.protect
+        ~finally:(fun () -> Server.stop srv)
+        (fun () -> f srv (loopback (Server.port srv)))
+
+let with_client ?(timeout_ms = 5000) ?(retries = 1) ?(backoff_ms = 1) addr f =
+  let c = Client.create ~timeout_ms ~retries ~backoff_ms addr in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let with_engine f =
+  let engine = E.create ~domains:0 () in
+  Fun.protect ~finally:(fun () -> E.shutdown engine) (fun () -> f engine)
+
+let request_ok c line =
+  match Client.request c line with
+  | Ok resp -> resp
+  | Error e -> fail (Client.error_message e)
+
+(* a loopback port with nothing listening: bind to 0, read it back, close *)
+let dead_port () =
+  let s = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let p =
+    match Unix.getsockname s with Unix.ADDR_INET (_, p) -> p | _ -> 0
+  in
+  Unix.close s;
+  p
+
+let loopback_tests =
+  [
+    Alcotest.test_case "byte-identical with Serve.handle_line" `Quick (fun () ->
+        with_engine @@ fun engine ->
+        with_server (Serve.handle_line engine) @@ fun _srv addr ->
+        with_client addr @@ fun c ->
+        let line = {|{"op":"psph","n":2,"values":2,"id":7}|} in
+        ignore (Serve.handle_line engine line);
+        (* warm: both the direct call and the TCP one must now say cached *)
+        let direct = Serve.handle_line engine line in
+        let resp = request_ok c line in
+        check string "same bytes over TCP" direct resp;
+        check_contains "success" resp {|"ok":true|};
+        check_contains "warm" resp {|"cached":true|};
+        check_contains "id echoed" resp {|"id":7|});
+    Alcotest.test_case "keep-alive: many ops on one connection" `Quick
+      (fun () ->
+        with_engine @@ fun engine ->
+        with_server (Serve.handle_line engine) @@ fun _srv addr ->
+        with_client addr @@ fun c ->
+        check_contains "models op" (request_ok c {|{"op":"models"}|}) "async";
+        check_contains "bad op is a response, not an error"
+          (request_ok c {|{"op":"nope","id":1}|})
+          {|"ok":false|};
+        check_contains "betti after an error"
+          (request_ok c {|{"op":"betti","facets":["0:i0 ; 1:i1"]}|})
+          {|"betti":|});
+    Alcotest.test_case "deadline exceeded answers an error" `Quick (fun () ->
+        with_server ~deadline_s:0.005
+          (fun _ ->
+            Thread.delay 0.05;
+            {|{"ok":true,"late":true}|})
+        @@ fun _srv addr ->
+        with_client addr @@ fun c ->
+        let resp = request_ok c {|{"op":"x","id":9}|} in
+        check_contains "deadline error" resp "deadline exceeded";
+        check_contains "id echoed" resp {|"id":9|});
+    Alcotest.test_case "oversized request answered, then reconnect" `Quick
+      (fun () ->
+        with_server ~max_frame:128 (fun _ -> "pong") @@ fun _srv addr ->
+        with_client addr @@ fun c ->
+        let big = String.make 300 'x' in
+        let resp = request_ok c big in
+        check_contains "rejected" resp "frame too large";
+        (* the server hung up after the framing error; the client must
+           reconnect transparently on the next request *)
+        check string "back in business" "pong" (request_ok c "ping"));
+    Alcotest.test_case "connect refused is retryable, not fatal" `Quick
+      (fun () ->
+        with_client ~timeout_ms:500 ~retries:2 (loopback (dead_port ()))
+        @@ fun c ->
+        match Client.request c {|{"op":"stats"}|} with
+        | Ok _ -> fail "nothing was listening"
+        | Error e ->
+            check bool "retryable" true (Client.is_retryable e);
+            check bool "protocol errors are fatal" false
+              (Client.is_retryable (Client.Protocol "x")));
+    Alcotest.test_case "spans nest across the socket" `Quick (fun () ->
+        with_engine @@ fun engine ->
+        with_server (Serve.handle_line engine) @@ fun _srv addr ->
+        with_client addr @@ fun c ->
+        Fun.protect ~finally:(fun () -> Obs.set_sink Obs.Null) @@ fun () ->
+        Obs.set_sink Obs.Memory;
+        Obs.clear_records ();
+        ignore (request_ok c {|{"op":"psph","n":1,"values":1}|});
+        Obs.set_sink Obs.Null;
+        let span name =
+          List.find_map
+            (function
+              | Obs.Span_record { name = n; id; parent; _ } when n = name ->
+                  Some (id, parent)
+              | _ -> None)
+            (Obs.records ())
+        in
+        match
+          (span "net.client.request", span "serve.request", span "engine.query")
+        with
+        | Some (cid, croot), Some (sid, sparent), Some (_, qparent) ->
+            check (option int) "client span is the root" None croot;
+            check (option int) "serve.request under net.client.request"
+              (Some cid) sparent;
+            check (option int) "engine.query under serve.request" (Some sid)
+              qparent
+        | c', s', q' ->
+            fail
+              (Printf.sprintf "missing spans: client=%b serve=%b query=%b"
+                 (c' <> None) (s' <> None) (q' <> None)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Router                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mk_router ?(retries = 0) ports =
+  Router.create ~timeout_ms:2000 ~retries ~check_period_ms:3600_000
+    (List.map loopback ports)
+
+let router_tests =
+  [
+    Alcotest.test_case "shard keys canonicalize like the engine" `Quick
+      (fun () ->
+        check (option string) "psph by parameters"
+          (Some "psph:2:3")
+          (Router.shard_key {|{"op":"psph","n":2,"values":3}|});
+        (* async normalizes k and p away: requests differing only in
+           parameters the model ignores must land on the same backend *)
+        check (option string) "model params the model ignores"
+          (Router.shard_key {|{"op":"model-complex","model":"async","n":2,"k":1}|})
+          (Router.shard_key {|{"op":"model-complex","model":"async","n":2,"k":5,"p":9}|});
+        (* explicit complexes shard by content address, so facet order
+           and the betti/connectivity split don't matter *)
+        let k1 =
+          Router.shard_key {|{"op":"betti","facets":["0:i0 ; 1:i1","1:i1 ; 2:i0"]}|}
+        in
+        check (option string) "facet order irrelevant" k1
+          (Router.shard_key
+             {|{"op":"connectivity","facets":["1:i1 ; 2:i0","0:i0 ; 1:i1"]}|});
+        check bool "content-addressed" true
+          (match k1 with Some s -> String.length s > 4 && String.sub s 0 4 = "key:" | None -> false);
+        check (option string) "stats has no affinity" None
+          (Router.shard_key {|{"op":"stats"}|});
+        check (option string) "garbage has no affinity" None
+          (Router.shard_key "not json"));
+    Alcotest.test_case "preference is deterministic and stable" `Quick
+      (fun () ->
+        let r3 = mk_router [ 6401; 6402; 6403 ] in
+        let r2 = mk_router [ 6401; 6402 ] in
+        Fun.protect
+          ~finally:(fun () -> Router.stop r3; Router.stop r2)
+        @@ fun () ->
+        let lines =
+          List.init 60 (fun i ->
+              Printf.sprintf {|{"op":"psph","n":%d,"values":%d}|} (i mod 6)
+                (i / 6))
+        in
+        List.iter
+          (fun line ->
+            let p = Router.preference r3 line in
+            check (list int) "deterministic" p (Router.preference r3 line);
+            check (list int) "a permutation of all backends"
+              (List.sort compare p) [ 0; 1; 2 ];
+            (* consistent hashing: dropping backend 2 must not move keys
+               whose first choice was backend 0 or 1 *)
+            let hd3 = List.hd p in
+            if hd3 < 2 then
+              check int "survivors keep their keys" hd3
+                (List.hd (Router.preference r2 line)))
+          lines;
+        (* keyless requests rotate rather than pile on one backend *)
+        let heads =
+          List.init 3 (fun _ ->
+              List.hd (Router.preference r3 {|{"op":"stats"}|}))
+        in
+        check (list int) "round-robin" [ 0; 1; 2 ]
+          (List.sort compare heads));
+    Alcotest.test_case "empty backend list refused" `Quick (fun () ->
+        match Router.create [] with
+        | _ -> fail "should have raised"
+        | exception Invalid_argument _ -> ());
+    Alcotest.test_case "failover when a backend dies" `Quick (fun () ->
+        with_engine @@ fun engine ->
+        with_server (Serve.handle_line engine) @@ fun srv1 a1 ->
+        with_server (Serve.handle_line engine) @@ fun srv2 a2 ->
+        let r = mk_router [ a1.Addr.port; a2.Addr.port ] in
+        Fun.protect ~finally:(fun () -> Router.stop r) @@ fun () ->
+        let line = {|{"op":"psph","n":1,"values":2,"id":3}|} in
+        check_contains "routes while all alive" (Router.route r line)
+          {|"ok":true|};
+        (* kill exactly the backend this key prefers, so the reroute is a
+           real failover and not a lucky hash *)
+        let first = List.hd (Router.preference r line) in
+        Server.stop (if first = 0 then srv1 else srv2);
+        let resp = Router.route r line in
+        check_contains "survivor answers" resp {|"ok":true|};
+        check bool "dead backend marked down" false
+          (snd (List.nth (Router.backends r) first));
+        Server.stop (if first = 0 then srv2 else srv1);
+        let degraded = Router.route r line in
+        check_contains "degrades, never crashes" degraded "no backend";
+        check_contains "id still echoed" degraded {|"id":3|});
+  ]
+
+let suites =
+  [
+    ("net addr", addr_tests);
+    ("net frame", frame_tests @ frame_props);
+    ("net loopback", loopback_tests);
+    ("net router", router_tests);
+  ]
