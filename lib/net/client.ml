@@ -3,7 +3,7 @@
 
    The deadline discipline: each attempt gets [timeout_ms] of budget
    covering connect, send and receive, enforced with a nonblocking
-   connect + select and SO_RCVTIMEO on reads.  Any attempt that fails —
+   connect + select, SO_SNDTIMEO on writes and SO_RCVTIMEO on reads.  Any attempt that fails —
    including by timeout — discards the socket, because a response that
    arrives after we stopped waiting for it would be mistaken for the
    answer to the *next* request. *)
@@ -44,9 +44,16 @@ type t = {
   m : metrics;
 }
 
+(* a write to a peer-closed socket must fail with EPIPE (handled as a
+   retryable Connection error below), not deliver SIGPIPE, whose default
+   action kills the whole process *)
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+
 let create ?(metrics = "net.client") ?(timeout_ms = 5000) ?(retries = 3)
     ?(backoff_ms = 50) ?(max_backoff_ms = 2000)
     ?(max_frame = Frame.max_frame_default) addr =
+  Lazy.force ignore_sigpipe;
   {
     addr;
     timeout_s = float_of_int timeout_ms /. 1000.;
@@ -127,15 +134,30 @@ let ensure_connected t deadline =
       t.sock <- Some fd;
       fd
 
-let send_all fd s =
+(* setsockopt_float truncates to whole microseconds, and a zero timeout
+   means "no timeout": keep a floor so a sub-microsecond residual budget
+   can never turn a should-be-timeout into an indefinite block *)
+let set_timeout fd opt budget =
+  try Unix.setsockopt_float fd opt (Float.max budget 0.001) with _ -> ()
+
+(* the attempt deadline bounds the send too: a peer that accepts the
+   connection but stops reading while our socket buffer is full must
+   surface as Timeout, not stall past the budget *)
+let send_all fd s deadline =
   let len = String.length s in
   let rec go off =
-    if off < len then
+    if off < len then begin
+      let budget = deadline -. Obs.monotonic () in
+      if budget <= 0. then raise (Err Timeout);
+      set_timeout fd Unix.SO_SNDTIMEO budget;
       match Unix.write_substring fd s off (len - off) with
       | n -> go (off + n)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          raise (Err Timeout)
       | exception Unix.Unix_error (e, _, _) ->
           connection "send failed: %s" (Unix.error_message e)
+    end
   in
   go 0
 
@@ -151,7 +173,7 @@ let recv_frame t fd deadline =
     | None -> (
         let budget = deadline -. Obs.monotonic () in
         if budget <= 0. then raise (Err Timeout);
-        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO budget with _ -> ());
+        set_timeout fd Unix.SO_RCVTIMEO budget;
         match Unix.read fd buf 0 (Bytes.length buf) with
         | 0 -> connection "connection closed by server (torn frame)"
         | n -> (
@@ -186,7 +208,7 @@ let with_span_parent line =
 let attempt_once t line =
   let deadline = Obs.monotonic () +. t.timeout_s in
   let fd = ensure_connected t deadline in
-  send_all fd (Frame.encode ~max_frame:t.max_frame (with_span_parent line));
+  send_all fd (Frame.encode ~max_frame:t.max_frame (with_span_parent line)) deadline;
   recv_frame t fd deadline
 
 let backoff_delay t n =

@@ -217,8 +217,8 @@ let mark t i alive =
     refresh_up_gauge t
   end
 
-let degraded line =
-  let fields = [ ("ok", Jsonl.Bool false); ("error", Jsonl.Str "no backend") ] in
+let error_response line msg =
+  let fields = [ ("ok", Jsonl.Bool false); ("error", Jsonl.Str msg) ] in
   let fields =
     match Jsonl.of_string_opt line with
     | Some (Jsonl.Obj _ as o) -> (
@@ -228,6 +228,8 @@ let degraded line =
     | _ -> fields
   in
   Jsonl.to_string (Jsonl.Obj fields)
+
+let degraded line = error_response line "no backend"
 
 let route t line =
   Obs.incr t.m.requests;
@@ -250,12 +252,21 @@ let route t line =
                     Obs.set_attr sp "backend"
                       (Jsonl.Str (Addr.to_string t.bks.(i).baddr));
                     resp
-                | Error _ ->
-                    (* retryable or fatal, this backend is no good for
-                       this request: mark it down and fail over *)
+                | Error e when Client.is_retryable e ->
+                    (* transport failure: the backend (not the request)
+                       is the problem — mark it down and fail over *)
                     mark t i false;
                     if not first then Obs.incr t.m.failover;
-                    go false rest)
+                    go false rest
+                | Error e ->
+                    (* fatal Protocol errors are request-specific (e.g.
+                       a response over the client's max_frame): every
+                       backend would fail it identically, so answer with
+                       the error instead of walking the ring marking
+                       healthy backends dead *)
+                    Obs.set_attr sp "error"
+                      (Jsonl.Str (Client.error_message e));
+                    error_response line (Client.error_message e))
           in
           go true (live @ dead)))
 

@@ -20,7 +20,9 @@
     over "host:port#i"), so adding or removing a backend only remaps the
     keys that touched it.  A request tries backends in ring order,
     live ones first: a retryable failure marks the backend dead and
-    fails over to the next; when nothing answers, the router degrades to
+    fails over to the next; a fatal protocol error is request-specific,
+    so it is answered as [{"ok":false,"error":...}] without touching
+    backend health; when nothing answers, the router degrades to
     [{"ok":false,"error":"no backend"}] (id echoed) instead of crashing.
     A background health checker probes every backend with [{"op":
     "models"}] and revives dead ones.

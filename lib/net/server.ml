@@ -33,7 +33,7 @@ type t = {
   deadline_s : float option;
   max_frame : int;
   lock : Mutex.t;
-  cond : Condition.t;  (** connection-count changes (capacity and drain) *)
+  cond : Condition.t;  (** connection closes (drain completion) *)
   conns : (int, Unix.file_descr) Hashtbl.t;
   mutable next_conn : int;
   stopping : bool Atomic.t;
@@ -53,8 +53,15 @@ let make_metrics prefix =
     request_s = Obs.histogram (prefix ^ ".request_s");
   }
 
+(* a response written to a peer that already hung up must fail with
+   EPIPE (the handler thread just closes that connection), not deliver
+   SIGPIPE, whose default action kills the whole server *)
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+
 let listen ?(metrics = "net.server") ?(backlog = 64) ?(max_conns = 64)
     ?deadline_s ?(max_frame = Frame.max_frame_default) ~handler addr =
+  Lazy.force ignore_sigpipe;
   match Addr.resolve addr with
   | Error _ as e -> e
   | Ok sockaddr -> (
@@ -207,7 +214,13 @@ let serve t =
     while
       Hashtbl.length t.conns >= t.max_conns && not (Atomic.get t.stopping)
     do
-      Condition.wait t.cond t.lock
+      (* stdlib Condition has no timed wait and [request_stop] may run in
+         signal context where it cannot take the lock to signal us, so
+         wait in short slices, re-checking the stopping flag: a stop with
+         max_conns idle peers must still reach the drain path below *)
+      Mutex.unlock t.lock;
+      Thread.delay 0.05;
+      Mutex.lock t.lock
     done;
     Mutex.unlock t.lock;
     if not (Atomic.get t.stopping) then

@@ -236,6 +236,26 @@ let loopback_tests =
             check bool "retryable" true (Client.is_retryable e);
             check bool "protocol errors are fatal" false
               (Client.is_retryable (Client.Protocol "x")));
+    Alcotest.test_case "stop drains past a full connection pool" `Quick
+      (fun () ->
+        (* with max_conns idle peers the accept loop is parked in its
+           capacity wait; stop must still reach the drain path and
+           return rather than deadlock *)
+        match Server.listen ~max_conns:1 ~handler:(fun _ -> "x") (loopback 0)
+        with
+        | Error m -> fail m
+        | Ok srv ->
+            Server.start srv;
+            let fd =
+              Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0
+            in
+            Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+            @@ fun () ->
+            Unix.connect fd
+              (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port srv));
+            (* give the accept loop time to take the connection and park *)
+            Thread.delay 0.2;
+            Server.stop srv);
     Alcotest.test_case "spans nest across the socket" `Quick (fun () ->
         with_engine @@ fun engine ->
         with_server (Serve.handle_line engine) @@ fun _srv addr ->
@@ -338,6 +358,31 @@ let router_tests =
         match Router.create [] with
         | _ -> fail "should have raised"
         | exception Invalid_argument _ -> ());
+    Alcotest.test_case "protocol error doesn't poison backend health" `Quick
+      (fun () ->
+        (* a response over the router client's max_frame is a fatal
+           Protocol error, but it's the *request* that's bad: the router
+           must answer with the error and keep the backend alive *)
+        with_server
+          (fun line ->
+            if contains line "big" then String.make 4096 'x'
+            else {|{"ok":true}|})
+        @@ fun _srv addr ->
+        let r =
+          Router.create ~timeout_ms:2000 ~retries:0 ~check_period_ms:3600_000
+            ~max_frame:128
+            [ loopback addr.Addr.port ]
+        in
+        Fun.protect ~finally:(fun () -> Router.stop r) @@ fun () ->
+        let resp = Router.route r {|{"op":"big","id":4}|} in
+        check_contains "answers the protocol error" resp {|"ok":false|};
+        check_contains "names the failure" resp "oversized";
+        check_contains "id still echoed" resp {|"id":4|};
+        check bool "backend still marked alive" true
+          (snd (List.hd (Router.backends r)));
+        check_contains "well-sized requests keep flowing"
+          (Router.route r {|{"op":"ok"}|})
+          {|"ok":true|});
     Alcotest.test_case "failover when a backend dies" `Quick (fun () ->
         with_engine @@ fun engine ->
         with_server (Serve.handle_line engine) @@ fun srv1 a1 ->
