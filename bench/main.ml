@@ -3,7 +3,8 @@
    rely on.  Prints OLS time estimates (ns/run).
 
    Run with: dune exec bench/main.exe            (default 0.5s/test quota)
-             dune exec bench/main.exe -- 0.1     (faster, rougher) *)
+             dune exec bench/main.exe -- 0.1     (faster, rougher)
+             dune exec bench/main.exe -- net     (only the network matrix) *)
 
 open Bechamel
 open Toolkit
@@ -481,18 +482,29 @@ let models_bench () =
 
 (* Loopback TCP throughput: the framed transport end to end (client ->
    server -> Serve.handle_line -> back), measured on a warm cache so the
-   number is the transport's, not homology's.  One phase per connection
-   count; wall time and rates read back from the [bench.net.*]
-   histograms the runs observe into, quantiles from the raw latency
-   samples.  Results go to BENCH_net.json. *)
+   number is the transport's, not homology's.  PR 6 turns this into a
+   connections x pipeline-depth matrix over the v2 wire protocol: every
+   client negotiates the binary codec and keeps [depth] requests in
+   flight through {!Client.eval_many}, so the measured cost is frames +
+   codec + reactor, with no JSON on either side of the hot path.  One
+   phase per matrix point; quantiles from the raw per-request latency
+   samples.  Results go to BENCH_net.json.
+
+   Reading the latency columns: every point runs on whatever cores the
+   machine has, and total in-flight = conns x depth, so by Little's law
+   p99 grows with the product, not with connections per se.  The
+   reactor's scaling claim is the equal-in-flight comparison (64 conns
+   x depth 8 vs 16 conns x depth 32, both 512 in flight): spreading the
+   same load over 4x the sockets should not cost latency. *)
 let net_bench () =
   let module E = Psph_engine.Engine in
   let module Serve = Psph_engine.Serve in
   let open Psph_net in
   let engine = E.create ~domains:0 ~capacity:64 () in
+  let handler = Serve.handle_line engine in
   match
-    Server.listen
-      ~handler:(Serve.handle_line engine)
+    Server.listen ~handler
+      ~bin_handler:(Codec.handle ~json:handler engine)
       { Addr.host = "127.0.0.1"; port = 0 }
   with
   | Error m ->
@@ -501,80 +513,115 @@ let net_bench () =
   | Ok srv ->
       Server.start srv;
       let addr = { Addr.host = "127.0.0.1"; port = Server.port srv } in
-      let line = {|{"op":"psph","n":2,"values":2}|} in
-      let total = 2000 in
-      let run conns =
-        let rtt_h = Obs.histogram (Printf.sprintf "bench.net.rtt_%dconn" conns) in
-        let per = total / conns in
-        let lats = Array.make (per * conns) 0. in
+      (* warm: the first query computes, everything after is a cache hit *)
+      let warm = Client.create addr in
+      (match Client.request warm {|{"op":"psph","n":2,"values":2}|} with
+      | Ok _ -> ()
+      | Error e -> failwith ("net bench warm-up: " ^ Client.error_message e));
+      Client.close warm;
+      let query = (Codec.Both, Codec.Psph { n = 2; values = 2 }) in
+      let run (conns, depth) =
+        let per = max 2000 (400 * depth) in
+        let lats = Array.make (conns * per) 0. in
         let wall =
           phase
-            (Printf.sprintf "net.loopback_%dconn" conns)
+            (Printf.sprintf "net.c%d_d%d" conns depth)
             (fun () ->
               let worker w =
-                let c = Client.create ~retries:1 addr in
-                for i = 0 to per - 1 do
-                  let t0 = Obs.monotonic () in
-                  (match Client.request c line with
-                  | Ok _ -> ()
-                  | Error e -> failwith (Client.error_message e));
-                  lats.((w * per) + i) <- Obs.monotonic () -. t0
-                done;
+                let c =
+                  Client.create ~retries:1 ~codec:`Binary ~pipeline_depth:depth
+                    addr
+                in
+                Client.eval_many
+                  ~on_latency:(fun i s -> lats.((w * per) + i) <- s)
+                  c
+                  (List.init per (fun _ -> query))
+                |> List.iter (function
+                     | Ok _ -> ()
+                     | Error e -> failwith (Client.error_message e));
                 Client.close c
               in
               List.iter Thread.join
                 (List.init conns (fun w -> Thread.create worker w)))
         in
-        Array.iter (Obs.observe rtt_h) lats;
-        let st = Obs.histogram_stats rtt_h in
         Array.sort compare lats;
-        let q p =
-          lats.(min (Array.length lats - 1)
-                  (int_of_float (p *. float_of_int (Array.length lats))))
-        in
-        ( conns,
-          st.Obs.count,
-          wall,
-          float_of_int st.Obs.count /. wall,
-          st.Obs.sum /. float_of_int st.Obs.count,
-          q 0.5,
-          q 0.99 )
+        let n = Array.length lats in
+        let q p = lats.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+        let mean = Array.fold_left ( +. ) 0. lats /. float_of_int n in
+        (conns, depth, n, wall, float_of_int n /. wall, mean, q 0.5, q 0.99)
       in
-      (* warm: the first query computes, everything after is a cache hit *)
-      let warm = Client.create addr in
-      (match Client.request warm line with
-      | Ok _ -> ()
-      | Error e -> failwith ("net bench warm-up: " ^ Client.error_message e));
-      Client.close warm;
-      let rows = List.map run [ 1; 4 ] in
+      let rows =
+        List.concat_map
+          (fun conns -> List.map (fun depth -> run (conns, depth)) [ 1; 8; 32 ])
+          [ 1; 4; 16; 64 ]
+      in
       Server.stop srv;
       E.shutdown engine;
-      Format.printf "@.loopback TCP throughput (%d cached queries):@." total;
+      let p99_of c d =
+        let (_, _, _, _, _, _, _, p99) =
+          List.find (fun (c', d', _, _, _, _, _, _) -> c' = c && d' = d) rows
+        in
+        p99
+      in
+      let best =
+        List.fold_left
+          (fun ((_, _, _, _, brps, _, _, _) as b)
+               ((_, _, _, _, rps, _, _, _) as r) ->
+            if rps > brps then r else b)
+          (List.hd rows) (List.tl rows)
+      in
+      let (bc, bd, _, _, brps, _, _, _) = best in
+      Format.printf
+        "@.loopback TCP throughput (binary codec, pipelined, warm cache):@.";
       List.iter
-        (fun (conns, n, wall, rps, mean, p50, p99) ->
+        (fun (conns, depth, n, wall, rps, mean, p50, p99) ->
           Format.printf
-            "  %d conn%s  %6d req in %6.2f s   %8.0f req/s   mean %6.3f ms   \
-             p50 %6.3f ms   p99 %6.3f ms@."
-            conns
-            (if conns = 1 then " " else "s")
-            n wall rps (1000. *. mean) (1000. *. p50) (1000. *. p99))
+            "  %2d conns x depth %2d  %7d req in %6.2f s   %8.0f req/s   \
+             mean %7.3f ms   p50 %7.3f ms   p99 %7.3f ms@."
+            conns depth n wall rps (1000. *. mean) (1000. *. p50)
+            (1000. *. p99))
         rows;
+      Format.printf "  best: %d conns x depth %d = %.0f req/s@." bc bd brps;
+      Format.printf
+        "  equal in-flight p99 (512): 64x8 %.3f ms vs 16x32 %.3f ms@."
+        (1000. *. p99_of 64 8)
+        (1000. *. p99_of 16 32);
       let oc = open_out "BENCH_net.json" in
-      Printf.fprintf oc "{\n  \"requests\": %d,\n  \"connections\": {\n" total;
+      Printf.fprintf oc "{\n  \"codec\": \"binary\",\n";
+      Printf.fprintf oc "  \"query\": \"psph n=2 values=2 (warm cache)\",\n";
+      Printf.fprintf oc "  \"matrix\": [\n";
       List.iteri
-        (fun i (conns, n, wall, rps, mean, p50, p99) ->
+        (fun i (conns, depth, n, wall, rps, mean, p50, p99) ->
           Printf.fprintf oc
-            "    \"%d\": { \"requests\": %d, \"wall_s\": %.6f, \
-             \"requests_per_s\": %.1f, \"mean_ms\": %.4f, \"p50_ms\": %.4f, \
-             \"p99_ms\": %.4f }%s\n"
-            conns n wall rps (1000. *. mean) (1000. *. p50) (1000. *. p99)
+            "    { \"conns\": %d, \"depth\": %d, \"requests\": %d, \
+             \"wall_s\": %.6f, \"requests_per_s\": %.1f, \"mean_ms\": %.4f, \
+             \"p50_ms\": %.4f, \"p99_ms\": %.4f }%s\n"
+            conns depth n wall rps (1000. *. mean) (1000. *. p50)
+            (1000. *. p99)
             (if i = List.length rows - 1 then "" else ","))
         rows;
-      Printf.fprintf oc "  }\n}\n";
+      Printf.fprintf oc "  ],\n";
+      Printf.fprintf oc
+        "  \"best\": { \"conns\": %d, \"depth\": %d, \"requests_per_s\": \
+         %.1f },\n"
+        bc bd brps;
+      Printf.fprintf oc
+        "  \"p99_equal_inflight\": { \"inflight\": 512, \"c64_d8_ms\": %.4f, \
+         \"c16_d32_ms\": %.4f },\n"
+        (1000. *. p99_of 64 8)
+        (1000. *. p99_of 16 32);
+      Printf.fprintf oc
+        "  \"p99_depth1_ms\": { \"c1\": %.4f, \"c64\": %.4f }\n"
+        (1000. *. p99_of 1 1)
+        (1000. *. p99_of 64 1);
+      Printf.fprintf oc "}\n";
       close_out oc;
       print_endline "wrote BENCH_net.json"
 
 let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "net" then (
+    net_bench ();
+    exit 0);
   let quota =
     if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.5
   in

@@ -324,9 +324,35 @@ let stop_server_on_signals server code =
   graceful Sys.sigint 130;
   graceful Sys.sigterm 143
 
+let reactor_threads_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "reactor-threads" ] ~docv:"N"
+        ~doc:
+          "Event-loop threads multiplexing the TCP connections (see \
+           docs/NET.md).")
+
+(* route handlers block on backend sockets, so they must not run on the
+   reactor loops: give each request its own thread, bounded; past the
+   bound, run inline (the loop briefly backpressures, which is the
+   point) *)
+let threaded_dispatch ?(max_threads = 256) () =
+  let active = Atomic.make 0 in
+  fun job ->
+    if Atomic.fetch_and_add active 1 < max_threads then
+      ignore
+        (Thread.create
+           (fun () ->
+             Fun.protect ~finally:(fun () -> Atomic.decr active) job)
+           ())
+    else begin
+      Atomic.decr active;
+      job ()
+    end
+
 let serve_cmd =
   let run trace metrics listen max_conns deadline_ms domains cache_size persist
-      par_threshold =
+      par_threshold reactor_threads =
     let code =
       with_trace trace @@ fun () ->
       let engine =
@@ -354,10 +380,15 @@ let serve_cmd =
           let deadline_s =
             Option.map (fun ms -> float_of_int ms /. 1000.) deadline_ms
           in
+          let handler = Psph_engine.Serve.handle_line engine in
           match
             Psph_net.Server.listen ~max_conns ?deadline_s
-              ~handler:(Psph_engine.Serve.handle_line engine)
-              addr
+              ~reactor_threads:(max 1 reactor_threads)
+              ~bin_handler:(Psph_net.Codec.handle ~json:handler engine)
+              ?dispatch:
+                (if domains > 0 then Some (Psph_engine.Engine.dispatch engine)
+                 else None)
+              ~handler addr
           with
           | Error m ->
               Format.eprintf "psc: serve: %s@." m;
@@ -445,7 +476,7 @@ let serve_cmd =
     Term.(
       const run $ trace_arg $ metrics_arg $ listen_arg $ max_conns_arg
       $ deadline_arg $ domains_arg $ cache_arg $ persist_arg
-      $ par_threshold_arg)
+      $ par_threshold_arg $ reactor_threads_arg)
 
 let connect_arg =
   Arg.(
@@ -466,30 +497,71 @@ let retries_arg =
           "Retries on retryable failures (refused connection, timeout, torn \
            frame), with exponential backoff and jitter.")
 
+let codec_arg =
+  Arg.(
+    value
+    & opt (enum [ ("json", `Json); ("binary", `Binary) ]) `Json
+    & info [ "codec" ] ~docv:"CODEC"
+        ~doc:
+          "Wire codec to request at the protocol-v2 handshake: $(b,json) or \
+           $(b,binary).  Negotiated, never assumed — a server without the \
+           binary codec (or a v1 server) gets JSON transparently.")
+
+let pipeline_depth_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "pipeline-depth" ] ~docv:"N"
+        ~doc:
+          "Keep up to $(docv) requests in flight per connection (protocol \
+           v2 pipelining; 1 = classic request/response).")
+
 let query_cmd =
-  let run trace connect timeout_ms retries =
+  let run trace connect timeout_ms retries codec pipeline_depth =
     let code =
       with_trace trace @@ fun () ->
-      let client = Psph_net.Client.create ~timeout_ms ~retries connect in
+      let client =
+        Psph_net.Client.create ~timeout_ms ~retries ~codec
+          ~pipeline_depth:(max 1 pipeline_depth) connect
+      in
       let failures = ref 0 in
+      let error_line e =
+        Psph_obs.Jsonl.to_string
+          (Psph_obs.Jsonl.Obj
+             [
+               ("ok", Psph_obs.Jsonl.Bool false);
+               ("error", Psph_obs.Jsonl.Str (Psph_net.Client.error_message e));
+             ])
+      in
+      let emit = function
+        | Ok resp -> print_endline resp
+        | Error e ->
+            incr failures;
+            print_endline (error_line e)
+      in
+      (* responses stay in input order either way; pipelining just reads
+         stdin in chunks so up to pipeline-depth requests share the wire.
+         The plain default keeps the line-at-a-time loop, so interactive
+         sessions still see each answer before typing the next query *)
+      let chunk =
+        if codec = `Json && pipeline_depth <= 1 then 1 else 4 * pipeline_depth
+      in
       let rec loop () =
-        match input_line stdin with
-        | exception End_of_file -> ()
-        | line when String.trim line = "" -> loop ()
-        | line ->
-            (match Psph_net.Client.request client line with
-            | Ok resp -> print_endline resp
-            | Error e ->
-                incr failures;
-                print_endline
-                  (Psph_obs.Jsonl.to_string
-                     (Psph_obs.Jsonl.Obj
-                        [
-                          ("ok", Psph_obs.Jsonl.Bool false);
-                          ( "error",
-                            Psph_obs.Jsonl.Str
-                              (Psph_net.Client.error_message e) );
-                        ])));
+        let rec take k acc =
+          if k = 0 then List.rev acc
+          else
+            match input_line stdin with
+            | exception End_of_file -> List.rev acc
+            | line when String.trim line = "" -> take k acc
+            | line -> take (k - 1) (line :: acc)
+        in
+        match take chunk [] with
+        | [] -> ()
+        | [ line ] ->
+            emit (Psph_net.Client.request client line);
+            flush stdout;
+            loop ()
+        | lines ->
+            List.iter emit (Psph_net.Client.pipeline client lines);
             flush stdout;
             loop ()
       in
@@ -504,22 +576,40 @@ let query_cmd =
        ~doc:
          "Send JSON-lines requests from stdin to a TCP $(b,psc serve \
           --listen) (or $(b,psc route)) endpoint, one response per line on \
-          stdout.  Exits nonzero if any request failed at the transport \
-          layer (server-side {\"ok\":false,...} responses pass through).")
-    Term.(const run $ trace_arg $ connect_arg $ timeout_ms_arg $ retries_arg)
+          stdout, optionally pipelined ($(b,--pipeline-depth)) and over the \
+          compact binary codec ($(b,--codec binary)).  Exits nonzero if any \
+          request failed at the transport layer (server-side \
+          {\"ok\":false,...} responses pass through).")
+    Term.(
+      const run $ trace_arg $ connect_arg $ timeout_ms_arg $ retries_arg
+      $ codec_arg $ pipeline_depth_arg)
+
+(* the router's backend links default to a real window: fanning a batch
+   out is the point of the command *)
+let route_pipeline_depth_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "pipeline-depth" ] ~docv:"N"
+        ~doc:
+          "In-flight requests per backend connection (protocol v2 \
+           pipelining, negotiated per backend).")
 
 let route_cmd =
   let run trace listen backends max_conns replicas timeout_ms retries
-      check_period_ms =
+      check_period_ms codec pipeline_depth reactor_threads =
     let code =
       with_trace trace @@ fun () ->
       let router =
         Psph_net.Router.create ~replicas ~timeout_ms ~retries ~check_period_ms
+          ~codec
+          ~pipeline_depth:(max 1 pipeline_depth)
           backends
       in
       Psph_net.Router.start_health_checks router;
       match
         Psph_net.Server.listen ~max_conns
+          ~reactor_threads:(max 1 reactor_threads)
+          ~dispatch:(threaded_dispatch ())
           ~handler:(Psph_net.Router.route router)
           listen
       with
@@ -578,10 +668,14 @@ let route_cmd =
           --listen) backends by consistent hashing on the query's content \
           key, with health checks, failover, and a degraded \
           {\"ok\":false,\"error\":\"no backend\"} answer when nothing is \
-          reachable (see docs/NET.md).")
+          reachable (see docs/NET.md).  Backend links pipeline \
+          ($(b,--pipeline-depth)) and can use the binary codec \
+          ($(b,--codec binary)); hot-op batches fan out across shards in \
+          parallel.")
     Term.(
       const run $ trace_arg $ listen_arg $ backend_arg $ max_conns_arg
-      $ replicas_arg $ timeout_ms_arg $ retries_arg $ check_period_arg)
+      $ replicas_arg $ timeout_ms_arg $ retries_arg $ check_period_arg
+      $ codec_arg $ route_pipeline_depth_arg $ reactor_threads_arg)
 
 let sim_cmd =
   let run trace c1 c2 d n until slow_solo after_step validate =

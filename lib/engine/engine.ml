@@ -218,13 +218,27 @@ let eval t spec =
       in
       Mutex.unlock t.lock;
       let r = match fast with Some r -> r | None -> eval_uncached t sk_opt spec in
-      Obs.set_attr sp "key" (Jsonl.Str (Key.to_hex r.key));
-      Obs.set_attr sp "cached" (Jsonl.Bool r.cached);
+      (* attrs only reach a live sink; skip the hex rendering otherwise —
+         cache hits are cheap enough for this to show up *)
+      if Obs.current_sink () <> Obs.Null then begin
+        Obs.set_attr sp "key" (Jsonl.Str (Key.to_hex r.key));
+        Obs.set_attr sp "cached" (Jsonl.Bool r.cached)
+      end;
       r)
 
 let eval_batch t specs =
   if Pool.size t.pool = 0 then List.map (eval t) specs
   else Pool.run_all t.pool (List.map (fun spec () -> eval t spec) specs)
+
+let dispatch t f =
+  if Pool.size t.pool = 0 then f ()
+  else
+    (* fire-and-forget: the job carries its own completion path (the
+       serve transport writes the response), so nobody awaits the
+       future.  A pool torn down mid-request degrades to inline. *)
+    match Pool.submit t.pool f with
+    | (_ : unit Pool.future) -> ()
+    | exception Invalid_argument _ -> f ()
 
 let stats t =
   Mutex.lock t.lock;

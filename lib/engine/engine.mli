@@ -77,6 +77,12 @@ val eval_batch : t -> spec list -> result list
     the same key; both arrive at the same answer and the cache coalesces
     them. *)
 
+val dispatch : t -> (unit -> unit) -> unit
+(** Run [f] on the engine's worker pool without awaiting it — inline
+    when the engine is sequential ([domains = 0]) or the pool is already
+    shut down.  The network server uses this to keep its event loops
+    free of CPU-bound handler work; [f] must handle its own errors. *)
+
 val stats : t -> stats
 
 val flush : t -> unit

@@ -1,12 +1,30 @@
-(* Reconnecting request/response client: exponential backoff with full
-   jitter on retryable failures, fail-fast on protocol violations.
+(* Reconnecting request/response client with optional pipelining and
+   binary codec (wire protocol v2).
 
-   The deadline discipline: each attempt gets [timeout_ms] of budget
-   covering connect, send and receive, enforced with a nonblocking
-   connect + select, SO_SNDTIMEO on writes and SO_RCVTIMEO on reads.  Any attempt that fails —
-   including by timeout — discards the socket, because a response that
-   arrives after we stopped waiting for it would be mistaken for the
-   answer to the *next* request. *)
+   The v1 discipline survives intact for plain clients: each attempt
+   gets [timeout_ms] of budget covering connect, send and receive
+   (nonblocking connect + select, SO_SNDTIMEO / SO_RCVTIMEO), and any
+   failed attempt discards the socket, because on an id-less connection
+   a late response would be mistaken for the answer to the next request.
+
+   Pipelined connections change exactly that last rule.  The client
+   injects a transport request id into every windowed request and keys
+   the in-flight window on it, so a late response is identifiable — and
+   therefore harmless.  A timed-out request keeps the connection: its id
+   moves to the connection's stale set, the retry flies with a fresh id,
+   and when the orphaned response eventually lands it is dropped and
+   counted ([net.client.stale_response]) instead of poisoning the
+   stream.  Only transport-level failures (torn frames, oversized
+   frames, dead sockets, barrier timeouts) tear the connection down.
+
+   The driver below runs every request through one state machine with
+   three per-connection modes, negotiated by a hello frame on fresh
+   connections: V2 binary (hot ops as {!Codec} bytes, everything else
+   escape-tagged JSON), V2 json (hot ops with injected ids), and V1
+   (old server: sequential, one in flight, byte-identical to the old
+   client).  Requests whose responses carry no id to match on — batch,
+   stats, anything not a hot op — are "barriers": the window drains and
+   they fly alone, so positional matching is unambiguous. *)
 
 open Psph_obs
 
@@ -27,8 +45,21 @@ type metrics = {
   retries : Obs.counter;
   reconnects : Obs.counter;
   timeouts : Obs.counter;
+  pipelined : Obs.counter;
+  stale : Obs.counter;
   request_s : Obs.histogram;
   span_name : string;
+  pipeline_span : string;
+}
+
+(* how a fresh connection turned out after the hello exchange *)
+type nego = V1 | V2 of { binary : bool }
+
+type conn = {
+  fd : Unix.file_descr;
+  reader : Frame.reader;  (* persistent: frames can span reads *)
+  stale : (int, unit) Hashtbl.t;  (* timed-out ids owed a late response *)
+  mutable nego : nego option;
 }
 
 type t = {
@@ -38,9 +69,12 @@ type t = {
   backoff_s : float;
   max_backoff_s : float;
   max_frame : int;
+  codec : [ `Json | `Binary ];
+  pipeline_depth : int;
   rng : Random.State.t;
   lock : Mutex.t;
-  mutable sock : Unix.file_descr option;
+  mutable conn : conn option;
+  mutable tid : int;
   m : metrics;
 }
 
@@ -50,9 +84,15 @@ type t = {
 let ignore_sigpipe =
   lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
 
+(* transport ids start far above any plausible user-chosen integer id,
+   so a barrier response carrying a user id can never collide with the
+   stale set (see the barrier-matching rule in [pump]) *)
+let tid_base = 0x40000000
+
 let create ?(metrics = "net.client") ?(timeout_ms = 5000) ?(retries = 3)
     ?(backoff_ms = 50) ?(max_backoff_ms = 2000)
-    ?(max_frame = Frame.max_frame_default) addr =
+    ?(max_frame = Frame.max_frame_default) ?(codec = `Json)
+    ?(pipeline_depth = 1) addr =
   Lazy.force ignore_sigpipe;
   {
     addr;
@@ -61,9 +101,12 @@ let create ?(metrics = "net.client") ?(timeout_ms = 5000) ?(retries = 3)
     backoff_s = float_of_int backoff_ms /. 1000.;
     max_backoff_s = float_of_int max_backoff_ms /. 1000.;
     max_frame;
+    codec;
+    pipeline_depth = max 1 pipeline_depth;
     rng = Random.State.make_self_init ();
     lock = Mutex.create ();
-    sock = None;
+    conn = None;
+    tid = tid_base;
     m =
       {
         requests = Obs.counter (metrics ^ ".requests");
@@ -71,19 +114,27 @@ let create ?(metrics = "net.client") ?(timeout_ms = 5000) ?(retries = 3)
         retries = Obs.counter (metrics ^ ".retries");
         reconnects = Obs.counter (metrics ^ ".reconnects");
         timeouts = Obs.counter (metrics ^ ".timeouts");
+        pipelined = Obs.counter (metrics ^ ".pipelined");
+        stale = Obs.counter (metrics ^ ".stale_response");
         request_s = Obs.histogram (metrics ^ ".request_s");
         span_name = metrics ^ ".request";
+        pipeline_span = metrics ^ ".pipeline";
       };
   }
 
 let addr t = t.addr
 
+let next_tid t =
+  let v = t.tid in
+  t.tid <- (if v >= 0x7FFFFFFF then tid_base else v + 1);
+  v
+
 let disconnect t =
-  match t.sock with
+  match t.conn with
   | None -> ()
-  | Some fd ->
-      t.sock <- None;
-      (try Unix.close fd with _ -> ())
+  | Some c ->
+      t.conn <- None;
+      (try Unix.close c.fd with _ -> ())
 
 let close t =
   Mutex.lock t.lock;
@@ -126,13 +177,21 @@ let connect_with_timeout t deadline =
     raise e
 
 let ensure_connected t deadline =
-  match t.sock with
-  | Some fd -> fd
+  match t.conn with
+  | Some c -> c
   | None ->
       Obs.incr t.m.reconnects;
       let fd = connect_with_timeout t deadline in
-      t.sock <- Some fd;
-      fd
+      let c =
+        {
+          fd;
+          reader = Frame.reader ~max_frame:t.max_frame ();
+          stale = Hashtbl.create 8;
+          nego = None;
+        }
+      in
+      t.conn <- Some c;
+      c
 
 (* setsockopt_float truncates to whole microseconds, and a zero timeout
    means "no timeout": keep a floor so a sub-microsecond residual budget
@@ -161,23 +220,23 @@ let send_all fd s deadline =
   in
   go 0
 
-(* read whole frames until one payload is complete or the deadline runs
-   out; a fresh reader per attempt, so a failed attempt can never leave a
-   half-frame behind to corrupt the next one *)
-let recv_frame t fd deadline =
-  let reader = Frame.reader ~max_frame:t.max_frame () in
+(* read whole frames from the connection's reader until one payload is
+   complete or the deadline runs out.  Any failure discards the whole
+   connection (reader included), so a half-frame can never leak into the
+   next exchange. *)
+let recv_one c deadline =
   let buf = Bytes.create 65536 in
   let rec go () =
-    match Frame.next reader with
+    match Frame.next c.reader with
     | Some payload -> payload
     | None -> (
         let budget = deadline -. Obs.monotonic () in
         if budget <= 0. then raise (Err Timeout);
-        set_timeout fd Unix.SO_RCVTIMEO budget;
-        match Unix.read fd buf 0 (Bytes.length buf) with
+        set_timeout c.fd Unix.SO_RCVTIMEO budget;
+        match Unix.read c.fd buf 0 (Bytes.length buf) with
         | 0 -> connection "connection closed by server (torn frame)"
         | n -> (
-            match Frame.feed reader buf 0 n with
+            match Frame.feed c.reader buf 0 n with
             | () -> go ()
             | exception Frame.Oversized len ->
                 raise
@@ -205,17 +264,498 @@ let with_span_parent line =
       | _ -> line)
   | _ -> line
 
-let attempt_once t line =
-  let deadline = Obs.monotonic () +. t.timeout_s in
-  let fd = ensure_connected t deadline in
-  send_all fd (Frame.encode ~max_frame:t.max_frame (with_span_parent line)) deadline;
-  recv_frame t fd deadline
-
 let backoff_delay t n =
   let cap = Float.min t.max_backoff_s (t.backoff_s *. (2. ** float_of_int n)) in
   Random.State.float t.rng cap
 
-let request t line =
+(* ------------------------------------------------------------------ *)
+(* negotiation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let hello_line t =
+  Printf.sprintf {|{"op":"hello","version":2,"codec":%S,"pipeline":true}|}
+    (match t.codec with `Binary -> "binary" | `Json -> "json")
+
+let negotiate t c deadline =
+  send_all c.fd (Frame.encode ~max_frame:t.max_frame (hello_line t)) deadline;
+  let resp = recv_one c deadline in
+  let nego =
+    match Jsonl.of_string_opt resp with
+    | Some o ->
+        let ok = Jsonl.member "ok" o = Some (Jsonl.Bool true) in
+        let version = Option.bind (Jsonl.member "version" o) Jsonl.to_int_opt in
+        let pipelined = Jsonl.member "pipeline" o = Some (Jsonl.Bool true) in
+        if ok && version = Some 2 && pipelined then
+          V2
+            {
+              binary =
+                Option.bind (Jsonl.member "codec" o) Jsonl.to_string_opt
+                = Some "binary";
+            }
+        else V1 (* an old server answers hello with an unknown-op error *)
+    | None -> V1
+  in
+  c.nego <- Some nego;
+  nego
+
+(* connect if needed, negotiate if the connection is fresh.  Plain
+   clients (json codec, depth 1) never send a hello: they stay
+   byte-for-byte the v1 client. *)
+let ensure_nego t =
+  let deadline = Obs.monotonic () +. t.timeout_s in
+  let c = ensure_connected t deadline in
+  match c.nego with
+  | Some n -> (c, n)
+  | None ->
+      if t.codec = `Json && t.pipeline_depth <= 1 then begin
+        c.nego <- Some V1;
+        (c, V1)
+      end
+      else (c, negotiate t c deadline)
+
+(* ------------------------------------------------------------------ *)
+(* the pipelined driver                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* one request through the driver.  [bin] marks it windowable — a hot
+   op whose response is guaranteed to echo the transport id (hot-op
+   results and their errors both do) — and holds its pre-encoded binary
+   request (id 0, stamped per send), so the per-flight cost on a binary
+   connection is a copy, not an encode.  Everything else is a barrier.
+   The JSON forms are lazy: a binary connection never builds them. *)
+type ditem = {
+  jline : string Lazy.t;
+  jobj : Jsonl.t option Lazy.t;
+  bin : string Lazy.t option;
+  mutable attempts : int;  (* failed attempts so far *)
+}
+
+(* how a resolved response is represented, so [pipeline] and
+   [eval_many] can each convert without an extra round trip through the
+   other's format *)
+type rv =
+  | Rbin of Codec.reply  (* binary reply, ids already transport-level *)
+  | Rraw of string  (* verbatim response line (barrier or v1) *)
+  | Rinj of string  (* JSON response carrying an injected transport id *)
+
+let drive ?on_latency t (items : ditem array) =
+  let n = Array.length items in
+  let results : (rv, error) result option array = Array.make n None in
+  let unresolved () = Array.exists Option.is_none results in
+  let resolve ?latency idx r =
+    if results.(idx) = None then begin
+      results.(idx) <- Some r;
+      match r with
+      | Ok _ ->
+          Option.iter
+            (fun l ->
+              Obs.observe t.m.request_s l;
+              match on_latency with Some f -> f idx l | None -> ())
+            latency
+      | Error _ -> Obs.incr t.m.errors
+    end
+  in
+  (* count a failed attempt against an item; resolve it once the retry
+     budget is spent or the failure is fatal *)
+  let bump e idx =
+    let it = items.(idx) in
+    it.attempts <- it.attempts + 1;
+    if (not (is_retryable e)) || it.attempts > t.max_retries then
+      resolve idx (Error e)
+    else Obs.incr t.m.retries
+  in
+  let pending = Queue.create () in
+  let rebuild_pending () =
+    Queue.clear pending;
+    Array.iteri (fun i r -> if r = None then Queue.add i pending) results
+  in
+  let streak = ref 0 in
+  (* could not even get a negotiated connection: everyone unfinished
+     pays an attempt, then back off before trying again *)
+  let conn_failure e =
+    disconnect t;
+    if e = Timeout then Obs.incr t.m.timeouts;
+    Array.iteri (fun i r -> if r = None then bump e i) results;
+    if unresolved () then begin
+      Thread.delay (backoff_delay t !streak);
+      incr streak
+    end
+  in
+  let buf = Bytes.create 65536 in
+
+  (* -------------------- V1: sequential fallback -------------------- *)
+  let v1_drain c =
+    let inflight = ref (-1) in
+    try
+      while not (Queue.is_empty pending) do
+        let idx = Queue.pop pending in
+        if results.(idx) = None then begin
+          let it = items.(idx) in
+          inflight := idx;
+          let t0 = Obs.monotonic () in
+          let deadline = t0 +. t.timeout_s in
+          send_all c.fd
+            (Frame.encode ~max_frame:t.max_frame
+               (with_span_parent (Lazy.force it.jline)))
+            deadline;
+          let resp = recv_one c deadline in
+          inflight := -1;
+          resolve ~latency:(Obs.monotonic () -. t0) idx (Ok (Rraw resp))
+        end
+      done
+    with e ->
+      let e = match e with Err e -> e | e -> Connection (Printexc.to_string e) in
+      disconnect t;
+      if e = Timeout then Obs.incr t.m.timeouts;
+      if !inflight >= 0 then bump e !inflight;
+      if unresolved () then begin
+        Thread.delay (backoff_delay t !streak);
+        incr streak
+      end
+  in
+
+  (* ---------------------- V2: windowed pump ------------------------ *)
+  let pump c binary =
+    (* tid -> (item index, sent_at, deadline) *)
+    let window = Hashtbl.create (2 * t.pipeline_depth) in
+    let barrier = ref None in
+    let out = Buffer.create 4096 in
+    let inflight () =
+      Hashtbl.length window + match !barrier with Some _ -> 1 | None -> 0
+    in
+    let encode_windowable it tid =
+      match it.bin with
+      | Some tpl when binary -> Codec.request_with_id (Lazy.force tpl) tid
+      | Some _ -> (
+          match Lazy.force it.jobj with
+          | Some (Jsonl.Obj fields) ->
+              Jsonl.to_string
+                (Jsonl.Obj
+                   (("id", Jsonl.int tid) :: List.remove_assoc "id" fields))
+          | _ ->
+              Lazy.force it.jline
+              (* unreachable: windowable implies a parsed object *))
+      | None -> assert false
+    in
+    let encode_barrier it =
+      if binary then Codec.escape_json (Lazy.force it.jline)
+      else Lazy.force it.jline
+    in
+    let fill () =
+      let again = ref true in
+      while !again && not (Queue.is_empty pending) do
+        let idx = Queue.peek pending in
+        if results.(idx) <> None then ignore (Queue.pop pending)
+        else begin
+          let it = items.(idx) in
+          match it.bin with
+          | Some _ ->
+              if !barrier = None && Hashtbl.length window < t.pipeline_depth
+              then begin
+                ignore (Queue.pop pending);
+                let tid = next_tid t in
+                let now = Obs.monotonic () in
+                Frame.encode_into ~max_frame:t.max_frame out
+                  (encode_windowable it tid);
+                Hashtbl.replace window tid (idx, now, now +. t.timeout_s);
+                Obs.incr t.m.pipelined
+              end
+              else again := false
+          | None ->
+              (* barriers fly alone: their responses carry nothing to
+                 match on, so they must be the only frame in flight *)
+              if inflight () = 0 then begin
+                ignore (Queue.pop pending);
+                let now = Obs.monotonic () in
+                Frame.encode_into ~max_frame:t.max_frame out
+                  (encode_barrier it);
+                barrier := Some (idx, now, now +. t.timeout_s)
+              end;
+              again := false
+        end
+      done
+    in
+    let flush () =
+      if Buffer.length out > 0 then begin
+        let data = Buffer.contents out in
+        Buffer.clear out;
+        send_all c.fd data (Obs.monotonic () +. t.timeout_s)
+      end
+    in
+    let resolve_window tid idx sent v =
+      Hashtbl.remove window tid;
+      resolve ~latency:(Obs.monotonic () -. sent) idx (Ok v)
+    in
+    let drop_stale id_opt =
+      (match id_opt with Some i -> Hashtbl.remove c.stale i | None -> ());
+      Obs.incr t.m.stale
+    in
+    let handle_payload payload =
+      let cls =
+        if binary then
+          match Codec.unescape_json payload with
+          | Some line -> `Json line
+          | None -> (
+              match Codec.decode_reply payload with
+              | Ok r -> `Bin r
+              | Error m -> raise (Err (Protocol ("undecodable reply: " ^ m))))
+        else `Json payload
+      in
+      match cls with
+      | `Bin r -> (
+          let id =
+            match r with
+            | Codec.Result { id; _ } | Codec.Failed { id; _ } -> id
+          in
+          match Hashtbl.find_opt window id with
+          | Some (idx, sent, _) -> resolve_window id idx sent (Rbin r)
+          | None -> drop_stale (Some id))
+      | `Json line -> (
+          let id =
+            match Jsonl.of_string_opt line with
+            | Some o -> Option.bind (Jsonl.member "id" o) Jsonl.to_int_opt
+            | None -> None
+          in
+          match id with
+          | Some i when (not binary) && Hashtbl.mem window i ->
+              let idx, sent, _ = Hashtbl.find window i in
+              resolve_window i idx sent (Rinj line)
+          | _ -> (
+              (* a frame that matches no window slot answers the barrier
+                 — unless its id names a request we timed out, in which
+                 case it is that request's late response *)
+              match !barrier with
+              | Some (idx, sent, _)
+                when (match id with
+                     | Some i -> not (Hashtbl.mem c.stale i)
+                     | None -> true) ->
+                  barrier := None;
+                  resolve ~latency:(Obs.monotonic () -. sent) idx
+                    (Ok (Rraw line))
+              | _ -> drop_stale id))
+    in
+    let nearest_deadline () =
+      let d =
+        Hashtbl.fold
+          (fun _ (_, _, dl) acc -> Float.min dl acc)
+          window infinity
+      in
+      match !barrier with Some (_, _, dl) -> Float.min dl d | None -> d
+    in
+    (* expire overdue window slots in place: the id goes to the stale
+       set, the retry gets a fresh id, the connection lives on.  An
+       overdue barrier can only be resolved by tearing the connection
+       down (its response is matched positionally). *)
+    let expire () =
+      let now = Obs.monotonic () in
+      (match !barrier with
+      | Some (_, _, dl) when now >= dl -> raise (Err Timeout)
+      | _ -> ());
+      let dead =
+        Hashtbl.fold
+          (fun tid (idx, _, dl) acc ->
+            if now >= dl then (tid, idx) :: acc else acc)
+          window []
+      in
+      List.iter
+        (fun (tid, idx) ->
+          Hashtbl.remove window tid;
+          Hashtbl.replace c.stale tid ();
+          Obs.incr t.m.timeouts;
+          bump Timeout idx;
+          if results.(idx) = None then Queue.add idx pending)
+        dead;
+      (* a pathological server could owe unboundedly many late
+         responses; cut our losses and start a fresh connection *)
+      if Hashtbl.length c.stale > 1024 then
+        raise (Err (Connection "too many stale in-flight responses"))
+    in
+    let rec go () =
+      fill ();
+      flush ();
+      let rec drain () =
+        match Frame.next c.reader with
+        | Some p ->
+            handle_payload p;
+            fill ();
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      flush ();
+      if inflight () > 0 then begin
+        let now = Obs.monotonic () in
+        let dl = nearest_deadline () in
+        if dl <= now then expire ()
+        else begin
+          set_timeout c.fd Unix.SO_RCVTIMEO (dl -. now);
+          match Unix.read c.fd buf 0 (Bytes.length buf) with
+          | 0 -> connection "connection closed by server (torn frame)"
+          | n -> (
+              match Frame.feed c.reader buf 0 n with
+              | () -> ()
+              | exception Frame.Oversized len ->
+                  raise
+                    (Err
+                       (Protocol
+                          (Printf.sprintf
+                             "oversized frame from server (%d bytes)" len))))
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              expire ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | exception Unix.Unix_error (e, _, _) ->
+              connection "receive failed: %s" (Unix.error_message e)
+        end;
+        go ()
+      end
+      else if not (Queue.is_empty pending) then go ()
+    in
+    try go ()
+    with e ->
+      (* transport-level failure: the connection is unusable.  Fatal
+         errors resolve every in-flight request; retryable ones cost
+         each an attempt and the survivors re-fly on a fresh
+         connection. *)
+      let e = match e with Err e -> e | e -> Connection (Printexc.to_string e) in
+      disconnect t;
+      if e = Timeout then Obs.incr t.m.timeouts;
+      Hashtbl.iter (fun _ (idx, _, _) -> bump e idx) window;
+      (match !barrier with Some (idx, _, _) -> bump e idx | None -> ());
+      if unresolved () then begin
+        Thread.delay (backoff_delay t !streak);
+        incr streak
+      end
+  in
+
+  let rec session () =
+    if unresolved () then begin
+      rebuild_pending ();
+      (match ensure_nego t with
+      | exception e ->
+          let e =
+            match e with Err e -> e | e -> Connection (Printexc.to_string e)
+          in
+          conn_failure e
+      | c, V1 ->
+          streak := 0;
+          v1_drain c
+      | c, V2 { binary } ->
+          streak := 0;
+          pump c binary);
+      session ()
+    end
+  in
+  session ();
+  Array.map
+    (function
+      | Some r -> r
+      | None -> Error (Connection "internal: request left unresolved"))
+    results
+
+(* ------------------------------------------------------------------ *)
+(* public entry points                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let item_of_line line =
+  let jobj = Jsonl.of_string_opt line in
+  let bin =
+    match jobj with
+    | Some (Jsonl.Obj _ as o) ->
+        Codec.query_of_json o
+        |> Option.map (fun (want, query) ->
+               lazy (Codec.encode_request { Codec.id = 0; want; query }))
+    | _ -> None
+  in
+  { jline = Lazy.from_val line; jobj = Lazy.from_val jobj; bin; attempts = 0 }
+
+let orig_id it =
+  match Lazy.force it.jobj with
+  | Some o -> Jsonl.member "id" o
+  | None -> None
+
+(* swap the injected transport id back out of a response line.  The
+   server always puts the echoed id first, so this preserves the exact
+   bytes a v1 exchange would have produced. *)
+let restore_id orig line =
+  match Jsonl.of_string_opt line with
+  | Some (Jsonl.Obj (("id", _) :: rest)) ->
+      Jsonl.to_string
+        (Jsonl.Obj
+           (match orig with Some v -> ("id", v) :: rest | None -> rest))
+  | _ -> line
+
+let pipeline_locked ?on_latency t lines =
+  let items = Array.of_list (List.map item_of_line lines) in
+  Obs.incr ~by:(Array.length items) t.m.requests;
+  Obs.with_span t.m.pipeline_span (fun sp ->
+      Obs.set_attr sp "count" (Jsonl.int (Array.length items));
+      let rs = drive ?on_latency t items in
+      Array.to_list
+        (Array.mapi
+           (fun i r ->
+             match r with
+             | Error e -> Error e
+             | Ok (Rraw s) -> Ok s
+             | Ok (Rinj s) -> Ok (restore_id (orig_id items.(i)) s)
+             | Ok (Rbin rep) ->
+                 Ok (Codec.json_of_reply ~id:(orig_id items.(i)) rep))
+           rs))
+
+let pipeline ?on_latency t lines =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  pipeline_locked ?on_latency t lines
+
+let eval_many ?on_latency t specs =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  let items =
+    Array.of_list
+      (List.map
+         (fun (want, query) ->
+           let bin =
+             (* out-of-range queries can't ride the binary codec; let
+                them fall back to plain JSON and the server's answer *)
+             match Codec.encode_request { Codec.id = 0; want; query } with
+             | tpl -> Some (Lazy.from_val tpl)
+             | exception Invalid_argument _ -> None
+           in
+           let jline = lazy (Codec.json_line_of_query want query) in
+           {
+             jline;
+             jobj = lazy (Jsonl.of_string_opt (Lazy.force jline));
+             bin;
+             attempts = 0;
+           })
+         specs)
+  in
+  Obs.incr ~by:(Array.length items) t.m.requests;
+  Obs.with_span t.m.pipeline_span (fun sp ->
+      Obs.set_attr sp "count" (Jsonl.int (Array.length items));
+      let rs = drive ?on_latency t items in
+      Array.to_list
+        (Array.map
+           (fun r ->
+             match r with
+             | Error e -> Error e
+             | Ok (Rbin rep) -> Ok rep
+             | Ok (Rraw s) | Ok (Rinj s) -> (
+                 match Codec.reply_of_json s with
+                 | Some rep -> Ok rep
+                 | None -> Error (Protocol "unparseable response")))
+           rs))
+
+(* the classic single-shot path, unchanged from v1 for plain clients *)
+let attempt_once t line =
+  let deadline = Obs.monotonic () +. t.timeout_s in
+  let c = ensure_connected t deadline in
+  send_all c.fd
+    (Frame.encode ~max_frame:t.max_frame (with_span_parent line))
+    deadline;
+  recv_one c deadline
+
+let plain_request t line =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
   Obs.incr t.m.requests;
@@ -246,3 +786,10 @@ let request t line =
                 Error (Connection (Printexc.to_string e))
           in
           go 0))
+
+let request t line =
+  if t.codec = `Binary || t.pipeline_depth > 1 then
+    match pipeline t [ line ] with
+    | [ r ] -> r
+    | _ -> Error (Protocol "pipeline arity") (* unreachable *)
+  else plain_request t line

@@ -1,27 +1,50 @@
-(** A resilient client for the framed JSONL protocol.
+(** A resilient client for the framed serve protocol, with optional
+    request pipelining and the compact binary codec (wire protocol v2).
 
-    One request = one frame out, one frame back, over a connection that
-    is (re)established on demand.  {!request} classifies failures:
+    {!request} keeps the classic contract: one frame out, one frame
+    back, over a connection that is (re)established on demand, with
+    failures classified:
 
     - {b retryable} — connect refused/unreachable, request timeout, the
       connection dying mid-frame (torn frame).  Retried up to [retries]
-      times with exponential backoff plus full jitter, reconnecting each
-      time (a timed-out connection is always discarded: a late response
-      arriving on it would desync request/response pairing).
-    - {b fatal} — protocol errors (an oversized or unparseable frame
+      times with exponential backoff plus full jitter.
+    - {b fatal} — protocol errors (an oversized or undecodable frame
       from the server).  Never retried: the peer is speaking a different
       language, not having a bad moment.
 
     Server-side [{"ok":false,...}] responses are successful requests at
     this layer; interpreting them is the caller's business.
 
-    Observability ([net.client.*]): request/error/retry/reconnect
-    counters and a latency histogram; each {!request} runs in a
-    [net.client.request] span whose id is injected into the outgoing
-    JSON as ["span_parent"], which the {!Server} re-roots under — the
-    bridge that makes loopback traces nest across the socket (injection
-    only happens while a trace sink is live, so production requests go
-    out byte-untouched). *)
+    {b Pipelining.}  A client created with [pipeline_depth > 1] or
+    [codec `Binary] negotiates protocol v2 on each fresh connection
+    (one [hello] frame; an old server answers with an error and the
+    client quietly falls back to sequential v1 — negotiated, never
+    assumed).  {!pipeline} then keeps up to [pipeline_depth] requests
+    in flight per connection, keying the window on transport request
+    ids it injects into each outgoing request and strips from each
+    response, so callers see exactly the bytes a v1 exchange would
+    have produced.  Hot query ops ([psph], [betti], [connectivity],
+    [model-complex]) are windowed — and, when the server granted the
+    binary codec, translated through {!Codec} so neither side touches
+    JSON; other ops act as barriers (the window drains, they fly
+    alone) because their responses carry no id to match on.
+
+    A timed-out pipelined request no longer tears down the connection:
+    its id is remembered, the late response is dropped when it arrives
+    (counted as [net.client.stale_response]) and the retry flies with
+    a fresh id — ids make late responses harmless, which is the whole
+    point of keying the window on them.  Responses matching no
+    in-flight id are likewise dropped and counted, never misdelivered.
+
+    Observability ([net.client.*]): request/error/retry/reconnect/
+    timeout/pipelined/stale_response counters and a latency histogram;
+    {!request} (un-negotiated) runs in a [net.client.request] span
+    whose id is injected into the outgoing JSON as ["span_parent"] —
+    the bridge that makes loopback traces nest across the socket
+    (injection only happens while a trace sink is live, so production
+    requests go out byte-untouched).  {!pipeline} runs in a single
+    [net.client.pipeline] span; pipelined requests skip span-parent
+    injection. *)
 
 type error =
   | Timeout
@@ -41,20 +64,49 @@ val create :
   ?backoff_ms:int ->
   ?max_backoff_ms:int ->
   ?max_frame:int ->
+  ?codec:[ `Json | `Binary ] ->
+  ?pipeline_depth:int ->
   Addr.t ->
   t
-(** No I/O happens here; the first {!request} connects.  Defaults:
+(** No I/O happens here; the first request connects.  Defaults:
     [timeout_ms] 5000 (per attempt, covering connect + send + receive),
     [retries] 3 (so up to 4 attempts), [backoff_ms] 50 doubling per
-    retry up to [max_backoff_ms] 2000, with full jitter. *)
+    retry up to [max_backoff_ms] 2000 with full jitter, [codec] [`Json],
+    [pipeline_depth] 1.  With the defaults the client is byte-for-byte
+    the v1 client — no hello, no ids; protocol v2 is only negotiated
+    when [codec `Binary] or [pipeline_depth > 1] asks for it. *)
 
 val addr : t -> Addr.t
 
 val request : t -> string -> (string, error) result
 (** Send one line, wait for the response line.  Serialized per client
-    (one in-flight request at a time).  The returned error is the last
-    attempt's. *)
+    (one caller at a time).  On a v2-negotiating client this is
+    [pipeline t [line]]; responses are byte-identical either way.  The
+    returned error is the last attempt's. *)
+
+val pipeline :
+  ?on_latency:(int -> float -> unit) ->
+  t -> string list -> (string, error) result list
+(** Send many request lines keeping up to [pipeline_depth] in flight,
+    returning responses in request order (results arrive out of order
+    on the wire; the id window reorders them).  Each line is retried
+    independently under the client's retry budget; a connection-level
+    failure costs every unfinished line one attempt.  [on_latency i s]
+    reports each successful line's send-to-receive latency (seconds) —
+    the bench uses it for percentiles.  Equivalent to sequential
+    {!request}s against a v1 server. *)
+
+val eval_many :
+  ?on_latency:(int -> float -> unit) ->
+  t ->
+  (Codec.want * Codec.query) list ->
+  (Codec.reply, error) result list
+(** {!pipeline} for structured hot queries, skipping JSON entirely on a
+    binary connection: queries are encoded straight through {!Codec}
+    and replies decoded back — the no-allocation-waste path the bench
+    measures.  On a JSON or v1 connection the queries fall back to
+    their {!Codec.json_line_of_query} form transparently. *)
 
 val close : t -> unit
 (** Drop the connection, if any.  The client stays usable: the next
-    {!request} reconnects. *)
+    request reconnects (and renegotiates). *)

@@ -1,0 +1,115 @@
+(** The compact binary codec for the hot query ops (wire protocol v2).
+
+    JSON-lines is the serve protocol's lingua franca, but parsing and
+    printing a JSON envelope dominates the cost of a cache-hit query once
+    the transport pipelines.  This codec gives [betti]/[connectivity]/
+    [psph]/[model-complex] requests and their responses a fixed binary
+    layout inside the existing {!Frame}s — negotiated per connection at
+    the hello handshake (see docs/NET.md "Wire protocol v2"), never
+    assumed.
+
+    Every payload starts with a one-byte tag.  Tag [0x00] is the JSON
+    escape hatch: the rest of the payload is a plain JSON-lines document,
+    so ops without a binary layout ([batch], [stats], [models], ...) flow
+    over a binary connection unchanged.  Integers are big-endian;
+    request ids are unsigned 32-bit and chosen by the client
+    ({!Client.pipeline} keys its in-flight window on them).
+
+    {v
+    request   0x01 psph    id:u32 want:u8 n:u16 values:u16
+              0x02 facets  id:u32 want:u8 count:u16 (len:u16 bytes)*count
+              0x03 model   id:u32 want:u8 nlen:u8 name n:u16 f:u16 k:u16 p:u16 r:u16
+    response  0x80 result  id:u32 flags:u8 klen:u8 key [conn:i32] [count:u16 betti:u32*]
+              0x81 error   id:u32 mlen:u16 message
+    v}
+
+    [want] is 0 = both, 1 = betti only, 2 = connectivity only; facet
+    entries are {!Psph_topology.Complex_io} simplex strings; response
+    [flags] has bit 0 = cached, bit 1 = betti present, bit 2 =
+    connectivity present.  Decoders never raise: corrupt or truncated
+    payloads come back as [Error _], and {!handle} answers them with a
+    well-formed binary error response. *)
+
+open Psph_obs
+
+type want = Both | Betti | Connectivity
+
+type query =
+  | Psph of { n : int; values : int }
+  | Facets of string list  (** {!Psph_topology.Complex_io} simplex strings *)
+  | Model of { model : string; spec : Pseudosphere.Model_complex.spec }
+
+type request = { id : int; want : want; query : query }
+
+type reply =
+  | Result of {
+      id : int;
+      key : string;  (** canonical content key, lowercase hex *)
+      cached : bool;
+      betti : int array option;
+      connectivity : int option;
+    }
+  | Failed of { id : int; message : string }
+
+val max_id : int
+(** Largest encodable request id ([2{^32} - 1]). *)
+
+val encode_request : request -> string
+(** @raise Invalid_argument when a field exceeds its wire range (psph
+    parameters and model parameters are u16, model names 255 bytes,
+    facet strings 65535 bytes, ids u32).  {!query_of_json} only produces
+    encodable queries. *)
+
+val decode_request : string -> (request, string) result
+
+val request_with_id : string -> int -> string
+(** [request_with_id payload id] is [payload] (an {!encode_request}
+    result) re-addressed to [id] — a copy plus four byte stores, so a
+    pipelining client can stamp fresh transport ids onto a pre-encoded
+    request template without re-encoding.  Payloads too short to carry
+    an id (never produced by {!encode_request}) come back unchanged. *)
+
+val encode_reply : reply -> string
+
+val decode_reply : string -> (reply, string) result
+
+val escape_json : string -> string
+(** Wrap a JSON-lines document in the [0x00] escape tag. *)
+
+val unescape_json : string -> string option
+(** The JSON document of an escape-tagged payload, [None] otherwise. *)
+
+val request_id_of_payload : string -> int
+(** Best-effort id of a possibly-corrupt binary request payload (0 when
+    even the id bytes are missing) — lets the server address an error
+    reply for a request it could not decode. *)
+
+val json_line_of_query : ?id:Jsonl.t -> want -> query -> string
+(** The JSON-lines request equivalent to a binary query — the client's
+    fallback when the server granted only JSON (or is a v1 server).
+    Inverse of {!query_of_json} on its image; combinations that image
+    never produces map to the nearest op. *)
+
+val reply_of_json : string -> reply option
+(** Parse a serve-shaped JSON response line back into a {!reply}
+    ([None] when the line is not one).  [id] is the response's "id"
+    member when it is an in-range integer, else 0. *)
+
+val query_of_json : Jsonl.t -> (want * query) option
+(** Translate a parsed hot-op JSON request to its binary query, [None]
+    when the request is not a hot op or does not fit the codec's wire
+    ranges (the caller then falls back to the JSON escape, preserving
+    exact JSON semantics — including error messages — for the oddballs). *)
+
+val json_of_reply : id:Jsonl.t option -> reply -> string
+(** The serve-shaped JSON line of a reply — byte-identical to what
+    {!Psph_engine.Serve.handle_line} answers for the equivalent JSON
+    request — with the transport id replaced by [id] ([None] omits it,
+    mirroring a request that carried no "id"). *)
+
+val handle :
+  json:(string -> string) -> Psph_engine.Engine.t -> string -> string
+(** The binary server handler: decode, evaluate on the engine, encode.
+    Escape-tagged payloads go through [json] (in production
+    {!Psph_engine.Serve.handle_line}) and come back escape-tagged.
+    Never raises; corrupt input is answered with a binary error reply. *)

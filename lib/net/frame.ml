@@ -12,6 +12,12 @@ let encode ?(max_frame = max_frame_default) payload =
   Bytes.blit_string payload 0 b header_size len;
   Bytes.unsafe_to_string b
 
+let encode_into ?(max_frame = max_frame_default) buf payload =
+  let len = String.length payload in
+  if len > max_frame then raise (Oversized len);
+  Buffer.add_int32_be buf (Int32.of_int len);
+  Buffer.add_string buf payload
+
 (* [acc] buffers undecoded bytes from [pos] (consumed prefixes are
    compacted away on each decode pass, so the buffer never grows past one
    partial frame plus whatever one [feed] delivered) *)

@@ -26,6 +26,10 @@ exception Oversized of int
 val encode : ?max_frame:int -> string -> string
 (** The wire bytes of one frame.  @raise Oversized *)
 
+val encode_into : ?max_frame:int -> Buffer.t -> string -> unit
+(** {!encode} appended to a buffer without the intermediate string —
+    for batching many frames into one write.  @raise Oversized *)
+
 val header_size : int
 (** 4. *)
 

@@ -22,6 +22,7 @@ type metrics = {
   forwarded : Obs.counter;
   failover : Obs.counter;
   no_backend : Obs.counter;
+  fanout : Obs.counter;
   backends_up : Obs.gauge;
   request_s : Obs.histogram;
   span_name : string;
@@ -50,7 +51,8 @@ let fnv1a s =
 
 let create ?(metrics = "net.router") ?(replicas = 64) ?(timeout_ms = 5000)
     ?(retries = 1) ?(check_period_ms = 1000)
-    ?(max_frame = Frame.max_frame_default) addrs =
+    ?(max_frame = Frame.max_frame_default) ?(codec = `Json)
+    ?(pipeline_depth = 16) addrs =
   if addrs = [] then invalid_arg "Router.create: no backends";
   let bks =
     Array.of_list
@@ -60,7 +62,7 @@ let create ?(metrics = "net.router") ?(replicas = 64) ?(timeout_ms = 5000)
              baddr;
              client =
                Client.create ~metrics:(metrics ^ ".client") ~timeout_ms ~retries
-                 ~max_frame baddr;
+                 ~max_frame ~codec ~pipeline_depth baddr;
              health =
                Client.create ~metrics:(metrics ^ ".health")
                  ~timeout_ms:(min timeout_ms 1000) ~retries:0 ~max_frame baddr;
@@ -80,6 +82,7 @@ let create ?(metrics = "net.router") ?(replicas = 64) ?(timeout_ms = 5000)
       forwarded = Obs.counter (metrics ^ ".forwarded");
       failover = Obs.counter (metrics ^ ".failover");
       no_backend = Obs.counter (metrics ^ ".no_backend");
+      fanout = Obs.counter (metrics ^ ".fanout");
       backends_up = Obs.gauge (metrics ^ ".backends_up");
       request_s = Obs.histogram (metrics ^ ".request_s");
       span_name = metrics ^ ".request";
@@ -231,44 +234,157 @@ let error_response line msg =
 
 let degraded line = error_response line "no backend"
 
+let route_single t sp line =
+  let prefs = preference t line in
+  (* live backends first, each dead one still gets a last-resort
+     try (it may have revived since the prober last looked) *)
+  let live, dead = List.partition (fun i -> t.bks.(i).alive) prefs in
+  let rec go first = function
+    | [] ->
+        Obs.incr t.m.no_backend;
+        Obs.set_attr sp "degraded" (Jsonl.Bool true);
+        degraded line
+    | i :: rest -> (
+        match Client.request t.bks.(i).client line with
+        | Ok resp ->
+            mark t i true;
+            Obs.incr t.m.forwarded;
+            Obs.set_attr sp "backend"
+              (Jsonl.Str (Addr.to_string t.bks.(i).baddr));
+            resp
+        | Error e when Client.is_retryable e ->
+            (* transport failure: the backend (not the request)
+               is the problem — mark it down and fail over *)
+            mark t i false;
+            if not first then Obs.incr t.m.failover;
+            go false rest
+        | Error e ->
+            (* fatal Protocol errors are request-specific (e.g.
+               a response over the client's max_frame): every
+               backend would fail it identically, so answer with
+               the error instead of walking the ring marking
+               healthy backends dead *)
+            Obs.set_attr sp "error" (Jsonl.Str (Client.error_message e));
+            error_response line (Client.error_message e))
+  in
+  go true (live @ dead)
+
+(* ------------------------------------------------------------------ *)
+(* batch fan-out                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* A batch of hot-op members fans out: members group by their preferred
+   backend (so each still lands on the cache that is warm for it) and
+   each group flies down that backend's pipelined connection, groups in
+   parallel.  Only hot ops qualify because the fan-out forwards members
+   as top-level requests, and for hot ops a member's slot in a backend
+   batch response is byte-identical to the backend's top-level response
+   — so splicing the group results back together in request order
+   reproduces exactly the bytes a single backend would have sent.
+   Batches with nested/keyless members keep the v1 whole-batch path. *)
+
+let hot_op = function
+  | Jsonl.Obj _ as r -> (
+      match Option.bind (Jsonl.member "op" r) Jsonl.to_string_opt with
+      | Some ("psph" | "betti" | "connectivity" | "model-complex") -> true
+      | _ -> false)
+  | _ -> false
+
+let fanout_members line =
+  match Jsonl.of_string_opt line with
+  | Some (Jsonl.Obj _ as o)
+    when Option.bind (Jsonl.member "op" o) Jsonl.to_string_opt = Some "batch"
+    -> (
+      match Option.bind (Jsonl.member "requests" o) Jsonl.to_list_opt with
+      | Some members when List.length members > 1 && List.for_all hot_op members
+        ->
+          Some (Array.of_list members)
+      | _ -> None)
+  | _ -> None
+
+let route_batch t sp members =
+  Obs.incr t.m.fanout;
+  let n = Array.length members in
+  Obs.set_attr sp "fanout" (Jsonl.int n);
+  let mlines = Array.map Jsonl.to_string members in
+  let responses = Array.make n None in
+  let prefs = Array.map (fun l -> ref (preference t l)) mlines in
+  (* rounds: every unresolved member tries its best untried backend
+     (live first, dead as a last resort), one pipelined flight per
+     backend, flights in parallel.  Preferences only shrink, so the
+     loop terminates in degraded answers at worst. *)
+  let rec round () =
+    let groups = Hashtbl.create 8 in
+    let progress = ref false in
+    for i = n - 1 downto 0 do
+      if responses.(i) = None then begin
+        let remaining = !(prefs.(i)) in
+        let choice =
+          match List.find_opt (fun b -> t.bks.(b).alive) remaining with
+          | Some b -> Some b
+          | None -> ( match remaining with b :: _ -> Some b | [] -> None)
+        in
+        match choice with
+        | None ->
+            Obs.incr t.m.no_backend;
+            responses.(i) <- Some (degraded mlines.(i))
+        | Some b ->
+            prefs.(i) := List.filter (fun x -> x <> b) remaining;
+            progress := true;
+            Hashtbl.replace groups b
+              (i :: (try Hashtbl.find groups b with Not_found -> []))
+      end
+    done;
+    if !progress then begin
+      let run (b, idxs) =
+        let rs =
+          Client.pipeline t.bks.(b).client (List.map (fun i -> mlines.(i)) idxs)
+        in
+        List.iter2
+          (fun i r ->
+            match r with
+            | Ok resp ->
+                mark t b true;
+                Obs.incr t.m.forwarded;
+                responses.(i) <- Some resp
+            | Error e when Client.is_retryable e ->
+                (* stays unresolved: the next round walks the member's
+                   remaining preference *)
+                mark t b false;
+                Obs.incr t.m.failover
+            | Error e ->
+                responses.(i) <-
+                  Some (error_response mlines.(i) (Client.error_message e)))
+          idxs rs
+      in
+      (match Hashtbl.fold (fun b idxs acc -> (b, idxs) :: acc) groups [] with
+      | [ one ] -> run one
+      | work ->
+          let threads = List.map (fun w -> Thread.create run w) work in
+          List.iter Thread.join threads);
+      round ()
+    end
+  in
+  round ();
+  (* splice the member responses verbatim: they are already the exact
+     bytes of the corresponding batch-result slots *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf {|{"ok":true,"results":[|};
+  Array.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Option.value r ~default:(degraded mlines.(i))))
+    responses;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
 let route t line =
   Obs.incr t.m.requests;
   Obs.with_span t.m.span_name (fun sp ->
       Obs.time t.m.request_s (fun () ->
-          let prefs = preference t line in
-          (* live backends first, each dead one still gets a last-resort
-             try (it may have revived since the prober last looked) *)
-          let live, dead = List.partition (fun i -> t.bks.(i).alive) prefs in
-          let rec go first = function
-            | [] ->
-                Obs.incr t.m.no_backend;
-                Obs.set_attr sp "degraded" (Jsonl.Bool true);
-                degraded line
-            | i :: rest -> (
-                match Client.request t.bks.(i).client line with
-                | Ok resp ->
-                    mark t i true;
-                    Obs.incr t.m.forwarded;
-                    Obs.set_attr sp "backend"
-                      (Jsonl.Str (Addr.to_string t.bks.(i).baddr));
-                    resp
-                | Error e when Client.is_retryable e ->
-                    (* transport failure: the backend (not the request)
-                       is the problem — mark it down and fail over *)
-                    mark t i false;
-                    if not first then Obs.incr t.m.failover;
-                    go false rest
-                | Error e ->
-                    (* fatal Protocol errors are request-specific (e.g.
-                       a response over the client's max_frame): every
-                       backend would fail it identically, so answer with
-                       the error instead of walking the ring marking
-                       healthy backends dead *)
-                    Obs.set_attr sp "error"
-                      (Jsonl.Str (Client.error_message e));
-                    error_response line (Client.error_message e))
-          in
-          go true (live @ dead)))
+          match fanout_members line with
+          | Some members -> route_batch t sp members
+          | None -> route_single t sp line))
 
 (* ------------------------------------------------------------------ *)
 (* health checks                                                       *)

@@ -41,13 +41,18 @@ val create :
   ?retries:int ->
   ?check_period_ms:int ->
   ?max_frame:int ->
+  ?codec:[ `Json | `Binary ] ->
+  ?pipeline_depth:int ->
   Addr.t list ->
   t
 (** No I/O; backends are assumed alive until a probe or request says
     otherwise.  [replicas] (default 64) virtual nodes per backend;
     [timeout_ms]/[retries] configure the per-backend clients (retries
     default 1 — the ring-level failover is the real retry);
-    [check_period_ms] (default 1000) spaces health probes.
+    [check_period_ms] (default 1000) spaces health probes.  [codec]
+    (default [`Json]) and [pipeline_depth] (default 16) configure the
+    backend links: protocol v2 is negotiated per connection, so v1
+    backends quietly get sequential JSON either way (see {!Client}).
     @raise Invalid_argument on an empty backend list. *)
 
 val shard_key : string -> string option
@@ -64,7 +69,18 @@ val backends : t -> (Addr.t * bool) list
 val route : t -> string -> string
 (** Forward one request line, failing over as needed; the degraded
     answer if no backend responds.  Never raises — this is the
-    {!Server.handler} of [psc route]. *)
+    {!Server.handler} of [psc route].
+
+    A [batch] whose members are all hot ops ([psph], [betti],
+    [connectivity], [model-complex]) {b fans out}: members are grouped
+    by their preferred backend (cache affinity preserved per member),
+    each group rides that backend's pipelined connection, groups run in
+    parallel, and failover happens per member.  The reassembled
+    response is byte-identical to a single backend's batch answer;
+    members are answered [{"ok":false,"error":"no backend"}] in place
+    when nothing will take them.  Batches with other member ops keep
+    the forward-whole behavior.  Fanned batches count in
+    [net.router.fanout]. *)
 
 val start_health_checks : t -> unit
 (** Spawn the background prober (idempotent). *)

@@ -1,14 +1,24 @@
-(* The accept loop: one listening socket, one handler systhread per
-   connection, all feeding one line handler (in production,
-   [Serve.handle_line engine] — the engine's Domain pool does the heavy
-   lifting; these threads mostly block on sockets).
+(* The v2 server: a Reactor front end over the line handler.
+
+   Threading model: the accept loop runs in [serve]'s thread and only
+   accepts — each descriptor goes straight to the reactor, whose loop
+   threads do all socket I/O.  A decoded frame becomes a job (inline on
+   the loop, or on [dispatch]); its response is queued back on the
+   connection from whatever thread the job ran on.
+
+   Ordering contract: a connection that has not negotiated pipelining
+   gets v1 semantics — responses in request order — even though jobs may
+   complete out of order on the dispatch pool.  Each such request takes
+   a sequence number at decode time (loop thread, so numbering matches
+   arrival order) and [complete] holds finished responses until their
+   turn.  Negotiated connections skip the machinery entirely: responses
+   carry ids, order is the client's problem (that's the point).
 
    Stop protocol: [request_stop] must be callable from a SIGINT/SIGTERM
-   handler, i.e. possibly from *inside* the accept thread with the server
-   lock in any state.  So the stopping flag is an Atomic (no lock), the
-   listening socket is shutdown immediately (wakes/aborts the accept), and
-   everything that needs the lock — waking idle connections so the drain
-   can finish — happens on the normal-context drain path in [serve]. *)
+   handler, so it only flips an Atomic and shuts down the listening
+   socket (waking a blocked accept).  The drain in [serve] then stops
+   reactor reads, waits out in-flight jobs, and lets the reactor flush
+   and close every connection. *)
 
 open Psph_obs
 
@@ -23,20 +33,39 @@ type metrics = {
   deadline_exceeded : Obs.counter;
   active : Obs.gauge;
   request_s : Obs.histogram;
+  hello : Obs.counter;  (** protocol negotiations *)
+  binary : Obs.counter;  (** binary-codec requests *)
+  dispatched : Obs.counter;  (** jobs run on the dispatch pool *)
 }
+
+type codec = Cjson | Cbinary
+
+(* per-connection protocol state, hung on the reactor's user slot *)
+type cstate = {
+  mutable codec : codec;
+  mutable pipelined : bool;  (** negotiated: out-of-order responses allowed *)
+  mutable next_seq : int;  (** loop thread only: arrival order *)
+  slk : Mutex.t;  (** guards the ordered-emit state and inflight below *)
+  mutable next_emit : int;
+  held : (int, string) Hashtbl.t;  (** finished early, waiting their turn *)
+  mutable cinflight : int;
+  mutable eof : bool;  (** close once the last in-flight response is out *)
+}
+
+type Reactor.user += Conn of cstate
 
 type t = {
   lsock : Unix.file_descr;
   port : int;
   handler : handler;
+  bin_handler : handler option;
+  dispatch : ((unit -> unit) -> unit) option;
   max_conns : int;
   deadline_s : float option;
   max_frame : int;
-  lock : Mutex.t;
-  cond : Condition.t;  (** connection closes (drain completion) *)
-  conns : (int, Unix.file_descr) Hashtbl.t;
-  mutable next_conn : int;
+  reactor : Reactor.t;
   stopping : bool Atomic.t;
+  inflight : int Atomic.t;
   mutable server_thread : Thread.t option;
   m : metrics;
 }
@@ -51,66 +80,16 @@ let make_metrics prefix =
     deadline_exceeded = Obs.counter (prefix ^ ".deadline_exceeded");
     active = Obs.gauge (prefix ^ ".active");
     request_s = Obs.histogram (prefix ^ ".request_s");
+    hello = Obs.counter (prefix ^ ".hello");
+    binary = Obs.counter (prefix ^ ".binary_requests");
+    dispatched = Obs.counter (prefix ^ ".dispatched");
   }
 
 (* a response written to a peer that already hung up must fail with
-   EPIPE (the handler thread just closes that connection), not deliver
-   SIGPIPE, whose default action kills the whole server *)
+   EPIPE (the reactor drops that connection), not deliver SIGPIPE,
+   whose default action kills the whole server *)
 let ignore_sigpipe =
   lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
-
-let listen ?(metrics = "net.server") ?(backlog = 64) ?(max_conns = 64)
-    ?deadline_s ?(max_frame = Frame.max_frame_default) ~handler addr =
-  Lazy.force ignore_sigpipe;
-  match Addr.resolve addr with
-  | Error _ as e -> e
-  | Ok sockaddr -> (
-      let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-      try
-        Unix.setsockopt sock Unix.SO_REUSEADDR true;
-        Unix.bind sock sockaddr;
-        Unix.listen sock backlog;
-        let port =
-          match Unix.getsockname sock with
-          | Unix.ADDR_INET (_, p) -> p
-          | _ -> addr.Addr.port
-        in
-        Ok
-          {
-            lsock = sock;
-            port;
-            handler;
-            max_conns = max 1 max_conns;
-            deadline_s;
-            max_frame;
-            lock = Mutex.create ();
-            cond = Condition.create ();
-            conns = Hashtbl.create 16;
-            next_conn = 0;
-            stopping = Atomic.make false;
-            server_thread = None;
-            m = make_metrics metrics;
-          }
-      with Unix.Unix_error (e, fn, _) ->
-        (try Unix.close sock with _ -> ());
-        Error
-          (Printf.sprintf "cannot listen on %s: %s (%s)" (Addr.to_string addr)
-             (Unix.error_message e) fn))
-
-let port t = t.port
-
-(* full write; sockets may take large frames in pieces *)
-let send_all fd s =
-  let len = String.length s in
-  let rec go off =
-    if off < len then
-      match Unix.write_substring fd s off (len - off) with
-      | n -> go (off + n)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-  in
-  go 0
-
-let send_frame t fd payload = send_all fd (Frame.encode ~max_frame:t.max_frame payload)
 
 (* an error response in the serve wire shape, echoing the request "id"
    when the original line parses far enough to have one *)
@@ -128,21 +107,100 @@ let error_line ?orig msg =
 
 let span_parent_of line =
   match Jsonl.of_string_opt line with
-  | Some (Jsonl.Obj _ as o) -> Option.bind (Jsonl.member "span_parent" o) Jsonl.to_int_opt
+  | Some (Jsonl.Obj _ as o) ->
+      Option.bind (Jsonl.member "span_parent" o) Jsonl.to_int_opt
   | _ -> None
 
-let handle_request t line =
-  Obs.incr t.m.requests;
+(* the error shape the connection's codec calls for, addressed to the
+   request the [orig] payload holds (binary replies need its id) *)
+let error_for st ?orig msg =
+  match st.codec with
+  | Cjson -> error_line ?orig msg
+  | Cbinary -> (
+      match Option.bind orig Codec.unescape_json with
+      | Some inner -> Codec.escape_json (error_line ~orig:inner msg)
+      | None ->
+          let id =
+            match orig with
+            | Some p -> Codec.request_id_of_payload p
+            | None -> 0
+          in
+          Codec.encode_reply (Codec.Failed { id; message = msg }))
+
+(* ------------------------------------------------------------------ *)
+(* response completion                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let frame_of t st ?orig resp =
+  match Frame.encode ~max_frame:t.max_frame resp with
+  | bytes -> bytes
+  | exception Frame.Oversized n ->
+      Obs.incr t.m.frame_errors;
+      let msg =
+        Printf.sprintf "response too large (%d bytes, max %d)" n t.max_frame
+      in
+      (try Frame.encode ~max_frame:t.max_frame (error_for st ?orig msg)
+       with Frame.Oversized _ -> "" (* max_frame too small even for errors *))
+
+(* emit a response, honoring the ordered contract for pre-negotiation
+   connections: [seq < 0] means the connection pipelines and the
+   response goes straight out *)
+let complete t conn st ?orig seq resp =
+  let bytes = frame_of t st ?orig resp in
+  if seq < 0 then Reactor.send conn bytes
+  else begin
+    Mutex.lock st.slk;
+    if seq = st.next_emit then begin
+      Reactor.send conn bytes;
+      st.next_emit <- seq + 1;
+      let rec drain () =
+        match Hashtbl.find_opt st.held st.next_emit with
+        | Some b ->
+            Hashtbl.remove st.held st.next_emit;
+            Reactor.send conn b;
+            st.next_emit <- st.next_emit + 1;
+            drain ()
+        | None -> ()
+      in
+      drain ()
+    end
+    else Hashtbl.add st.held seq bytes;
+    Mutex.unlock st.slk
+  end
+
+let begin_inflight t st =
+  Atomic.incr t.inflight;
+  Mutex.lock st.slk;
+  st.cinflight <- st.cinflight + 1;
+  Mutex.unlock st.slk
+
+let finish_inflight t conn st =
+  Atomic.decr t.inflight;
+  Mutex.lock st.slk;
+  st.cinflight <- st.cinflight - 1;
+  let close_now = st.eof && st.cinflight = 0 in
+  Mutex.unlock st.slk;
+  (* the peer stopped sending while we still owed responses; they are
+     queued now, so flush-and-close *)
+  if close_now then Reactor.close conn
+
+(* ------------------------------------------------------------------ *)
+(* request execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let deadline_msg d = Printf.sprintf "deadline exceeded (%.0f ms limit)" (1000. *. d)
+
+let json_response t payload =
   let t0 = Obs.monotonic () in
   (* re-root under the span id the client put on the wire, so a loopback
      trace nests net.client.request -> serve.request across the socket;
      only meaningful (and only looked for) when a sink is live *)
   let parent =
-    if Obs.current_sink () = Obs.Null then None else span_parent_of line
+    if Obs.current_sink () = Obs.Null then None else span_parent_of payload
   in
   let response =
-    try Obs.with_parent parent (fun () -> t.handler line)
-    with e -> error_line ~orig:line ("internal error: " ^ Printexc.to_string e)
+    try Obs.with_parent parent (fun () -> t.handler payload)
+    with e -> error_line ~orig:payload ("internal error: " ^ Printexc.to_string e)
   in
   let elapsed = Obs.monotonic () -. t0 in
   Obs.observe t.m.request_s elapsed;
@@ -151,90 +209,274 @@ let handle_request t line =
       (* cooperative: the work already ran, but the contract with the
          client is an error once the deadline has passed *)
       Obs.incr t.m.deadline_exceeded;
-      error_line ~orig:line
-        (Printf.sprintf "deadline exceeded (%.0f ms limit)" (1000. *. d))
+      error_line ~orig:payload (deadline_msg d)
   | _ -> response
 
-let conn_loop t fd =
-  let reader = Frame.reader ~max_frame:t.max_frame () in
-  let buf = Bytes.create 65536 in
-  let rec drain_frames () =
-    match Frame.next reader with
-    | Some line ->
-        let resp = handle_request t line in
-        (try send_frame t fd resp
-         with Frame.Oversized n ->
-           Obs.incr t.m.frame_errors;
-           send_frame t fd
-             (error_line ~orig:line
-                (Printf.sprintf "response too large (%d bytes, max %d)" n
-                   t.max_frame)));
-        (* draining: finish the in-flight request, then hang up *)
-        if not (Atomic.get t.stopping) then drain_frames ()
-    | None -> read_more ()
-  and read_more () =
-    match Unix.read fd buf 0 (Bytes.length buf) with
-    | 0 -> if Frame.pending reader > 0 then Obs.incr t.m.torn
-    | n -> (
-        match Frame.feed reader buf 0 n with
-        | () -> drain_frames ()
-        | exception Frame.Oversized len ->
-            (* the stream is desynced past this point: answer and close *)
-            Obs.incr t.m.frame_errors;
-            send_frame t fd
-              (error_line
-                 (Printf.sprintf "frame too large (%d bytes, max %d)" len
-                    t.max_frame)))
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_more ()
-    | exception Unix.Unix_error (_, _, _) -> ()
+let binary_response t st bin payload =
+  Obs.incr t.m.binary;
+  let t0 = Obs.monotonic () in
+  let response =
+    try bin payload
+    with e -> error_for st ~orig:payload ("internal error: " ^ Printexc.to_string e)
   in
-  drain_frames ()
+  let elapsed = Obs.monotonic () -. t0 in
+  Obs.observe t.m.request_s elapsed;
+  match t.deadline_s with
+  | Some d when elapsed > d ->
+      Obs.incr t.m.deadline_exceeded;
+      error_for st ~orig:payload (deadline_msg d)
+  | _ -> response
 
-let conn_main t id fd =
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.close fd with _ -> ());
-      Mutex.lock t.lock;
-      Hashtbl.remove t.conns id;
-      Condition.broadcast t.cond;
-      Mutex.unlock t.lock;
-      Obs.incr t.m.closed;
-      Obs.gauge_add t.m.active (-1.0))
-    (fun () -> try conn_loop t fd with _ -> ())
+let run_job t job =
+  match t.dispatch with
+  | None -> job ()
+  | Some d -> (
+      Obs.incr t.m.dispatched;
+      (* a dispatch pool that is already shut down must not lose the
+         request — fall back to inline *)
+      try d job with _ -> job ())
+
+(* ------------------------------------------------------------------ *)
+(* the hello handshake                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let hello_req payload =
+  if String.length payload <= 512 && contains payload "\"hello\"" then
+    match Jsonl.of_string_opt payload with
+    | Some (Jsonl.Obj _ as req)
+      when Option.bind (Jsonl.member "op" req) Jsonl.to_string_opt
+           = Some "hello" ->
+        Some req
+    | _ -> None
+  else None
+
+let handle_hello t conn st req payload =
+  Obs.incr t.m.hello;
+  let requested =
+    Option.value ~default:"json"
+      (Option.bind (Jsonl.member "codec" req) Jsonl.to_string_opt)
+  in
+  let want_pipeline =
+    match Jsonl.member "pipeline" req with
+    | Some (Jsonl.Bool b) -> b
+    | _ -> true
+  in
+  let codec =
+    if requested = "binary" && t.bin_handler <> None then Cbinary else Cjson
+  in
+  (* the binary codec keys responses by request id, which already makes
+     them order-free — binary implies pipelining *)
+  let pipelined = want_pipeline || codec = Cbinary in
+  let fields =
+    [
+      ("ok", Jsonl.Bool true);
+      ("version", Jsonl.int 2);
+      ("codec", Jsonl.Str (match codec with Cbinary -> "binary" | Cjson -> "json"));
+      ("pipeline", Jsonl.Bool pipelined);
+      ("max_frame", Jsonl.int t.max_frame);
+    ]
+  in
+  let fields =
+    match Jsonl.member "id" req with
+    | Some id -> ("id", id) :: fields
+    | None -> fields
+  in
+  let resp = Jsonl.to_string (Jsonl.Obj fields) in
+  (* the response itself still honors the pre-hello ordering; the mode
+     switch applies from the next frame on (the client is required to
+     wait for this answer before using what it negotiated) *)
+  let seq =
+    if st.pipelined then -1
+    else begin
+      let s = st.next_seq in
+      st.next_seq <- s + 1;
+      s
+    end
+  in
+  complete t conn st ~orig:payload seq resp;
+  st.codec <- codec;
+  st.pipelined <- pipelined
+
+(* ------------------------------------------------------------------ *)
+(* reactor callbacks                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let on_frame t conn payload =
+  match Reactor.user conn with
+  | Conn st -> (
+      match
+        match st.codec with Cjson -> hello_req payload | Cbinary -> None
+      with
+      | Some req -> handle_hello t conn st req payload
+      | None ->
+          Obs.incr t.m.requests;
+          let seq =
+            if st.pipelined then -1
+            else begin
+              let s = st.next_seq in
+              st.next_seq <- s + 1;
+              s
+            end
+          in
+          begin_inflight t st;
+          let codec = st.codec in
+          run_job t (fun () ->
+              let resp =
+                match codec with
+                | Cjson -> json_response t payload
+                | Cbinary -> (
+                    match t.bin_handler with
+                    | Some bin -> binary_response t st bin payload
+                    | None ->
+                        (* unreachable: binary is only granted with a
+                           bin_handler installed *)
+                        error_for st ~orig:payload "binary codec unavailable")
+              in
+              complete t conn st ~orig:payload seq resp;
+              finish_inflight t conn st))
+  | _ -> ()
+
+let on_failure t conn fail =
+  match Reactor.user conn with
+  | Conn st -> (
+      match fail with
+      | Reactor.Torn -> Obs.incr t.m.torn
+      | Reactor.Oversized len ->
+          (* the stream is desynced: answer (the client's reader stays
+             coherent — frames survive a poisoned peer) and hang up *)
+          Obs.incr t.m.frame_errors;
+          let msg =
+            Printf.sprintf "frame too large (%d bytes, max %d)" len t.max_frame
+          in
+          let seq =
+            if st.pipelined then -1
+            else begin
+              let s = st.next_seq in
+              st.next_seq <- s + 1;
+              s
+            end
+          in
+          complete t conn st seq (error_for st msg);
+          Reactor.close conn)
+  | _ -> ()
+
+let on_eof _t conn =
+  match Reactor.user conn with
+  | Conn st ->
+      Mutex.lock st.slk;
+      st.eof <- true;
+      let idle = st.cinflight = 0 in
+      Mutex.unlock st.slk;
+      (* half-closed peers still read: finish what is in flight, then
+         close (the reactor flushes queued output first) *)
+      if idle then Reactor.close conn
+  | _ -> Reactor.close conn
+
+let on_close t _conn =
+  Obs.incr t.m.closed;
+  Obs.gauge_add t.m.active (-1.0)
+
+(* ------------------------------------------------------------------ *)
+(* lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let listen ?(metrics = "net.server") ?(backlog = 64) ?(max_conns = 64)
+    ?deadline_s ?(max_frame = Frame.max_frame_default) ?(reactor_threads = 2)
+    ?bin_handler ?dispatch ~handler addr =
+  Lazy.force ignore_sigpipe;
+  match Addr.resolve addr with
+  | Error _ as e -> e
+  | Ok sockaddr -> (
+      let sock = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      try
+        Unix.setsockopt sock Unix.SO_REUSEADDR true;
+        Unix.bind sock sockaddr;
+        Unix.listen sock backlog;
+        let port =
+          match Unix.getsockname sock with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> addr.Addr.port
+        in
+        let m = make_metrics metrics in
+        let rec t =
+          lazy
+            {
+              lsock = sock;
+              port;
+              handler;
+              bin_handler;
+              dispatch;
+              max_conns = max 1 max_conns;
+              deadline_s;
+              max_frame;
+              reactor =
+                Reactor.create
+                  ~metrics:(metrics ^ ".reactor")
+                  ~loops:reactor_threads ~max_frame
+                  ~on_frame:(fun conn payload ->
+                    on_frame (Lazy.force t) conn payload)
+                  ~on_failure:(fun conn fail ->
+                    on_failure (Lazy.force t) conn fail)
+                  ~on_eof:(fun conn -> on_eof (Lazy.force t) conn)
+                  ~on_close:(fun conn -> on_close (Lazy.force t) conn)
+                  ();
+              stopping = Atomic.make false;
+              inflight = Atomic.make 0;
+              server_thread = None;
+              m;
+            }
+        in
+        Ok (Lazy.force t)
+      with Unix.Unix_error (e, fn, _) ->
+        (try Unix.close sock with _ -> ());
+        Error
+          (Printf.sprintf "cannot listen on %s: %s (%s)" (Addr.to_string addr)
+             (Unix.error_message e) fn))
+
+let port t = t.port
 
 let request_stop t =
   if not (Atomic.exchange t.stopping true) then
-    (* aborts a blocked/future accept; everything lock-protected happens
-       on the drain path, keeping this safe inside a signal handler *)
+    (* aborts a blocked/future accept; everything else happens on the
+       normal-context drain path, keeping this safe in a signal handler *)
     try Unix.shutdown t.lsock Unix.SHUTDOWN_ALL with _ -> ()
 
+let fresh_cstate () =
+  Conn
+    {
+      codec = Cjson;
+      pipelined = false;
+      next_seq = 0;
+      slk = Mutex.create ();
+      next_emit = 0;
+      held = Hashtbl.create 8;
+      cinflight = 0;
+      eof = false;
+    }
+
 let serve t =
+  Reactor.start t.reactor;
   let rec accept_loop () =
-    Mutex.lock t.lock;
     while
-      Hashtbl.length t.conns >= t.max_conns && not (Atomic.get t.stopping)
+      Reactor.active t.reactor >= t.max_conns && not (Atomic.get t.stopping)
     do
-      (* stdlib Condition has no timed wait and [request_stop] may run in
-         signal context where it cannot take the lock to signal us, so
-         wait in short slices, re-checking the stopping flag: a stop with
-         max_conns idle peers must still reach the drain path below *)
-      Mutex.unlock t.lock;
-      Thread.delay 0.05;
-      Mutex.lock t.lock
+      (* no timed condvar in stdlib and [request_stop] may run in signal
+         context: wait in short slices, re-checking the stopping flag *)
+      Thread.delay 0.05
     done;
-    Mutex.unlock t.lock;
     if not (Atomic.get t.stopping) then
       match Unix.accept ~cloexec:true t.lsock with
       | fd, _ ->
-          (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
           Obs.incr t.m.accepted;
           Obs.gauge_add t.m.active 1.0;
-          Mutex.lock t.lock;
-          let id = t.next_conn in
-          t.next_conn <- id + 1;
-          Hashtbl.add t.conns id fd;
-          Mutex.unlock t.lock;
-          ignore (Thread.create (fun () -> conn_main t id fd) ());
+          (match Reactor.add t.reactor ~user:(fresh_cstate ()) fd with
+          | (_ : Reactor.conn) -> ()
+          | exception _ -> ( try Unix.close fd with _ -> ()));
           accept_loop ()
       | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
           accept_loop ()
@@ -247,19 +489,13 @@ let serve t =
           end
   in
   (try accept_loop () with _ -> ());
-  (* drain: wake idle connections (their reads return EOF), then wait for
-     every handler thread to finish its in-flight request and deregister *)
-  Mutex.lock t.lock;
-  let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [] in
-  Mutex.unlock t.lock;
-  List.iter
-    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
-    fds;
-  Mutex.lock t.lock;
-  while Hashtbl.length t.conns > 0 do
-    Condition.wait t.cond t.lock
+  (* drain: no new reads, wait out the in-flight jobs (their responses
+     queue on the connections), then the reactor flushes and closes *)
+  Reactor.stop_reading t.reactor;
+  while Atomic.get t.inflight > 0 do
+    Thread.delay 0.002
   done;
-  Mutex.unlock t.lock;
+  Reactor.stop t.reactor;
   try Unix.close t.lsock with _ -> ()
 
 let start t = t.server_thread <- Some (Thread.create (fun () -> serve t) ())

@@ -1,33 +1,41 @@
-(** A TCP front end for a line handler: the accept loop that puts
-    {!Psph_engine.Serve.handle_line} behind a socket.
+(** A TCP front end for a line handler: the {!Reactor}-based server that
+    puts {!Psph_engine.Serve.handle_line} behind a socket.
 
-    Each accepted connection gets one handler thread that decodes
-    {!Frame}s, hands every payload to the handler, and writes the
-    response back as a frame.  The handler threads all feed the one
-    engine (whose Domain pool does the parallel work), so a connection
-    is cheap: a thread, a reader buffer, a socket.
+    v2 architecture (PR 6): accepted connections are multiplexed by a
+    small fixed pool of event-loop threads ([reactor_threads]) instead
+    of one thread per socket.  Each completed {!Frame} becomes a job —
+    run inline on the loop when the handler is cheap, or handed to
+    [dispatch] (in production {!Psph_engine.Engine.dispatch}, the
+    engine's Domain pool) so loops never block on CPU-bound work.
 
-    Robustness mirrors the stdio serve loop: a connection that sends
-    garbage framing, dies mid-frame, or trips the oversized-frame guard
-    is answered (when possible) and closed — the server never crashes and
-    other connections never notice.  [max_conns] bounds the connection
-    pool; excess connections wait in the kernel backlog.  [deadline_s]
-    is a cooperative per-request deadline: a request whose handler runs
-    past it is answered with [{"ok":false,"error":"deadline exceeded"}]
-    instead of its (late) result.
+    {b Wire protocol} (full specification in docs/NET.md, "Wire
+    protocol v2"): a connection starts in JSON-lines mode with strictly
+    ordered responses — byte-compatible with the v1 server, so old
+    clients work unchanged.  A client may send
+    [{"op":"hello","version":2,"codec":"binary","pipeline":true}] as a
+    normal request; the server answers with what it granted, and from
+    the next frame on the connection speaks the granted codec with
+    responses keyed by request id and allowed out of order.  The binary
+    codec ({!Codec}) is only offered when [bin_handler] is installed;
+    pipelining and codec are negotiated, never assumed.
 
-    Shutdown is graceful: {!request_stop} stops accepting and wakes idle
-    connections, in-flight requests run to completion and their
-    responses are written, then {!serve} returns so the caller can flush
-    the engine's store.
+    Robustness mirrors v1: garbage framing, death mid-frame and the
+    oversized-frame guard are answered (when possible) and closed —
+    the server never crashes and other connections never notice.
+    [max_conns] bounds the pool; excess connections wait in the kernel
+    backlog.  [deadline_s] stays cooperative: a request whose handler
+    ran past it is answered with a deadline error instead of its (late)
+    result.  Shutdown is graceful: {!request_stop} stops accepting,
+    in-flight requests complete and their responses are flushed, then
+    {!serve} returns so the caller can flush the engine's store.
 
-    Observability ([net.server.*], catalogued in docs/NET.md): accepted/
-    closed/requests/frame_errors/torn/deadline_exceeded counters, an
-    active-connections gauge, a per-request latency histogram — and
-    every request is handled with its ambient span parent re-rooted to
-    the ["span_parent"] field of the request (injected by {!Client}), so
-    in-process loopback traces nest [net.client.request ->
-    serve.request -> engine.query] across the socket boundary. *)
+    Observability ([net.server.*] plus the reactor's [net.reactor.*],
+    catalogued in docs/NET.md): v1's counters and latency histogram,
+    plus [hello] (negotiations), [binary_requests] and [dispatched]
+    (jobs sent to the dispatch pool).  JSON requests still re-root
+    their handler span under the request's ["span_parent"] field, so
+    loopback traces keep nesting [net.client.request -> serve.request]
+    across the socket. *)
 
 type handler = string -> string
 (** Must never raise ({!Psph_engine.Serve.handle_line} already
@@ -42,28 +50,37 @@ val listen :
   ?max_conns:int ->
   ?deadline_s:float ->
   ?max_frame:int ->
+  ?reactor_threads:int ->
+  ?bin_handler:handler ->
+  ?dispatch:((unit -> unit) -> unit) ->
   handler:handler ->
   Addr.t ->
   (t, string) result
 (** Bind and listen ([SO_REUSEADDR] set; port 0 lets the kernel pick —
     read it back with {!port}).  [metrics] prefixes the metric names
-    (default ["net.server"]; the router passes ["net.router"]).
-    [max_conns] defaults to 64. *)
+    (default ["net.server"]).  [max_conns] defaults to 64,
+    [reactor_threads] to 2.  [bin_handler] (typically
+    [Codec.handle ~json:handler engine]) enables the binary codec at
+    hello; without it binary requests are refused at negotiation.
+    [dispatch] runs request jobs off the event loops (typically
+    {!Psph_engine.Engine.dispatch}); omitted, handlers run inline on
+    the loop — right for handlers that are fast or that block on their
+    own I/O rarely. *)
 
 val port : t -> int
 
 val serve : t -> unit
 (** Run the accept loop in the calling thread until {!request_stop},
-    then drain: wait for every live connection to finish its in-flight
-    request and close.  Never raises. *)
+    then drain: every in-flight request completes, its response is
+    flushed, every connection closes.  Never raises. *)
 
 val start : t -> unit
 (** {!serve} on a background thread. *)
 
 val request_stop : t -> unit
-(** Flag the server as stopping and wake the accept loop and idle
-    connection reads.  Returns immediately; safe to call from a signal
-    handler or another thread.  Idempotent. *)
+(** Flag the server as stopping and wake the accept loop.  Returns
+    immediately; safe to call from a signal handler or another thread.
+    Idempotent. *)
 
 val stop : t -> unit
 (** {!request_stop}, then wait until {!serve} has drained and returned. *)

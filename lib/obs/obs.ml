@@ -284,6 +284,19 @@ let with_parent parent f =
 let set_attr s k v = s.sattrs <- (k, v) :: s.sattrs
 
 let with_span ?(attrs = []) name f =
+  if !the_sink == Null then
+    (* no sink: parent tracking and attrs are unobservable, so skip the
+       ambient-frame bookkeeping (three mutexed table rounds) and keep
+       only the aggregate — spans open on every cache-hit query, where
+       that bookkeeping dominates the measured work *)
+    let start_mono = monotonic () in
+    let s =
+      { id = 0; parent = None; start = 0.0; start_mono; sattrs = List.rev attrs }
+    in
+    Fun.protect
+      ~finally:(fun () -> record_span_agg name (monotonic () -. start_mono))
+      (fun () -> f s)
+  else
   let parent = current_span_id () in
   let s =
     {

@@ -1,8 +1,11 @@
 (* lib/net tests: framing (unit + qcheck fuzz over random chunking),
    client/server loopback against the real engine (byte-identical with
    the stdio serve loop, deadlines, oversized frames, span nesting
-   across the socket), and router hashing + failover with a dying
-   backend. *)
+   across the socket), the v2 binary codec (qcheck round-trips, decoder
+   fuzz, byte-equivalence with the JSON answers for every registered
+   model), pipelining (ordering, id restoration, v1 fallback, stale
+   responses), and router hashing + failover + batch fan-out with a
+   dying backend. *)
 
 open Psph_net
 module Obs = Psph_obs.Obs
@@ -147,14 +150,91 @@ let frame_props =
 (* Client/Server loopback                                              *)
 (* ------------------------------------------------------------------ *)
 
-let with_server ?deadline_s ?max_frame handler f =
-  match Server.listen ?deadline_s ?max_frame ~handler (loopback 0) with
+let with_server ?deadline_s ?max_frame ?dispatch handler f =
+  match Server.listen ?deadline_s ?max_frame ?dispatch ~handler (loopback 0) with
   | Error m -> fail m
   | Ok srv ->
       Server.start srv;
       Fun.protect
         ~finally:(fun () -> Server.stop srv)
         (fun () -> f srv (loopback (Server.port srv)))
+
+(* the engine server as [psc serve] runs it: binary codec installed *)
+let with_v2_server ?metrics engine f =
+  let handler = Serve.handle_line engine in
+  match
+    Server.listen ?metrics ~handler
+      ~bin_handler:(Codec.handle ~json:handler engine)
+      (loopback 0)
+  with
+  | Error m -> fail m
+  | Ok srv ->
+      Server.start srv;
+      Fun.protect
+        ~finally:(fun () -> Server.stop srv)
+        (fun () -> f srv (loopback (Server.port srv)))
+
+(* a faithful PR 5 server: one thread, strictly sequential frames, every
+   payload (hello included) through the handler — for testing that v2
+   clients negotiate down instead of assuming *)
+let with_v1_server handler f =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen fd 8;
+  let port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> 0
+  in
+  let stop = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          match Unix.accept fd with
+          | cfd, _ ->
+              let r = Frame.reader () in
+              let buf = Bytes.create 4096 in
+              (try
+                 let rec loop () =
+                   match Frame.next r with
+                   | Some p ->
+                       let out = Frame.encode (handler p) in
+                       let n = String.length out in
+                       let off = ref 0 in
+                       while !off < n do
+                         off :=
+                           !off + Unix.write_substring cfd out !off (n - !off)
+                       done;
+                       loop ()
+                   | None ->
+                       let n = Unix.read cfd buf 0 (Bytes.length buf) in
+                       if n > 0 then begin
+                         Frame.feed r buf 0 n;
+                         loop ()
+                       end
+                 in
+                 loop ()
+               with _ -> ());
+              (try Unix.close cfd with _ -> ())
+          | exception _ -> ()
+        done)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      (* closing fd won't interrupt a thread parked in accept; kick it
+         awake with a throwaway connection instead *)
+      (try
+         let k = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+         (try
+            Unix.connect k (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+          with _ -> ());
+         try Unix.close k with _ -> ()
+       with _ -> ());
+      Thread.join th;
+      try Unix.close fd with _ -> ())
+    (fun () -> f (loopback port))
 
 let with_client ?(timeout_ms = 5000) ?(retries = 1) ?(backoff_ms = 1) addr f =
   let c = Client.create ~timeout_ms ~retries ~backoff_ms addr in
@@ -289,6 +369,296 @@ let loopback_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Codec: qcheck round-trips and decoder fuzz                          *)
+(* ------------------------------------------------------------------ *)
+
+module MC = Pseudosphere.Model_complex
+
+let gen_request =
+  let open QCheck2.Gen in
+  let want = oneofl [ Codec.Both; Codec.Betti; Codec.Connectivity ] in
+  let psph =
+    map2 (fun n values -> Codec.Psph { n; values }) (0 -- 0xffff) (0 -- 0xffff)
+  in
+  let facets =
+    map (fun fs -> Codec.Facets fs) (list_size (0 -- 5) (string_size (0 -- 40)))
+  in
+  let model =
+    let field = 0 -- 0xffff in
+    map2
+      (fun model (n, (f, (k, (p, r)))) ->
+        Codec.Model { model; spec = { MC.n; f; k; p; r } })
+      (string_size ~gen:(char_range 'a' 'z') (1 -- 10))
+      (pair field (pair field (pair field (pair field field))))
+  in
+  map3
+    (fun id want query -> { Codec.id; want; query })
+    (0 -- Codec.max_id) want
+    (oneof [ psph; facets; model ])
+
+let gen_reply =
+  let open QCheck2.Gen in
+  let id = 0 -- Codec.max_id in
+  let result =
+    map
+      (fun (id, (key, (cached, (betti, connectivity)))) ->
+        Codec.Result { id; key; cached; betti; connectivity })
+      (pair id
+         (pair (string_size (0 -- 64))
+            (pair bool
+               (pair
+                  (option
+                     (map Array.of_list
+                        (list_size (0 -- 6) (int_range 0 0xFFFFFFFF))))
+                  (option (int_range (-0x80000000) 0x7FFFFFFF))))))
+  in
+  let failed =
+    map2 (fun id message -> Codec.Failed { id; message }) id (string_size (0 -- 80))
+  in
+  oneof [ result; failed ]
+
+let codec_props =
+  let open QCheck2 in
+  [
+    Test.make ~name:"requests round-trip through the wire" ~count:500
+      gen_request (fun r -> Codec.decode_request (Codec.encode_request r) = Ok r);
+    Test.make ~name:"request_with_id = a fresh encode with that id" ~count:200
+      Gen.(pair gen_request (0 -- Codec.max_id))
+      (fun (r, id) ->
+        Codec.request_with_id (Codec.encode_request r) id
+        = Codec.encode_request { r with Codec.id = id });
+    Test.make ~name:"replies round-trip through the wire" ~count:500 gen_reply
+      (fun r -> Codec.decode_reply (Codec.encode_reply r) = Ok r);
+    Test.make ~name:"truncated requests decode to Error, never raise"
+      ~count:300
+      Gen.(pair gen_request (0 -- 1000))
+      (fun (r, cut) ->
+        let wire = Codec.encode_request r in
+        let k = cut mod String.length wire in
+        match Codec.decode_request (String.sub wire 0 k) with
+        | Ok _ -> false
+        | Error _ -> true);
+    Test.make ~name:"garbage decodes to Error or Ok, never raises" ~count:500
+      Gen.(string_size (0 -- 64))
+      (fun s ->
+        (match Codec.decode_request s with Ok _ | Error _ -> true)
+        && match Codec.decode_reply s with Ok _ | Error _ -> true);
+    Test.make ~name:"json escape hatch round-trips" ~count:200
+      Gen.(string_size (0 -- 80))
+      (fun s ->
+        Codec.unescape_json (Codec.escape_json s) = Some s
+        && Codec.unescape_json
+             (Codec.encode_reply (Codec.Failed { id = 1; message = s }))
+           = None);
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+let codec_tests =
+  [
+    Alcotest.test_case "binary answers byte-equivalent to JSON, every model"
+      `Quick
+      (fun () ->
+        with_engine @@ fun engine ->
+        let json = Serve.handle_line engine in
+        let bin = Codec.handle ~json engine in
+        (* only want/query pairs JSON requests can express: psph and
+           model answer both measurements, facets split by op *)
+        let cases =
+          (Codec.Both, Codec.Psph { n = 2; values = 2 })
+          :: (Codec.Betti, Codec.Facets [ "0:i0 ; 1:i1" ])
+          :: (Codec.Connectivity,
+              Codec.Facets [ "0:i0 ; 1:i1"; "1:i1 ; 2:i0" ])
+          :: (Codec.Both,
+              Codec.Model { model = "nope"; spec = MC.default_spec })
+          :: List.map
+               (fun name ->
+                 ( Codec.Both,
+                   Codec.Model
+                     { model = name; spec = { MC.default_spec with n = 2 } } ))
+               (MC.names ())
+        in
+        List.iteri
+          (fun i (want, query) ->
+            let id = Jsonl.int (100 + i) in
+            let jline = Codec.json_line_of_query ~id want query in
+            (* warm first, so both sides agree on the cached flag *)
+            ignore (json jline);
+            let expect = json jline in
+            let breq = Codec.encode_request { Codec.id = 100 + i; want; query } in
+            match Codec.decode_reply (bin breq) with
+            | Error m -> fail m
+            | Ok reply ->
+                check string
+                  (Printf.sprintf "case %d: %s" i jline)
+                  expect
+                  (Codec.json_of_reply ~id:(Some id) reply))
+          cases);
+    Alcotest.test_case "corrupt binary request answered in kind" `Quick
+      (fun () ->
+        with_engine @@ fun engine ->
+        let bin = Codec.handle ~json:(Serve.handle_line engine) engine in
+        (* tag says facets, payload lies about its entry count *)
+        let resp = bin "\x02\x00\x00\x00\x07\x00\x00\x09" in
+        match Codec.decode_reply resp with
+        | Ok (Codec.Failed { id = 7; message }) ->
+            check_contains "names the decode failure" message "bad request"
+        | Ok _ -> fail "expected a Failed reply addressed to id 7"
+        | Error m -> fail ("reply must stay well-formed: " ^ m));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pipelining (wire protocol v2 end to end)                            *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline_tests =
+  [
+    Alcotest.test_case "pipelined responses keep order, bytes and ids" `Quick
+      (fun () ->
+        with_engine @@ fun engine ->
+        with_v2_server ~metrics:"t.psrv" engine @@ fun _srv addr ->
+        let lines =
+          [
+            {|{"op":"psph","n":1,"values":2,"id":1}|};
+            {|{"op":"psph","n":2,"values":2}|};
+            {|{"op":"models"}|};
+            {|{"op":"betti","facets":["0:i0 ; 1:i1"],"id":"mine"}|};
+            {|{"op":"psph","n":1,"values":3,"id":42}|};
+          ]
+        in
+        (* warm, so repeat answers are byte-deterministic *)
+        List.iter (fun l -> ignore (Serve.handle_line engine l)) lines;
+        let expect = List.map (Serve.handle_line engine) lines in
+        List.iter
+          (fun (codec, label) ->
+            let c = Client.create ~retries:1 ~codec ~pipeline_depth:3 addr in
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            let got =
+              List.map
+                (function
+                  | Ok s -> s
+                  | Error e -> fail (label ^ ": " ^ Client.error_message e))
+                (Client.pipeline c lines)
+            in
+            List.iteri
+              (fun i (e, g) ->
+                check string (Printf.sprintf "%s line %d" label i) e g)
+              (List.combine expect got))
+          [ (`Json, "json"); (`Binary, "binary") ];
+        (* the binary client's 5 frames (4 hot + the models escape) all
+           rode the binary codec; the json client's none did *)
+        check int "binary requests seen by the server" 5
+          (Obs.counter_value (Obs.counter "t.psrv.binary_requests")));
+    Alcotest.test_case "v2 client negotiates down against a v1 server" `Quick
+      (fun () ->
+        with_engine @@ fun engine ->
+        ignore (Serve.handle_line engine {|{"op":"psph","n":1,"values":2}|});
+        with_v1_server (Serve.handle_line engine) @@ fun addr ->
+        let c =
+          Client.create ~metrics:"t.fallback" ~retries:1 ~codec:`Binary
+            ~pipeline_depth:4 addr
+        in
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        let lines =
+          [ {|{"op":"psph","n":1,"values":2,"id":8}|}; {|{"op":"models"}|} ]
+        in
+        let expect = List.map (Serve.handle_line engine) lines in
+        let got =
+          List.map
+            (function
+              | Ok s -> s
+              | Error e -> fail (Client.error_message e))
+            (Client.pipeline c lines)
+        in
+        List.iteri
+          (fun i (e, g) -> check string (Printf.sprintf "line %d" i) e g)
+          (List.combine expect got);
+        check int "nothing was windowed" 0
+          (Obs.counter_value (Obs.counter "t.fallback.pipelined")));
+    Alcotest.test_case "eval_many: structured replies, JSON fallback in-range"
+      `Quick
+      (fun () ->
+        with_engine @@ fun engine ->
+        with_v2_server engine @@ fun _srv addr ->
+        let c =
+          Client.create ~retries:1 ~codec:`Binary ~pipeline_depth:4 addr
+        in
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        let psph = Codec.Psph { n = 2; values = 2 } in
+        let rs =
+          Client.eval_many c
+            [
+              (Codec.Both, psph);
+              (Codec.Betti, psph);
+              (Codec.Connectivity, psph);
+              (* name too long for the codec: rides the JSON escape and
+                 still comes back as a structured reply *)
+              ( Codec.Both,
+                Codec.Model { model = String.make 300 'z'; spec = MC.default_spec } );
+            ]
+        in
+        match rs with
+        | [ Ok (Codec.Result a); Ok (Codec.Result b); Ok (Codec.Result d);
+            Ok (Codec.Failed { message; _ }) ] ->
+            check bool "both: betti present" true (a.betti <> None);
+            check bool "both: connectivity present" true (a.connectivity <> None);
+            check bool "betti-only: no connectivity" true (b.connectivity = None);
+            check bool "betti-only: betti present" true (b.betti <> None);
+            check bool "connectivity-only: no betti" true (d.betti = None);
+            check (option (list int)) "same betti both ways"
+              (Option.map Array.to_list a.betti)
+              (Option.map Array.to_list b.betti);
+            check string "same key" a.key d.key;
+            check_contains "fallback answered by serve" message "model"
+        | rs ->
+            fail
+              (Printf.sprintf "unexpected shapes (%d results)" (List.length rs)));
+    Alcotest.test_case
+      "timed-out response dropped and counted, connection kept" `Quick
+      (fun () ->
+        (* handler echoes the transport id; n=9 marks the slow request.
+           dispatch threads keep the slow handler from blocking the fast
+           one, so the fast response overtakes it on the wire *)
+        let handler line =
+          let id =
+            match Jsonl.of_string_opt line with
+            | Some o -> Option.value ~default:Jsonl.Null (Jsonl.member "id" o)
+            | None -> Jsonl.Null
+          in
+          if contains line {|"n":9|} then Thread.delay 0.6;
+          Jsonl.to_string (Jsonl.Obj [ ("id", id); ("ok", Jsonl.Bool true) ])
+        in
+        with_server ~dispatch:(fun job -> ignore (Thread.create job ())) handler
+        @@ fun _srv addr ->
+        let c =
+          Client.create ~metrics:"t.stale" ~timeout_ms:150 ~retries:0
+            ~backoff_ms:1 ~pipeline_depth:2 addr
+        in
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        let slow = {|{"op":"psph","n":9,"values":1}|} in
+        let fast = {|{"op":"psph","n":1,"values":1}|} in
+        (match Client.pipeline c [ slow; fast ] with
+        | [ Error Client.Timeout; Ok fast_resp ] ->
+            check_contains "fast one answered" fast_resp {|"ok":true|}
+        | [ a; b ] ->
+            let show = function
+              | Ok s -> "Ok " ^ s
+              | Error e -> "Error " ^ Client.error_message e
+            in
+            fail (Printf.sprintf "slow=%s fast=%s" (show a) (show b))
+        | _ -> fail "wrong arity");
+        (* let the late response land in the socket buffer, then pump
+           again: it must be discarded, not delivered to the new request *)
+        Thread.delay 0.7;
+        (match Client.pipeline c [ fast ] with
+        | [ Ok resp ] -> check_contains "new request unconfused" resp {|"ok":true|}
+        | _ -> fail "retry after stale should succeed");
+        check int "stale response counted" 1
+          (Obs.counter_value (Obs.counter "t.stale.stale_response"));
+        check int "the connection survived both" 1
+          (Obs.counter_value (Obs.counter "t.stale.reconnects")));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Router                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -404,6 +774,39 @@ let router_tests =
         let degraded = Router.route r line in
         check_contains "degrades, never crashes" degraded "no backend";
         check_contains "id still echoed" degraded {|"id":3|});
+    Alcotest.test_case "all-hot batch fans out byte-identically" `Quick
+      (fun () ->
+        with_engine @@ fun engine ->
+        with_v2_server engine @@ fun srv1 a1 ->
+        with_v2_server engine @@ fun _srv2 a2 ->
+        let r =
+          Router.create ~metrics:"t.fan" ~timeout_ms:2000 ~retries:0
+            ~check_period_ms:3600_000 ~codec:`Binary ~pipeline_depth:8
+            [ a1; a2 ]
+        in
+        Fun.protect ~finally:(fun () -> Router.stop r) @@ fun () ->
+        let batch =
+          {|{"op":"batch","requests":[{"op":"psph","n":1,"values":2,"id":"mine"},{"op":"psph","n":2,"values":2},{"op":"betti","facets":["0:i0 ; 1:i1"],"id":5},{"op":"model-complex","model":"async","n":2}]}|}
+        in
+        ignore (Serve.handle_line engine batch);
+        (* warm, so every member answers cached on any backend *)
+        let expect = Serve.handle_line engine batch in
+        check string "fanned answer = single-backend answer" expect
+          (Router.route r batch);
+        check int "fanout counted" 1
+          (Obs.counter_value (Obs.counter "t.fan.fanout"));
+        (* kill one backend: failover is per member, bytes unchanged *)
+        Server.stop srv1;
+        check string "per-member failover keeps the bytes" expect
+          (Router.route r batch);
+        (* a member without a binary layout keeps forward-whole routing *)
+        let mixed =
+          {|{"op":"batch","requests":[{"op":"psph","n":1,"values":2},{"op":"models"}]}|}
+        in
+        check_contains "mixed batch forwarded whole" (Router.route r mixed)
+          {|"ok":true|};
+        check int "mixed batch did not fan" 2
+          (Obs.counter_value (Obs.counter "t.fan.fanout")));
   ]
 
 let suites =
@@ -411,5 +814,7 @@ let suites =
     ("net addr", addr_tests);
     ("net frame", frame_tests @ frame_props);
     ("net loopback", loopback_tests);
+    ("net codec", codec_props @ codec_tests);
+    ("net pipeline", pipeline_tests);
     ("net router", router_tests);
   ]
