@@ -618,9 +618,131 @@ let net_bench () =
       close_out oc;
       print_endline "wrote BENCH_net.json"
 
+(* ------------------------------------------------------------------ *)
+(* cluster recovery-to-warm: snapshot warming vs cold restart          *)
+(* ------------------------------------------------------------------ *)
+
+(* The replicated tier's recovery story in one number: after a backend
+   dies, how much faster does a replacement reach a warm cache by
+   streaming a peer's snapshot (`psc serve --warm-from`, the same path
+   the router's join rebalance uses) than by recomputing every key from
+   scratch?  One peer computes K distinct keys; a "cold restart"
+   recomputes them all; a "warm restart" streams the peer's snapshot
+   first and then serves the same workload from cache.  Results go to
+   BENCH_cluster.json. *)
+let cluster_bench () =
+  let module E = Psph_engine.Engine in
+  let module Serve = Psph_engine.Serve in
+  let open Psph_net in
+  let keys = 160 in
+  (* a spread of costs: 40 pseudospheres that take real compute, plus
+     120 label-salted facet complexes that are cheap but distinct — the
+     store treats them all as one population of content-addressed keys *)
+  let heavy = 40 in
+  let queries =
+    List.init keys (fun i ->
+        if i < heavy then
+          Printf.sprintf {|{"op":"psph","n":2,"values":%d}|} (4 + i)
+        else
+          Printf.sprintf
+            {|{"op":"betti","facets":["0:i%d ; 1:i%d","1:i%d ; 2:i%d"]}|}
+            (1000 + i) (2000 + i) (2000 + i) (3000 + i))
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  let with_engine_server f =
+    let engine = E.create ~domains:0 ~capacity:4096 () in
+    let handler = Serve.handle_line engine in
+    match
+      Server.listen ~handler
+        ~bin_handler:(Codec.handle ~json:handler engine)
+        { Addr.host = "127.0.0.1"; port = 0 }
+    with
+    | Error m ->
+        E.shutdown engine;
+        failwith ("cluster bench: " ^ m)
+    | Ok srv ->
+        Server.start srv;
+        let addr = { Addr.host = "127.0.0.1"; port = Server.port srv } in
+        let r = f engine addr in
+        Server.stop srv;
+        E.shutdown engine;
+        r
+  in
+  let eval_all label addr =
+    let hits = ref 0 in
+    let wall =
+      phase label (fun () ->
+          (* the deadline must cover queueing behind heavy neighbours in
+             the pipeline, not just one query's own compute *)
+          let c =
+            Client.create ~timeout_ms:300_000 ~retries:1 ~pipeline_depth:16
+              addr
+          in
+          List.iter
+            (function
+              | Ok resp -> if contains resp {|"cached":true|} then incr hits
+              | Error e -> failwith (Client.error_message e))
+            (Client.pipeline c queries);
+          Client.close c)
+    in
+    (wall, !hits)
+  in
+  with_engine_server @@ fun _peer paddr ->
+  let compute_s, _ = eval_all "cluster.compute" paddr in
+  let cold_s, cold_hits =
+    with_engine_server (fun _ addr -> eval_all "cluster.cold" addr)
+  in
+  let (entries, transfer_s), (warm_s, warm_hits) =
+    with_engine_server (fun engine addr ->
+        let tr =
+          timed "cluster.transfer" (fun () ->
+              match Replica.warm_from engine paddr with
+              | Ok n -> n
+              | Error m -> failwith ("warm_from: " ^ m))
+        in
+        (tr, eval_all "cluster.warm" addr))
+  in
+  let warm_total = transfer_s +. warm_s in
+  let rate h = float_of_int h /. float_of_int keys in
+  let speedup = cold_s /. warm_total in
+  Format.printf "@.cluster recovery to warm (%d keys, psph n=2):@." keys;
+  Format.printf "  peer compute        %8.3f s@." compute_s;
+  Format.printf "  cold restart        %8.3f s   hit rate %.2f@." cold_s
+    (rate cold_hits);
+  Format.printf
+    "  warm restart        %8.3f s   (transfer %.3f s, %d entries, serve \
+     %.3f s)   hit rate %.2f@."
+    warm_total transfer_s entries warm_s (rate warm_hits);
+  Format.printf "  speedup vs cold     %8.2fx@." speedup;
+  let oc = open_out "BENCH_cluster.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"keys\": %d,\n" keys;
+  Printf.fprintf oc
+    "  \"workload\": \"psph n=2 values=4..%d + %d facet complexes\",\n"
+    (3 + heavy) (keys - heavy);
+  Printf.fprintf oc "  \"compute_s\": %.6f,\n" compute_s;
+  Printf.fprintf oc "  \"cold_restart_s\": %.6f,\n" cold_s;
+  Printf.fprintf oc "  \"cold_hit_rate\": %.4f,\n" (rate cold_hits);
+  Printf.fprintf oc "  \"transfer_s\": %.6f,\n" transfer_s;
+  Printf.fprintf oc "  \"entries_transferred\": %d,\n" entries;
+  Printf.fprintf oc "  \"warm_serve_s\": %.6f,\n" warm_s;
+  Printf.fprintf oc "  \"warm_restart_s\": %.6f,\n" warm_total;
+  Printf.fprintf oc "  \"warm_hit_rate\": %.4f,\n" (rate warm_hits);
+  Printf.fprintf oc "  \"speedup_vs_cold\": %.3f\n" speedup;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  print_endline "wrote BENCH_cluster.json"
+
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "net" then (
     net_bench ();
+    exit 0);
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "cluster" then (
+    cluster_bench ();
     exit 0);
   let quota =
     if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.5
@@ -683,4 +805,5 @@ let () =
   print_endline "wrote BENCH_homology.json";
   engine_bench ();
   models_bench ();
-  net_bench ()
+  net_bench ();
+  cluster_bench ()

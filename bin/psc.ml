@@ -352,13 +352,25 @@ let threaded_dispatch ?(max_threads = 256) () =
 
 let serve_cmd =
   let run trace metrics listen max_conns deadline_ms domains cache_size persist
-      par_threshold reactor_threads =
+      par_threshold reactor_threads warm_from =
     let code =
       with_trace trace @@ fun () ->
       let engine =
         Psph_engine.Engine.create ~domains ~capacity:cache_size ?persist
           ~par_threshold ()
       in
+      (* warm before accepting traffic, so the first requests already hit;
+         best-effort — a dead peer must not stop the server from starting *)
+      (match warm_from with
+      | None -> ()
+      | Some peer -> (
+          match Psph_net.Replica.warm_from engine peer with
+          | Ok n ->
+              Format.eprintf "psc serve: warmed %d entries from %s:%d@." n
+                peer.Psph_net.Addr.host peer.Psph_net.Addr.port
+          | Error m ->
+              Format.eprintf "psc serve: warm-from %s:%d failed: %s@."
+                peer.Psph_net.Addr.host peer.Psph_net.Addr.port m));
       match listen with
       | None ->
           (* Ctrl-C must not lose unflushed store writes: flush and dump
@@ -466,17 +478,28 @@ let serve_cmd =
             "Per-request deadline for TCP requests: a request whose handler \
              runs longer is answered with an error instead of its late result.")
   in
+  let warm_from_arg =
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "warm-from" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Before accepting traffic, stream the memo cache of a running \
+             $(b,psc serve --listen) peer (its $(b,snapshot) op, chunked) \
+             into this server's cache.  Best-effort: an unreachable peer is \
+             reported on stderr and the server starts cold.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve topology queries over JSON lines on stdin/stdout — or over \
           TCP with $(b,--listen) (ops: betti, connectivity, psph, \
-          model-complex, batch, models, stats, metrics; see docs/ENGINE.md \
-          and docs/NET.md).")
+          model-complex, batch, models, stats, metrics, snapshot, populate; \
+          see docs/ENGINE.md and docs/NET.md).")
     Term.(
       const run $ trace_arg $ metrics_arg $ listen_arg $ max_conns_arg
       $ deadline_arg $ domains_arg $ cache_arg $ persist_arg
-      $ par_threshold_arg $ reactor_threads_arg)
+      $ par_threshold_arg $ reactor_threads_arg $ warm_from_arg)
 
 let connect_arg =
   Arg.(
@@ -595,13 +618,13 @@ let route_pipeline_depth_arg =
            pipelining, negotiated per backend).")
 
 let route_cmd =
-  let run trace listen backends max_conns replicas timeout_ms retries
-      check_period_ms codec pipeline_depth reactor_threads =
+  let run trace listen backends max_conns replicas vnodes read_fallback
+      timeout_ms retries check_period_ms codec pipeline_depth reactor_threads =
     let code =
       with_trace trace @@ fun () ->
       let router =
-        Psph_net.Router.create ~replicas ~timeout_ms ~retries ~check_period_ms
-          ~codec
+        Psph_net.Router.create ~vnodes ~replication:replicas ~read_fallback
+          ~timeout_ms ~retries ~check_period_ms ~codec
           ~pipeline_depth:(max 1 pipeline_depth)
           backends
       in
@@ -651,9 +674,27 @@ let route_cmd =
   in
   let replicas_arg =
     Arg.(
+      value & opt int 1
+      & info [ "replicas" ] ~docv:"R"
+          ~doc:
+            "Replication factor: each key's answers are kept warm on the \
+             first $(docv) distinct backends of its ring walk (populate \
+             hints push cache misses to the other owners asynchronously).")
+  in
+  let vnodes_arg =
+    Arg.(
       value & opt int 64
-      & info [ "replicas" ] ~docv:"N"
+      & info [ "vnodes" ] ~docv:"N"
           ~doc:"Virtual nodes per backend on the consistent-hash ring.")
+  in
+  let read_fallback_arg =
+    Arg.(
+      value & flag
+      & info [ "read-fallback" ]
+          ~doc:
+            "Count reads served by a non-primary owner after primary failure \
+             in the net.router.replica.* metrics (fallback_read/fallback_hit); \
+             the failover itself always happens.")
   in
   let check_period_arg =
     Arg.(
@@ -668,14 +709,17 @@ let route_cmd =
           --listen) backends by consistent hashing on the query's content \
           key, with health checks, failover, and a degraded \
           {\"ok\":false,\"error\":\"no backend\"} answer when nothing is \
-          reachable (see docs/NET.md).  Backend links pipeline \
+          reachable (see docs/NET.md).  With $(b,--replicas) R > 1 each \
+          key's answers are replicated onto R backends and reads fail over \
+          onto the warm replicas.  Backend links pipeline \
           ($(b,--pipeline-depth)) and can use the binary codec \
           ($(b,--codec binary)); hot-op batches fan out across shards in \
           parallel.")
     Term.(
       const run $ trace_arg $ listen_arg $ backend_arg $ max_conns_arg
-      $ replicas_arg $ timeout_ms_arg $ retries_arg $ check_period_arg
-      $ codec_arg $ route_pipeline_depth_arg $ reactor_threads_arg)
+      $ replicas_arg $ vnodes_arg $ read_fallback_arg $ timeout_ms_arg
+      $ retries_arg $ check_period_arg $ codec_arg $ route_pipeline_depth_arg
+      $ reactor_threads_arg)
 
 let sim_cmd =
   let run trace c1 c2 d n until slow_solo after_step validate =

@@ -240,6 +240,36 @@ let dispatch t f =
     | (_ : unit Pool.future) -> ()
     | exception Invalid_argument _ -> f ()
 
+(* replication support: warming inserts finished answers straight into
+   the memo cache (content addressing makes a stale peer entry
+   harmless — it can only be the same answer), snapshot exports the
+   cache in store-entry form for streaming to a peer.  Both are what
+   [create]/[flush] already do against the on-disk store, aimed at the
+   wire instead. *)
+let warm t entries =
+  Mutex.lock t.lock;
+  let n =
+    List.fold_left
+      (fun n (key, (e : Store.entry)) ->
+        Lru.add t.cache key
+          { betti = e.Store.betti; connectivity = e.Store.connectivity };
+        n + 1)
+      0 entries
+  in
+  Mutex.unlock t.lock;
+  n
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let entries =
+    List.map
+      (fun (key, a) ->
+        (key, { Store.betti = a.betti; connectivity = a.connectivity }))
+      (Lru.to_list t.cache)
+  in
+  Mutex.unlock t.lock;
+  entries
+
 let stats t =
   Mutex.lock t.lock;
   let cache_len = Lru.length t.cache in

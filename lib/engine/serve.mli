@@ -2,11 +2,14 @@
 
     One request object per input line, one response object per output
     line.  Ops: [betti], [connectivity], [psph], [model-complex], [batch]
-    (members evaluated in parallel), [models], [stats], and [metrics]
+    (members evaluated in parallel), [models], [stats], [metrics]
     (the full {!Psph_obs.Obs.snapshot_json} of counters, gauges,
     histograms and span totals; [stats] carries the same snapshot in a
-    "metrics" field).  The full wire protocol is specified in
-    docs/ENGINE.md and docs/OBSERVABILITY.md.
+    "metrics" field), and the replication pair [snapshot] (page the memo
+    cache out in {!Store} line format, [cursor]/[limit] chunked) /
+    [populate] (load finished answers in) that cache warming and the
+    router's populate hints ride (docs/NET.md).  The full wire protocol
+    is specified in docs/ENGINE.md and docs/OBSERVABILITY.md.
 
     Every request runs in a [serve.request] span (attrs: a process-wide
     request counter and the op name) and is timed into a per-op

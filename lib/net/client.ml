@@ -14,8 +14,14 @@
    moves to the connection's stale set, the retry flies with a fresh id,
    and when the orphaned response eventually lands it is dropped and
    counted ([net.client.stale_response]) instead of poisoning the
-   stream.  Only transport-level failures (torn frames, oversized
-   frames, dead sockets, barrier timeouts) tear the connection down.
+   stream.  The stale set is bounded: entries age out after a TTL of a
+   few timeouts (a server that never answered by then never will), and
+   a hard cap evicts the oldest debt first — safe because correctness
+   never depends on stale membership: every windowed id is >= tid_base,
+   so a window miss with a transport-range id is a late response by
+   construction, whatever the set remembers.  Only transport-level
+   failures (torn frames, oversized frames, dead sockets, barrier
+   timeouts) tear the connection down.
 
    The driver below runs every request through one state machine with
    three per-connection modes, negotiated by a hello frame on fresh
@@ -58,7 +64,7 @@ type nego = V1 | V2 of { binary : bool }
 type conn = {
   fd : Unix.file_descr;
   reader : Frame.reader;  (* persistent: frames can span reads *)
-  stale : (int, unit) Hashtbl.t;  (* timed-out ids owed a late response *)
+  stale : (int, float) Hashtbl.t;  (* timed-out id -> expiry of the debt *)
   mutable nego : nego option;
 }
 
@@ -85,9 +91,20 @@ let ignore_sigpipe =
   lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
 
 (* transport ids start far above any plausible user-chosen integer id,
-   so a barrier response carrying a user id can never collide with the
-   stale set (see the barrier-matching rule in [pump]) *)
+   so a barrier response carrying a user id can never be mistaken for a
+   late windowed response (see the barrier-matching rule in [pump]).
+   A caller who does pick an id >= tid_base gets that response dropped
+   as stale and the barrier times out — documented in the mli. *)
 let tid_base = 0x40000000
+
+(* bound on timed-out ids still owed a late response: beyond the cap the
+   oldest debts are forgotten (their late responses will still be
+   dropped by the tid_base rule, just counted without a table hit) *)
+let stale_cap = 1024
+
+(* a response this late is never coming; a few timeouts of grace keeps
+   slow-but-alive servers from leaking entries under tiny timeouts *)
+let stale_ttl t = Float.max (8. *. t.timeout_s) 0.5
 
 let create ?(metrics = "net.client") ?(timeout_ms = 5000) ?(retries = 3)
     ?(backoff_ms = 50) ?(max_backoff_ms = 2000)
@@ -123,6 +140,12 @@ let create ?(metrics = "net.client") ?(timeout_ms = 5000) ?(retries = 3)
   }
 
 let addr t = t.addr
+
+let pending_stale t =
+  Mutex.lock t.lock;
+  let n = match t.conn with Some c -> Hashtbl.length c.stale | None -> 0 in
+  Mutex.unlock t.lock;
+  n
 
 let next_tid t =
   let v = t.tid in
@@ -526,9 +549,7 @@ let drive ?on_latency t (items : ditem array) =
                  case it is that request's late response *)
               match !barrier with
               | Some (idx, sent, _)
-                when (match id with
-                     | Some i -> not (Hashtbl.mem c.stale i)
-                     | None -> true) ->
+                when (match id with Some i -> i < tid_base | None -> true) ->
                   barrier := None;
                   resolve ~latency:(Obs.monotonic () -. sent) idx
                     (Ok (Rraw line))
@@ -543,9 +564,10 @@ let drive ?on_latency t (items : ditem array) =
       match !barrier with Some (_, _, dl) -> Float.min dl d | None -> d
     in
     (* expire overdue window slots in place: the id goes to the stale
-       set, the retry gets a fresh id, the connection lives on.  An
-       overdue barrier can only be resolved by tearing the connection
-       down (its response is matched positionally). *)
+       set (stamped with its own expiry), the retry gets a fresh id, the
+       connection lives on.  An overdue barrier can only be resolved by
+       tearing the connection down (its response is matched
+       positionally). *)
     let expire () =
       let now = Obs.monotonic () in
       (match !barrier with
@@ -560,15 +582,34 @@ let drive ?on_latency t (items : ditem array) =
       List.iter
         (fun (tid, idx) ->
           Hashtbl.remove window tid;
-          Hashtbl.replace c.stale tid ();
+          Hashtbl.replace c.stale tid (now +. stale_ttl t);
           Obs.incr t.m.timeouts;
           bump Timeout idx;
           if results.(idx) = None then Queue.add idx pending)
         dead;
-      (* a pathological server could owe unboundedly many late
-         responses; cut our losses and start a fresh connection *)
-      if Hashtbl.length c.stale > 1024 then
-        raise (Err (Connection "too many stale in-flight responses"))
+      (* age out debts whose response is never coming... *)
+      let expired =
+        Hashtbl.fold
+          (fun tid dl acc -> if now >= dl then tid :: acc else acc)
+          c.stale []
+      in
+      List.iter (Hashtbl.remove c.stale) expired;
+      (* ...and under a pathological server, forget the oldest debts
+         rather than tearing down a connection that still works: the
+         tid_base rule keeps their late responses harmless anyway *)
+      while Hashtbl.length c.stale > stale_cap do
+        let oldest =
+          Hashtbl.fold
+            (fun tid dl acc ->
+              match acc with
+              | Some (_, best) when best <= dl -> acc
+              | _ -> Some (tid, dl))
+            c.stale None
+        in
+        match oldest with
+        | Some (tid, _) -> Hashtbl.remove c.stale tid
+        | None -> ()
+      done
     in
     let rec go () =
       fill ();

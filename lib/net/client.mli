@@ -35,6 +35,15 @@
     a fresh id — ids make late responses harmless, which is the whole
     point of keying the window on them.  Responses matching no
     in-flight id are likewise dropped and counted, never misdelivered.
+    The remembered-id set is {b bounded}: each entry ages out after
+    [max (8 * timeout) 0.5s] (a response that late is never coming) and
+    a 1024-entry cap evicts oldest-first, so a server that times out
+    forever cannot grow client memory without bound.  Eviction is safe
+    because barrier matching never trusts the set: transport ids live
+    at [0x40000000] and above, and a barrier only accepts a response
+    whose id is below that range (or that has none) — a caller who
+    picks an id of [0x40000000]+ for a barrier op forfeits that
+    response (dropped as stale, the request times out).
 
     Observability ([net.client.*]): request/error/retry/reconnect/
     timeout/pipelined/stale_response counters and a latency histogram;
@@ -77,6 +86,11 @@ val create :
     when [codec `Binary] or [pipeline_depth > 1] asks for it. *)
 
 val addr : t -> Addr.t
+
+val pending_stale : t -> int
+(** Timed-out request ids still owed a late response on the current
+    connection (0 when disconnected).  Bounded by the age-out/cap rules
+    above; exposed for tests and monitoring. *)
 
 val request : t -> string -> (string, error) result
 (** Send one line, wait for the response line.  Serialized per client

@@ -1,11 +1,20 @@
-(* Consistent-hash request routing.
+(* Consistent-hash request routing with an R-replicated memo tier.
 
-   The ring is fixed at creation: [replicas] points per backend, each the
-   FNV-1a hash of "host:port#i", sorted.  A request's shard key hashes to
-   a ring position; its failover order is the distinct backends met
-   walking clockwise from there.  This is the standard construction —
-   removing a backend only remaps keys whose first hit was that backend,
-   which is what keeps N-1 warm caches warm when one backend dies. *)
+   Placement lives in {!Ring}: a request's shard key walks the ring and
+   the distinct backends met are its preference order, so the first is
+   its primary and the next R-1 are its replicas (the "owner set").
+   Routing tries the preference order live-first — which means a dead
+   primary's reads land exactly on the replicas that populate hints
+   have been warming.
+
+   Membership is an immutable epoch'd snapshot ({!state}): every
+   request captures one snapshot up front and routes entirely under it,
+   so a [join] mid-flight can never split a request across two rings —
+   that capture IS the ring-epoch handshake's consistency guarantee.
+   [add_backend] builds the next snapshot (epoch+1) under a lock,
+   publishes it with one field write, and migrates only the key ranges
+   the new backend now owns (streamed from the old backends' snapshots,
+   pushed as populate batches). *)
 
 open Psph_obs
 open Psph_topology
@@ -24,14 +33,31 @@ type metrics = {
   no_backend : Obs.counter;
   fanout : Obs.counter;
   backends_up : Obs.gauge;
+  epoch_g : Obs.gauge;
   request_s : Obs.histogram;
   span_name : string;
   prefix : string;
 }
 
+(* one immutable membership snapshot; requests capture it once *)
+type state = { bks : backend array; ring : Ring.t; epoch : int }
+
+type cfg = {
+  metrics : string;
+  timeout_ms : int;
+  retries : int;
+  max_frame : int;
+  codec : [ `Json | `Binary ];
+  pipeline_depth : int;
+}
+
 type t = {
-  bks : backend array;
-  ring : (int * int) array;  (** (point, backend index), sorted by point *)
+  mutable state : state;  (** swapped whole under [state_lock]; plain reads are safe *)
+  state_lock : Mutex.t;
+  cfg : cfg;
+  replication : int;
+  read_fallback : bool;
+  rep : Replica.t;
   rr : int Atomic.t;  (** rotation for keyless requests *)
   check_period_s : float;
   mutable health_thread : Thread.t option;
@@ -39,43 +65,30 @@ type t = {
   m : metrics;
 }
 
-(* FNV-1a, folded to a nonnegative OCaml int — deterministic across
-   processes and runs, unlike Hashtbl.hash's unspecified evolution *)
-let fnv1a s =
-  let h = ref 0xcbf29ce484222325L in
-  String.iter
-    (fun c ->
-      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
-    s;
-  Int64.to_int (Int64.shift_right_logical !h 2)
+let mk_backend cfg baddr =
+  {
+    baddr;
+    client =
+      Client.create ~metrics:(cfg.metrics ^ ".client") ~timeout_ms:cfg.timeout_ms
+        ~retries:cfg.retries ~max_frame:cfg.max_frame ~codec:cfg.codec
+        ~pipeline_depth:cfg.pipeline_depth baddr;
+    health =
+      Client.create ~metrics:(cfg.metrics ^ ".health")
+        ~timeout_ms:(min cfg.timeout_ms 1000) ~retries:0 ~max_frame:cfg.max_frame
+        baddr;
+    alive = true;
+  }
 
-let create ?(metrics = "net.router") ?(replicas = 64) ?(timeout_ms = 5000)
-    ?(retries = 1) ?(check_period_ms = 1000)
-    ?(max_frame = Frame.max_frame_default) ?(codec = `Json)
-    ?(pipeline_depth = 16) addrs =
+let create ?(metrics = "net.router") ?(vnodes = 64) ?(replication = 1)
+    ?(read_fallback = false) ?(timeout_ms = 5000) ?(retries = 1)
+    ?(check_period_ms = 1000) ?(max_frame = Frame.max_frame_default)
+    ?(codec = `Json) ?(pipeline_depth = 16) addrs =
   if addrs = [] then invalid_arg "Router.create: no backends";
-  let bks =
-    Array.of_list
-      (List.map
-         (fun baddr ->
-           {
-             baddr;
-             client =
-               Client.create ~metrics:(metrics ^ ".client") ~timeout_ms ~retries
-                 ~max_frame ~codec ~pipeline_depth baddr;
-             health =
-               Client.create ~metrics:(metrics ^ ".health")
-                 ~timeout_ms:(min timeout_ms 1000) ~retries:0 ~max_frame baddr;
-             alive = true;
-           })
-         addrs)
+  let cfg =
+    { metrics; timeout_ms; retries; max_frame; codec; pipeline_depth }
   in
-  let ring =
-    Array.init (Array.length bks * replicas) (fun j ->
-        let i = j / replicas and v = j mod replicas in
-        (fnv1a (Printf.sprintf "%s#%d" (Addr.to_string bks.(i).baddr) v), i))
-  in
-  Array.sort compare ring;
+  let bks = Array.of_list (List.map (mk_backend cfg) addrs) in
+  let ring = Ring.make ~vnodes (List.map Addr.to_string addrs) in
   let m =
     {
       requests = Obs.counter (metrics ^ ".requests");
@@ -84,15 +97,21 @@ let create ?(metrics = "net.router") ?(replicas = 64) ?(timeout_ms = 5000)
       no_backend = Obs.counter (metrics ^ ".no_backend");
       fanout = Obs.counter (metrics ^ ".fanout");
       backends_up = Obs.gauge (metrics ^ ".backends_up");
+      epoch_g = Obs.gauge (metrics ^ ".epoch");
       request_s = Obs.histogram (metrics ^ ".request_s");
       span_name = metrics ^ ".request";
       prefix = metrics;
     }
   in
   Obs.gauge_set m.backends_up (float_of_int (Array.length bks));
+  Obs.gauge_set m.epoch_g 0.;
   {
-    bks;
-    ring;
+    state = { bks; ring; epoch = 0 };
+    state_lock = Mutex.create ();
+    cfg;
+    replication = max 1 replication;
+    read_fallback;
+    rep = Replica.create ~metrics:(metrics ^ ".replica") ();
     rr = Atomic.make 0;
     check_period_s = float_of_int check_period_ms /. 1000.;
     health_thread = None;
@@ -163,55 +182,37 @@ let shard_key line =
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
-(* ring lookup                                                         *)
+(* placement                                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* first ring index with point >= h, wrapping *)
-let ring_start t h =
-  let n = Array.length t.ring in
-  let lo = ref 0 and hi = ref n in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if fst t.ring.(mid) < h then lo := mid + 1 else hi := mid
-  done;
-  if !lo = n then 0 else !lo
-
-let preference t line =
-  let nb = Array.length t.bks in
+let preference_in t st line =
   match shard_key line with
-  | Some key ->
-      let start = ring_start t (fnv1a key) in
-      let seen = Array.make nb false in
-      let order = ref [] in
-      let n = Array.length t.ring in
-      let found = ref 0 in
-      let i = ref 0 in
-      while !found < nb && !i < n do
-        let b = snd t.ring.((start + !i) mod n) in
-        if not seen.(b) then begin
-          seen.(b) <- true;
-          order := b :: !order;
-          incr found
-        end;
-        incr i
-      done;
-      List.rev !order
+  | Some key -> Ring.order st.ring key
   | None ->
+      let nb = Array.length st.bks in
       let c = Atomic.fetch_and_add t.rr 1 in
       List.init nb (fun i -> (c + i) mod nb)
 
-let backends t = Array.to_list (Array.map (fun b -> (b.baddr, b.alive)) t.bks)
+let preference t line = preference_in t t.state line
+
+let backends t =
+  Array.to_list (Array.map (fun b -> (b.baddr, b.alive)) t.state.bks)
+
+let epoch t = t.state.epoch
+
+let owners_count t st = min t.replication (Array.length st.bks)
 
 (* ------------------------------------------------------------------ *)
 (* routing                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let refresh_up_gauge t =
-  let up = Array.fold_left (fun n b -> if b.alive then n + 1 else n) 0 t.bks in
+  let st = t.state in
+  let up = Array.fold_left (fun n b -> if b.alive then n + 1 else n) 0 st.bks in
   Obs.gauge_set t.m.backends_up (float_of_int up)
 
-let mark t i alive =
-  let b = t.bks.(i) in
+let mark t st i alive =
+  let b = st.bks.(i) in
   if b.alive <> alive then begin
     b.alive <- alive;
     Obs.event
@@ -220,8 +221,10 @@ let mark t i alive =
     refresh_up_gauge t
   end
 
-let error_response line msg =
-  let fields = [ ("ok", Jsonl.Bool false); ("error", Jsonl.Str msg) ] in
+let error_response ?(extra = []) line msg =
+  let fields =
+    [ ("ok", Jsonl.Bool false); ("error", Jsonl.Str msg) ] @ extra
+  in
   let fields =
     match Jsonl.of_string_opt line with
     | Some (Jsonl.Obj _ as o) -> (
@@ -232,30 +235,94 @@ let error_response line msg =
   in
   Jsonl.to_string (Jsonl.Obj fields)
 
-let degraded line = error_response line "no backend"
+let prober_running t = t.health_thread <> None && not (Atomic.get t.stopping)
+
+(* all backends refused: while the prober runs this is a transient
+   state, so the answer carries backpressure — when to come back —
+   instead of just a verdict (docs/NET.md "Error contract") *)
+let degraded t line =
+  let extra =
+    if prober_running t then
+      [
+        ( "retry_after_ms",
+          Jsonl.int
+            (max 1 (int_of_float (Float.ceil (t.check_period_s *. 1000.)))) );
+      ]
+    else []
+  in
+  error_response ~extra line "no backend"
+
+let is_cached resp =
+  match Jsonl.of_string_opt resp with
+  | Some (Jsonl.Obj _ as o) -> Jsonl.member "cached" o = Some (Jsonl.Bool true)
+  | _ -> false
+
+let is_miss resp =
+  match Jsonl.of_string_opt resp with
+  | Some (Jsonl.Obj _ as o) -> Jsonl.member "cached" o = Some (Jsonl.Bool false)
+  | _ -> false
+
+(* rank of backend [i] in the preference order: 0 = primary, 1..R-1 =
+   replicas, beyond = off the owner set *)
+let rank prefs i =
+  let rec go k = function
+    | [] -> max_int
+    | x :: tl -> if x = i then k else go (k + 1) tl
+  in
+  go 0 prefs
+
+(* a miss answered by one owner is pushed to the others, so hot keys
+   converge to R warm copies without any replica recomputing *)
+let populate_hint t st prefs served resp =
+  let rc = owners_count t st in
+  if rc > 1 && is_miss resp then
+    match Replica.entry_of_response resp with
+    | None -> ()
+    | Some entry ->
+        let owners = List.filteri (fun k _ -> k < rc) prefs in
+        let line = Replica.populate_line [ entry ] in
+        List.iter
+          (fun b ->
+            if b <> served && st.bks.(b).alive then
+              ignore
+                (Replica.async t.rep (fun () ->
+                     match Client.request st.bks.(b).client line with
+                     | Ok _ -> ()
+                     | Error _ -> Replica.populate_failed t.rep)))
+          owners
 
 let route_single t sp line =
-  let prefs = preference t line in
+  let st = t.state in
+  let prefs = preference_in t st line in
+  let keyed = shard_key line <> None in
   (* live backends first, each dead one still gets a last-resort
      try (it may have revived since the prober last looked) *)
-  let live, dead = List.partition (fun i -> t.bks.(i).alive) prefs in
+  let live, dead = List.partition (fun i -> st.bks.(i).alive) prefs in
   let rec go first = function
     | [] ->
         Obs.incr t.m.no_backend;
         Obs.set_attr sp "degraded" (Jsonl.Bool true);
-        degraded line
+        degraded t line
     | i :: rest -> (
-        match Client.request t.bks.(i).client line with
+        match Client.request st.bks.(i).client line with
         | Ok resp ->
-            mark t i true;
+            mark t st i true;
             Obs.incr t.m.forwarded;
             Obs.set_attr sp "backend"
-              (Jsonl.Str (Addr.to_string t.bks.(i).baddr));
+              (Jsonl.Str (Addr.to_string st.bks.(i).baddr));
+            if keyed then begin
+              let r = rank prefs i in
+              if t.read_fallback && r > 0 && r < owners_count t st then begin
+                Replica.fallback_read t.rep ~cached:(is_cached resp);
+                Obs.set_attr sp "fallback" (Jsonl.Bool true)
+              end;
+              populate_hint t st prefs i resp
+            end;
             resp
         | Error e when Client.is_retryable e ->
             (* transport failure: the backend (not the request)
                is the problem — mark it down and fail over *)
-            mark t i false;
+            mark t st i false;
             if not first then Obs.incr t.m.failover;
             go false rest
         | Error e ->
@@ -303,12 +370,14 @@ let fanout_members line =
   | _ -> None
 
 let route_batch t sp members =
+  let st = t.state in
   Obs.incr t.m.fanout;
   let n = Array.length members in
   Obs.set_attr sp "fanout" (Jsonl.int n);
   let mlines = Array.map Jsonl.to_string members in
   let responses = Array.make n None in
-  let prefs = Array.map (fun l -> ref (preference t l)) mlines in
+  let all_prefs = Array.map (fun l -> preference_in t st l) mlines in
+  let prefs = Array.map (fun p -> ref p) all_prefs in
   (* rounds: every unresolved member tries its best untried backend
      (live first, dead as a last resort), one pipelined flight per
      backend, flights in parallel.  Preferences only shrink, so the
@@ -320,14 +389,14 @@ let route_batch t sp members =
       if responses.(i) = None then begin
         let remaining = !(prefs.(i)) in
         let choice =
-          match List.find_opt (fun b -> t.bks.(b).alive) remaining with
+          match List.find_opt (fun b -> st.bks.(b).alive) remaining with
           | Some b -> Some b
           | None -> ( match remaining with b :: _ -> Some b | [] -> None)
         in
         match choice with
         | None ->
             Obs.incr t.m.no_backend;
-            responses.(i) <- Some (degraded mlines.(i))
+            responses.(i) <- Some (degraded t mlines.(i))
         | Some b ->
             prefs.(i) := List.filter (fun x -> x <> b) remaining;
             progress := true;
@@ -338,19 +407,20 @@ let route_batch t sp members =
     if !progress then begin
       let run (b, idxs) =
         let rs =
-          Client.pipeline t.bks.(b).client (List.map (fun i -> mlines.(i)) idxs)
+          Client.pipeline st.bks.(b).client (List.map (fun i -> mlines.(i)) idxs)
         in
         List.iter2
           (fun i r ->
             match r with
             | Ok resp ->
-                mark t b true;
+                mark t st b true;
                 Obs.incr t.m.forwarded;
+                populate_hint t st all_prefs.(i) b resp;
                 responses.(i) <- Some resp
             | Error e when Client.is_retryable e ->
                 (* stays unresolved: the next round walks the member's
                    remaining preference *)
-                mark t b false;
+                mark t st b false;
                 Obs.incr t.m.failover
             | Error e ->
                 responses.(i) <-
@@ -373,18 +443,204 @@ let route_batch t sp members =
   Array.iteri
     (fun i r ->
       if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf (Option.value r ~default:(degraded mlines.(i))))
+      Buffer.add_string buf (Option.value r ~default:(degraded t mlines.(i))))
     responses;
   Buffer.add_string buf "]}";
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* membership: join + rebalance                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* migrate to the joined backend exactly the entries whose owner set
+   now includes it: every key keeps R warm copies through the join and
+   nothing else moves.  Placement of a raw store entry hashes its
+   content address ("key:<hex>"), which is exact for facet queries and
+   a safe over-approximation for symbolic ones (an extra copy is
+   wasted memory, never a wrong answer). *)
+let rebalance_to t st new_idx =
+  let target = st.bks.(new_idx) in
+  let r = max 1 (owners_count t st) in
+  let seen = Hashtbl.create 256 in
+  let moved = ref 0 in
+  Array.iteri
+    (fun i b ->
+      if i <> new_idx && b.alive then
+        match Replica.fetch_entries b.client with
+        | Error _ -> ()
+        | Ok entries ->
+            let mine =
+              List.filter
+                (fun (key, _) ->
+                  let hex = Psph_engine.Key.to_hex key in
+                  (not (Hashtbl.mem seen hex))
+                  && List.mem new_idx (Ring.owners st.ring ~r ("key:" ^ hex)))
+                entries
+            in
+            List.iter
+              (fun (key, _) ->
+                Hashtbl.replace seen (Psph_engine.Key.to_hex key) ())
+              mine;
+            let rec push = function
+              | [] -> ()
+              | chunk ->
+                  let now, rest =
+                    ( List.filteri (fun k _ -> k < 256) chunk,
+                      List.filteri (fun k _ -> k >= 256) chunk )
+                  in
+                  (match
+                     Client.request target.client (Replica.populate_line now)
+                   with
+                  | Ok _ -> moved := !moved + List.length now
+                  | Error _ -> Replica.populate_failed t.rep);
+                  push rest
+            in
+            push mine)
+    st.bks;
+  Replica.rebalanced t.rep !moved;
+  Obs.event
+    (t.m.prefix ^ ".rebalance")
+    ~attrs:
+      [
+        ("backend", Jsonl.Str (Addr.to_string target.baddr));
+        ("moved", Jsonl.int !moved);
+        ("epoch", Jsonl.int st.epoch);
+      ]
+
+let add_backend ?(rebalance = true) t baddr =
+  let name = Addr.to_string baddr in
+  Mutex.lock t.state_lock;
+  let st = t.state in
+  match Ring.index st.ring name with
+  | Some _ ->
+      Mutex.unlock t.state_lock;
+      Error "already a backend"
+  | None ->
+      let b = mk_backend t.cfg baddr in
+      let st' =
+        {
+          bks = Array.append st.bks [| b |];
+          ring = Ring.add st.ring name;
+          epoch = st.epoch + 1;
+        }
+      in
+      (* the one-field publish: requests that already captured the old
+         snapshot finish under it; new requests see epoch+1.  No request
+         ever observes a half-updated ring. *)
+      t.state <- st';
+      Mutex.unlock t.state_lock;
+      Obs.gauge_set t.m.epoch_g (float_of_int st'.epoch);
+      refresh_up_gauge t;
+      let new_idx = Array.length st'.bks - 1 in
+      let pred =
+        Option.map (fun i -> st'.bks.(i).baddr) (Ring.successor st'.ring new_idx)
+      in
+      Obs.event
+        (t.m.prefix ^ ".backend_join")
+        ~attrs:
+          [
+            ("backend", Jsonl.Str name);
+            ("epoch", Jsonl.int st'.epoch);
+          ];
+      if rebalance then
+        ignore (Thread.create (fun () -> rebalance_to t st' new_idx) ());
+      Ok (st'.epoch, pred)
+
+(* ------------------------------------------------------------------ *)
+(* admin ops                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let with_id_of line fields =
+  match Jsonl.of_string_opt line with
+  | Some (Jsonl.Obj _ as o) -> (
+      match Jsonl.member "id" o with
+      | Some id -> ("id", id) :: fields
+      | None -> fields)
+  | _ -> fields
+
+let cluster_response t line =
+  let st = t.state in
+  Jsonl.to_string
+    (Jsonl.Obj
+       (with_id_of line
+          [
+            ("ok", Jsonl.Bool true);
+            ("epoch", Jsonl.int st.epoch);
+            ("replication", Jsonl.int t.replication);
+            ( "backends",
+              Jsonl.Arr
+                (Array.to_list
+                   (Array.map
+                      (fun b ->
+                        Jsonl.Obj
+                          [
+                            ("addr", Jsonl.Str (Addr.to_string b.baddr));
+                            ("alive", Jsonl.Bool b.alive);
+                          ])
+                      st.bks)) );
+          ]))
+
+(* the joining side of the ring-epoch handshake: a (re)joining backend
+   announces itself and learns the epoch its membership starts at plus
+   the peer to stream its warm store from (psc serve --warm-from) *)
+let join_response t req line =
+  match Option.bind (Jsonl.member "backend" req) Jsonl.to_string_opt with
+  | None -> error_response line "join needs a \"backend\" address"
+  | Some s -> (
+      match Addr.parse s with
+      | Error m -> error_response line m
+      | Ok baddr -> (
+          let ok joined epoch pred =
+            Jsonl.to_string
+              (Jsonl.Obj
+                 (with_id_of line
+                    ([
+                       ("ok", Jsonl.Bool true);
+                       ("joined", Jsonl.Bool joined);
+                       ("epoch", Jsonl.int epoch);
+                     ]
+                    @
+                    match pred with
+                    | Some a ->
+                        [ ("predecessor", Jsonl.Str (Addr.to_string a)) ]
+                    | None -> [])))
+          in
+          match add_backend t baddr with
+          | Ok (epoch, pred) -> ok true epoch pred
+          | Error _ ->
+              (* already a member (e.g. a restarted backend re-asking
+                 for its warm peer): answer idempotently *)
+              let st = t.state in
+              let pred =
+                match Ring.index st.ring (Addr.to_string baddr) with
+                | Some i ->
+                    Option.map
+                      (fun j -> st.bks.(j).baddr)
+                      (Ring.successor st.ring i)
+                | None -> None
+              in
+              ok false st.epoch pred))
+
+let admin_op line =
+  match Jsonl.of_string_opt line with
+  | Some (Jsonl.Obj _ as o) -> (
+      match Option.bind (Jsonl.member "op" o) Jsonl.to_string_opt with
+      | Some "cluster" -> Some (`Cluster o)
+      | Some "join" -> Some (`Join o)
+      | _ -> None)
+  | _ -> None
 
 let route t line =
   Obs.incr t.m.requests;
   Obs.with_span t.m.span_name (fun sp ->
       Obs.time t.m.request_s (fun () ->
-          match fanout_members line with
-          | Some members -> route_batch t sp members
-          | None -> route_single t sp line))
+          match admin_op line with
+          | Some (`Cluster _) -> cluster_response t line
+          | Some (`Join req) -> join_response t req line
+          | None -> (
+              match fanout_members line with
+              | Some members -> route_batch t sp members
+              | None -> route_single t sp line)))
 
 (* ------------------------------------------------------------------ *)
 (* health checks                                                       *)
@@ -393,12 +649,13 @@ let route t line =
 let probe = {|{"op":"models"}|}
 
 let check_once t =
+  let st = t.state in
   Array.iteri
     (fun i b ->
       match Client.request b.health probe with
-      | Ok _ -> mark t i true
-      | Error _ -> mark t i false)
-    t.bks
+      | Ok _ -> mark t st i true
+      | Error _ -> mark t st i false)
+    st.bks
 
 let rec health_loop t =
   if not (Atomic.get t.stopping) then begin
@@ -423,8 +680,9 @@ let stop t =
   Atomic.set t.stopping true;
   Option.iter Thread.join t.health_thread;
   t.health_thread <- None;
+  Replica.stop t.rep;
   Array.iter
     (fun b ->
       Client.close b.client;
       Client.close b.health)
-    t.bks
+    t.state.bks

@@ -809,6 +809,397 @@ let router_tests =
           (Obs.counter_value (Obs.counter "t.fan.fanout")));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Ring: replica placement as qcheck laws                              *)
+(* ------------------------------------------------------------------ *)
+
+let ring_props =
+  let open QCheck2 in
+  let gen_names =
+    Gen.(
+      map2
+        (fun salt n -> List.init n (fun i -> Printf.sprintf "b%d-%d" salt i))
+        (0 -- 1000) (2 -- 8))
+  in
+  let gen_key = Gen.(string_size (1 -- 24)) in
+  [
+    Test.make ~name:"owners: min r n distinct physical nodes" ~count:200
+      Gen.(pair gen_names (pair (1 -- 4) gen_key))
+      (fun (names, (r, key)) ->
+        let t = Ring.make ~vnodes:16 names in
+        let os = Ring.owners t ~r key in
+        List.length os = min r (List.length names)
+        && List.length (List.sort_uniq compare os) = List.length os
+        && List.for_all (fun i -> i >= 0 && i < List.length names) os);
+    Test.make ~name:"join: a key keeps its primary or moves to the joiner"
+      ~count:200
+      Gen.(pair gen_names gen_key)
+      (fun (names, key) ->
+        let t = Ring.make ~vnodes:16 names in
+        let t' = Ring.add t "joiner" in
+        let p = List.hd (Ring.order t key) in
+        let p' = List.hd (Ring.order t' key) in
+        p' = p || p' = Ring.size t);
+    Test.make ~name:"add = make on the appended list" ~count:200
+      Gen.(pair gen_names gen_key)
+      (fun (names, key) ->
+        let a = Ring.add (Ring.make ~vnodes:16 names) "joiner" in
+        let m = Ring.make ~vnodes:16 (names @ [ "joiner" ]) in
+        Ring.order a key = Ring.order m key);
+    Test.make ~name:"leave: erases only the victim from every walk" ~count:200
+      Gen.(pair gen_names (pair (0 -- 7) gen_key))
+      (fun (names, (vi, key)) ->
+        let victim = List.nth names (vi mod List.length names) in
+        let rest = List.filter (fun n -> n <> victim) names in
+        let full = Ring.make ~vnodes:16 names in
+        let sub = Ring.make ~vnodes:16 rest in
+        let names_of t = List.map (Ring.name t) (Ring.order t key) in
+        names_of sub = List.filter (fun n -> n <> victim) (names_of full));
+  ]
+  |> List.map QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Replica: snapshot/populate wire ops, cache warming                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec poll ?(timeout = 5.0) ?(every = 0.02) cond =
+  cond ()
+  || timeout > 0.
+     && begin
+          Thread.delay every;
+          poll ~timeout:(timeout -. every) ~every cond
+        end
+
+(* distinct cheap queries that each leave one store entry *)
+let warm_queries k =
+  List.init k (fun i ->
+      Printf.sprintf {|{"op":"psph","n":%d,"values":%d}|}
+        (1 + (i mod 3)) (1 + (i / 3)))
+
+let replica_tests =
+  [
+    Alcotest.test_case "snapshot pages the store out; populate loads it in"
+      `Quick
+      (fun () ->
+        with_engine @@ fun a ->
+        List.iter (fun q -> ignore (Serve.handle_line a q)) (warm_queries 5);
+        let total = List.length (E.snapshot a) in
+        check bool "store has entries" true (total >= 5);
+        let rec page cursor acc =
+          let resp =
+            Serve.handle_line a
+              (Printf.sprintf {|{"op":"snapshot","cursor":%d,"limit":2}|} cursor)
+          in
+          let o =
+            match Jsonl.of_string_opt resp with
+            | Some o -> o
+            | None -> fail ("unparseable: " ^ resp)
+          in
+          check bool "ok" true (Jsonl.member "ok" o = Some (Jsonl.Bool true));
+          let entries =
+            match Jsonl.member "entries" o with
+            | Some (Jsonl.Arr xs) ->
+                List.map
+                  (function Jsonl.Str s -> s | _ -> fail "non-string entry")
+                  xs
+            | _ -> fail ("no entries: " ^ resp)
+          in
+          check bool "chunked" true (List.length entries <= 2);
+          let next =
+            match Option.bind (Jsonl.member "next" o) Jsonl.to_int_opt with
+            | Some n -> n
+            | None -> fail ("no next cursor: " ^ resp)
+          in
+          if Jsonl.member "done" o = Some (Jsonl.Bool true) then acc @ entries
+          else page next (acc @ entries)
+        in
+        let entry_lines = page 0 [] in
+        check int "every entry paged" total (List.length entry_lines);
+        check int "no duplicates" total
+          (List.length (List.sort_uniq compare entry_lines));
+        with_engine @@ fun b ->
+        let presp =
+          Serve.handle_line b
+            (Printf.sprintf {|{"op":"populate","entries":[%s],"id":3}|}
+               (String.concat ","
+                  (List.map (fun l -> Printf.sprintf "%S" l) entry_lines)))
+        in
+        check_contains "populate ok" presp {|"ok":true|};
+        check_contains "loaded count" presp
+          (Printf.sprintf {|"loaded":%d|} total);
+        check_contains "id echoed" presp {|"id":3|};
+        check_contains "warm after populate"
+          (Serve.handle_line b (List.hd (warm_queries 1)))
+          {|"cached":true|};
+        check_contains "malformed entries skipped, not fatal"
+          (Serve.handle_line b {|{"op":"populate","entries":["not a store line"]}|})
+          {|"skipped":1|});
+    Alcotest.test_case "entry_of_response reads answers, rejects the rest"
+      `Quick
+      (fun () ->
+        with_engine @@ fun e ->
+        let resp =
+          Serve.handle_line e {|{"op":"betti","facets":["0:i0 ; 1:i1"]}|}
+        in
+        (match Replica.entry_of_response resp with
+        | Some (key, _) ->
+            check bool "key is the stored one" true
+              (List.mem_assoc key (E.snapshot e))
+        | None -> fail ("no entry from " ^ resp));
+        check bool "errors carry no entry" true
+          (Replica.entry_of_response {|{"ok":false,"error":"x"}|} = None);
+        check bool "bare connectivity under-determines the entry" true
+          (Replica.entry_of_response
+             (Serve.handle_line e
+                {|{"op":"connectivity","facets":["0:i0 ; 1:i1"]}|})
+          = None));
+    Alcotest.test_case "warm_from streams a peer's cache over TCP" `Quick
+      (fun () ->
+        with_engine @@ fun a ->
+        List.iter (fun q -> ignore (Serve.handle_line a q)) (warm_queries 3);
+        ignore (Serve.handle_line a {|{"op":"betti","facets":["0:i0 ; 1:i1"]}|});
+        let total = List.length (E.snapshot a) in
+        with_v2_server a @@ fun _srv addr ->
+        with_engine @@ fun b ->
+        (match Replica.warm_from ~metrics:"t.warm" ~chunk:2 b addr with
+        | Ok n -> check int "all entries streamed" total n
+        | Error m -> fail m);
+        check_contains "psph answers warm"
+          (Serve.handle_line b (List.hd (warm_queries 1)))
+          {|"cached":true|};
+        check_contains "betti answers warm"
+          (Serve.handle_line b {|{"op":"betti","facets":["0:i0 ; 1:i1"]}|})
+          {|"cached":true|};
+        check bool "warm_entries counted" true
+          (Obs.counter_value (Obs.counter "t.warm.warm_entries") >= total);
+        (* unreachable peer: an Error, never an exception *)
+        match
+          Replica.warm_from ~timeout_ms:200 ~retries:0 b
+            (loopback (dead_port ()))
+        with
+        | Ok _ -> fail "nothing was listening"
+        | Error _ -> ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Cluster: replication, fallback, join/rebalance, backpressure        *)
+(* ------------------------------------------------------------------ *)
+
+let cluster_tests =
+  [
+    Alcotest.test_case "R=2: a miss populates the replica; failover hits warm"
+      `Quick
+      (fun () ->
+        with_engine @@ fun e1 ->
+        with_engine @@ fun e2 ->
+        with_server (Serve.handle_line e1) @@ fun srv1 a1 ->
+        with_server (Serve.handle_line e2) @@ fun srv2 a2 ->
+        let r =
+          Router.create ~metrics:"t.rep" ~replication:2 ~read_fallback:true
+            ~timeout_ms:2000 ~retries:0 ~check_period_ms:3600_000 [ a1; a2 ]
+        in
+        Fun.protect ~finally:(fun () -> Router.stop r) @@ fun () ->
+        let line = {|{"op":"betti","facets":["0:i0 ; 1:i1"],"id":6}|} in
+        let resp = Router.route r line in
+        check_contains "first answer ok" resp {|"ok":true|};
+        check_contains "first answer is a miss" resp {|"cached":false|};
+        let primary = List.hd (Router.preference r line) in
+        let replica_engine = if primary = 0 then e2 else e1 in
+        check bool "populate hint reached the replica" true
+          (poll (fun () -> E.snapshot replica_engine <> []));
+        Server.stop (if primary = 0 then srv1 else srv2);
+        let resp2 = Router.route r line in
+        check_contains "replica answers" resp2 {|"ok":true|};
+        check_contains "served from the populated cache" resp2
+          {|"cached":true|};
+        check bool "fallback_read counted" true
+          (Obs.counter_value (Obs.counter "t.rep.replica.fallback_read") >= 1);
+        check bool "fallback_hit counted" true
+          (Obs.counter_value (Obs.counter "t.rep.replica.fallback_hit") >= 1));
+    Alcotest.test_case "join: epoch bumps and only the new range migrates"
+      `Quick
+      (fun () ->
+        with_engine @@ fun e1 ->
+        with_engine @@ fun e2 ->
+        with_engine @@ fun e3 ->
+        with_server (Serve.handle_line e1) @@ fun _s1 a1 ->
+        with_server (Serve.handle_line e2) @@ fun _s2 a2 ->
+        with_server (Serve.handle_line e3) @@ fun _s3 a3 ->
+        let r =
+          Router.create ~metrics:"t.join" ~replication:2 ~timeout_ms:2000
+            ~retries:0 ~check_period_ms:3600_000 [ a1; a2 ]
+        in
+        Fun.protect ~finally:(fun () -> Router.stop r) @@ fun () ->
+        List.iter
+          (fun l -> check_contains "warm-up" (Router.route r l) {|"ok":true|})
+          (warm_queries 12);
+        check int "epoch starts at 0" 0 (Router.epoch r);
+        let join =
+          Printf.sprintf {|{"op":"join","backend":"127.0.0.1:%d","id":11}|}
+            a3.Addr.port
+        in
+        let jr = Router.route r join in
+        check_contains "joined" jr {|"joined":true|};
+        check_contains "epoch advanced" jr {|"epoch":1|};
+        check_contains "warm peer named" jr {|"predecessor":"127.0.0.1:|};
+        check_contains "id echoed" jr {|"id":11|};
+        check int "epoch visible" 1 (Router.epoch r);
+        let jr2 = Router.route r join in
+        check_contains "rejoin is idempotent" jr2 {|"joined":false|};
+        check_contains "rejoin keeps the epoch" jr2 {|"epoch":1|};
+        let cl = Router.route r {|{"op":"cluster"}|} in
+        check_contains "cluster ok" cl {|"ok":true|};
+        check_contains "cluster lists the joiner" cl
+          (Printf.sprintf {|"addr":"127.0.0.1:%d"|} a3.Addr.port);
+        check_contains "cluster reports replication" cl {|"replication":2|};
+        (* the joiner's engine must converge to exactly the entries whose
+           owner set under the new ring includes it — computed here with
+           the same Ring arithmetic the router uses *)
+        let ring = Ring.make (List.map Addr.to_string [ a1; a2; a3 ]) in
+        let hexes snap =
+          List.map (fun (k, _) -> Psph_engine.Key.to_hex k) snap
+        in
+        let all_keys =
+          List.sort_uniq compare (hexes (E.snapshot e1 @ E.snapshot e2))
+        in
+        let expected =
+          List.filter
+            (fun hex -> List.mem 2 (Ring.owners ring ~r:2 ("key:" ^ hex)))
+            all_keys
+        in
+        check bool "sample placed keys on the joiner" true (expected <> []);
+        check bool "exactly the new range arrived" true
+          (poll (fun () ->
+               List.sort compare (hexes (E.snapshot e3)) = expected)));
+    Alcotest.test_case "degraded answers backpressure only while probing"
+      `Quick
+      (fun () ->
+        let r =
+          Router.create ~timeout_ms:200 ~retries:0 ~check_period_ms:250
+            [ loopback (dead_port ()) ]
+        in
+        Fun.protect ~finally:(fun () -> Router.stop r) @@ fun () ->
+        let cold = Router.route r {|{"op":"psph","n":1,"values":1,"id":2}|} in
+        check_contains "degrades" cold "no backend";
+        check_contains "id echoed" cold {|"id":2|};
+        check bool "no backpressure without a prober" false
+          (contains cold "retry_after_ms");
+        Router.start_health_checks r;
+        let probed = Router.route r {|{"op":"psph","n":1,"values":1}|} in
+        check_contains "prober running: when to come back" probed
+          {|"retry_after_ms":250|});
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Client stale-set bound                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* a server that grants v2 json pipelining on the hello and then reads
+   and discards every frame: each windowed request times out and leaves
+   a stale-set debt that will never be repaid *)
+let with_sink_server f =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen fd 8;
+  let port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> 0
+  in
+  let stop = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          match Unix.accept fd with
+          | cfd, _ ->
+              let r = Frame.reader () in
+              let buf = Bytes.create 65536 in
+              let answered = ref false in
+              (try
+                 let rec loop () =
+                   (match Frame.next r with
+                   | Some _ when not !answered ->
+                       answered := true;
+                       let out =
+                         Frame.encode
+                           {|{"ok":true,"version":2,"pipeline":true,"codec":"json"}|}
+                       in
+                       let n = String.length out in
+                       let off = ref 0 in
+                       while !off < n do
+                         off :=
+                           !off + Unix.write_substring cfd out !off (n - !off)
+                       done
+                   | Some _ -> ()
+                   | None ->
+                       let n = Unix.read cfd buf 0 (Bytes.length buf) in
+                       if n = 0 then raise Exit;
+                       Frame.feed r buf 0 n);
+                   loop ()
+                 in
+                 loop ()
+               with _ -> ());
+              (try Unix.close cfd with _ -> ())
+          | exception _ -> ()
+        done)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      (try
+         let k = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+         (try
+            Unix.connect k (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+          with _ -> ());
+         try Unix.close k with _ -> ()
+       with _ -> ());
+      Thread.join th;
+      try Unix.close fd with _ -> ())
+    (fun () -> f (loopback port))
+
+let stale_bound_tests =
+  [
+    Alcotest.test_case "stale set is capped, oldest evicted first" `Quick
+      (fun () ->
+        with_sink_server @@ fun addr ->
+        let c =
+          Client.create ~metrics:"t.stcap" ~timeout_ms:150 ~retries:0
+            ~backoff_ms:1 ~pipeline_depth:1200 addr
+        in
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        let lines =
+          List.init 1200 (fun i ->
+              Printf.sprintf {|{"op":"psph","n":%d,"values":1}|} i)
+        in
+        let rs = Client.pipeline c lines in
+        check bool "every request timed out" true
+          (List.for_all (function Error Client.Timeout -> true | _ -> false) rs);
+        (* 1200 debts incurred, the table must hold at most the cap *)
+        check int "stale set capped at 1024" 1024 (Client.pending_stale c);
+        check int "the connection survived" 1
+          (Obs.counter_value (Obs.counter "t.stcap.reconnects")));
+    Alcotest.test_case "stale entries age out after their TTL" `Quick
+      (fun () ->
+        with_sink_server @@ fun addr ->
+        (* timeout 60ms -> TTL floors at 0.5s *)
+        let c =
+          Client.create ~metrics:"t.stage" ~timeout_ms:60 ~retries:0
+            ~backoff_ms:1 ~pipeline_depth:4 addr
+        in
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        let mk n = Printf.sprintf {|{"op":"psph","n":%d,"values":1}|} n in
+        ignore (Client.pipeline c (List.map mk [ 1; 2; 3; 4 ]));
+        check int "four debts owed" 4 (Client.pending_stale c);
+        Thread.delay 0.7;
+        (* the next timed-out request triggers the prune on its way in *)
+        ignore (Client.pipeline c [ mk 5 ]);
+        check int "old debts aged out, only the new one left" 1
+          (Client.pending_stale c);
+        check int "still no reconnect" 1
+          (Obs.counter_value (Obs.counter "t.stage.reconnects")));
+  ]
+
 let suites =
   [
     ("net addr", addr_tests);
@@ -817,4 +1208,8 @@ let suites =
     ("net codec", codec_props @ codec_tests);
     ("net pipeline", pipeline_tests);
     ("net router", router_tests);
+    ("net ring", ring_props);
+    ("net replica", replica_tests);
+    ("net cluster", cluster_tests);
+    ("net stale bound", stale_bound_tests);
   ]
