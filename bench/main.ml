@@ -32,6 +32,21 @@ let timed name f =
 
 let phase name f = snd (timed name f)
 
+(* Every BENCH_*.json artifact lands via tmp + rename: CI uploads whatever
+   files exist, so a bench that dies mid-write must never leave a
+   half-written JSON behind a complete-looking name. *)
+let write_json path f =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try f oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Sys.rename tmp path;
+  print_endline ("wrote " ^ path)
+
 (* ------------------------------------------------------------------ *)
 (* figure benches                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -350,6 +365,34 @@ let sweep_tests =
       [ 2; 3; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* tiered solver: symbolic derivations vs Morse-reduced elimination    *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference points for the two connectivity tiers.  The symbolic rows
+   answer union queries at n = 6..8 — sizes where realizing the complex
+   (let alone eliminating its boundary matrices) is out of reach — in
+   O(formula); the numeric rows put a number on what the Morse
+   precollapse saves at a size the numeric tier still handles. *)
+let solver_tests =
+  let sync61 = { Model_complex.n = 6; f = 3; k = 1; p = 2; r = 1 } in
+  let sync63 = { Model_complex.n = 6; f = 3; k = 1; p = 2; r = 3 } in
+  let semi81 = { Model_complex.n = 8; f = 1; k = 1; p = 2; r = 1 } in
+  [
+    t "solver: symbolic sync n=6 r=1 (Theorem 2 + Corollary 6)" (fun () ->
+        Solver.symbolic_model (Model_complex.get "sync") sync61);
+    t "solver: symbolic sync n=6 r=3 (round lemma)" (fun () ->
+        Solver.symbolic_model (Model_complex.get "sync") sync63);
+    t "solver: symbolic semi n=8 r=1 (Theorem 2 + Corollary 6)" (fun () ->
+        Solver.symbolic_model (Model_complex.get "semi") semi81);
+    t "solver: symbolic psph n=8 values=4 (Corollary 6)" (fun () ->
+        Solver.symbolic_psph ~n:8 ~values:4);
+    t "solver: numeric sync n=3 r=1 connectivity, Morse-reduced" (fun () ->
+        Homology.connectivity_reduced (Sync_complex.rounds ~k:1 ~r:1 (input_simplex 3)));
+    t "solver: numeric sync n=3 r=1 connectivity, no precollapse" (fun () ->
+        Homology.connectivity (Sync_complex.rounds ~k:1 ~r:1 (input_simplex 3)));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* query-engine throughput: batch of mixed repeated queries            *)
 (* ------------------------------------------------------------------ *)
 
@@ -411,7 +454,7 @@ let engine_bench () =
     speedup_warm;
   Format.printf "  cache: %d hits, %d misses, %d evictions; %d pool jobs@."
     stats.E.hits stats.E.misses stats.E.evictions stats.E.jobs;
-  let oc = open_out "BENCH_engine.json" in
+  write_json "BENCH_engine.json" @@ fun oc ->
   Printf.fprintf oc
     "{\n\
     \  \"batch_size\": %d,\n\
@@ -432,53 +475,87 @@ let engine_bench () =
     batch_size nshapes domains naive_s cold_s warm_s speedup_cold speedup_warm
     (float_of_int batch_size /. naive_s)
     (float_of_int batch_size /. warm_s)
-    stats.E.hits stats.E.misses stats.E.evictions stats.E.jobs;
-  close_out oc;
-  print_endline "wrote BENCH_engine.json"
+    stats.E.hits stats.E.misses stats.E.evictions stats.E.jobs
 
-(* Per registered model, wall-time the r=1 and r=2 protocol-complex builds
-   (plus the r=1 connectivity) at n=2 and write BENCH_models.json — the
-   per-model perf trajectory successive PRs can diff, generated from the
-   registry so a newly registered model shows up with zero bench edits. *)
+(* Per registered model and n in {2, 3}, wall-time the r=1 and r=2
+   protocol-complex builds plus both connectivity tiers on the r=1 query —
+   numeric (Morse-reduced elimination on the built complex) and symbolic
+   (the solver derivation, which never builds it) — and write
+   BENCH_models.json: the per-model, per-tier perf trajectory successive
+   PRs can diff, generated from the registry so a newly registered model
+   shows up with zero bench edits. *)
 let models_bench () =
-  let s = input_simplex 2 in
-  let rows =
-    Model_complex.all ()
-    |> List.map (fun (module M : Model_complex.MODEL) ->
-           let spec r =
-             match M.validate { Model_complex.default_spec with n = 2; r } with
-             | Ok spec -> spec
-             | Error msg -> failwith (M.name ^ ": " ^ msg)
+  let sweeps =
+    [ 2; 3 ]
+    |> List.map (fun n ->
+           let s = input_simplex n in
+           let rows =
+             Model_complex.all ()
+             |> List.map (fun ((module M : Model_complex.MODEL) as m) ->
+                    let spec r =
+                      match
+                        M.validate { Model_complex.default_spec with n; r }
+                      with
+                      | Ok spec -> spec
+                      | Error msg -> failwith (M.name ^ ": " ^ msg)
+                    in
+                    let timed_m p f =
+                      timed (Printf.sprintf "model.%s.n%d.%s" M.name n p) f
+                    in
+                    let c1, r1_s = timed_m "r1" (fun () -> M.rounds (spec 1) s) in
+                    let conn, conn_s =
+                      timed_m "conn" (fun () -> Homology.connectivity_reduced c1)
+                    in
+                    let sym, sym_s =
+                      timed_m "symbolic" (fun () -> Solver.symbolic_model m (spec 1))
+                    in
+                    let c2, r2_s = timed_m "r2" (fun () -> M.rounds (spec 2) s) in
+                    (M.name, r1_s, conn_s, conn, Complex.num_simplices c1, r2_s,
+                     Complex.num_simplices c2, sym_s, sym))
            in
-           let timed_m p f = timed (Printf.sprintf "model.%s.%s" M.name p) f in
-           let c1, r1_s = timed_m "r1" (fun () -> M.rounds (spec 1) s) in
-           let conn, conn_s = timed_m "conn" (fun () -> Homology.connectivity c1) in
-           let c2, r2_s = timed_m "r2" (fun () -> M.rounds (spec 2) s) in
-           (M.name, r1_s, conn_s, conn, Complex.num_simplices c1, r2_s,
-            Complex.num_simplices c2))
+           (n, rows))
   in
-  Format.printf "@.per-model build times (n=2):@.";
   List.iter
-    (fun (name, r1_s, conn_s, conn, n1, r2_s, n2) ->
-      Format.printf
-        "  %-6s r=1 %8.2f ms (%5d simplices, conn %d in %.2f ms)   r=2 %8.2f \
-         ms (%6d simplices)@."
-        name (1000. *. r1_s) n1 conn (1000. *. conn_s) (1000. *. r2_s) n2)
-    rows;
-  let oc = open_out "BENCH_models.json" in
-  Printf.fprintf oc "{\n  \"n\": 2,\n  \"models\": {\n";
+    (fun (n, rows) ->
+      Format.printf "@.per-model build and solver-tier times (n=%d):@." n;
+      List.iter
+        (fun (name, r1_s, conn_s, conn, n1, r2_s, n2, sym_s, sym) ->
+          Format.printf
+            "  %-6s r=1 %8.2f ms (%5d simplices, conn %d numeric %.2f ms, \
+             symbolic %s in %.3f ms)   r=2 %8.2f ms (%6d simplices)@."
+            name (1000. *. r1_s) n1 conn (1000. *. conn_s)
+            (match sym with
+            | Some s -> Printf.sprintf ">= %d" s.Solver.connectivity
+            | None -> "n/a")
+            (1000. *. sym_s) (1000. *. r2_s) n2)
+        rows)
+    sweeps;
+  write_json "BENCH_models.json" @@ fun oc ->
+  Printf.fprintf oc "{\n  \"sweeps\": [\n";
   List.iteri
-    (fun i (name, r1_s, conn_s, conn, n1, r2_s, n2) ->
-      Printf.fprintf oc
-        "    \"%s\": { \"r1_s\": %.6f, \"r1_simplices\": %d, \
-         \"r1_connectivity\": %d, \"conn_s\": %.6f, \"r2_s\": %.6f, \
-         \"r2_simplices\": %d }%s\n"
-        name r1_s n1 conn conn_s r2_s n2
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
-  Printf.fprintf oc "  }\n}\n";
-  close_out oc;
-  print_endline "wrote BENCH_models.json"
+    (fun si (n, rows) ->
+      Printf.fprintf oc "    { \"n\": %d, \"models\": {\n" n;
+      List.iteri
+        (fun i (name, r1_s, conn_s, conn, n1, r2_s, n2, sym_s, sym) ->
+          let sym_bound, sym_rule =
+            match sym with
+            | Some s ->
+                (string_of_int s.Solver.connectivity,
+                 Printf.sprintf "%S" s.Solver.rule)
+            | None -> ("null", "null")
+          in
+          Printf.fprintf oc
+            "      \"%s\": { \"r1_s\": %.6f, \"r1_simplices\": %d, \
+             \"r1_connectivity\": %d, \"numeric_conn_s\": %.6f, \
+             \"symbolic_s\": %.6f, \"symbolic_bound\": %s, \
+             \"symbolic_rule\": %s, \"r2_s\": %.6f, \"r2_simplices\": %d }%s\n"
+            name r1_s n1 conn conn_s sym_s sym_bound sym_rule r2_s n2
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "    } }%s\n"
+        (if si = List.length sweeps - 1 then "" else ","))
+    sweeps;
+  Printf.fprintf oc "  ]\n}\n"
 
 (* Loopback TCP throughput: the framed transport end to end (client ->
    server -> Serve.handle_line -> back), measured on a warm cache so the
@@ -586,7 +663,7 @@ let net_bench () =
         "  equal in-flight p99 (512): 64x8 %.3f ms vs 16x32 %.3f ms@."
         (1000. *. p99_of 64 8)
         (1000. *. p99_of 16 32);
-      let oc = open_out "BENCH_net.json" in
+      ( write_json "BENCH_net.json" @@ fun oc ->
       Printf.fprintf oc "{\n  \"codec\": \"binary\",\n";
       Printf.fprintf oc "  \"query\": \"psph n=2 values=2 (warm cache)\",\n";
       Printf.fprintf oc "  \"matrix\": [\n";
@@ -614,9 +691,7 @@ let net_bench () =
         "  \"p99_depth1_ms\": { \"c1\": %.4f, \"c64\": %.4f }\n"
         (1000. *. p99_of 1 1)
         (1000. *. p99_of 64 1);
-      Printf.fprintf oc "}\n";
-      close_out oc;
-      print_endline "wrote BENCH_net.json"
+      Printf.fprintf oc "}\n" )
 
 (* ------------------------------------------------------------------ *)
 (* cluster recovery-to-warm: snapshot warming vs cold restart          *)
@@ -718,7 +793,7 @@ let cluster_bench () =
      %.3f s)   hit rate %.2f@."
     warm_total transfer_s entries warm_s (rate warm_hits);
   Format.printf "  speedup vs cold     %8.2fx@." speedup;
-  let oc = open_out "BENCH_cluster.json" in
+  write_json "BENCH_cluster.json" @@ fun oc ->
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"keys\": %d,\n" keys;
   Printf.fprintf oc
@@ -733,9 +808,7 @@ let cluster_bench () =
   Printf.fprintf oc "  \"warm_restart_s\": %.6f,\n" warm_total;
   Printf.fprintf oc "  \"warm_hit_rate\": %.4f,\n" (rate warm_hits);
   Printf.fprintf oc "  \"speedup_vs_cold\": %.3f\n" speedup;
-  Printf.fprintf oc "}\n";
-  close_out oc;
-  print_endline "wrote BENCH_cluster.json"
+  Printf.fprintf oc "}\n"
 
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "net" then (
@@ -750,7 +823,7 @@ let () =
   let tests =
     fig_tests @ psph_tests @ async_tests @ sync_tests @ semi_tests @ mv_tests
     @ substrate_tests @ ablation_tests @ extension_tests @ registry_tests
-    @ engine_tests @ sweep_tests
+    @ engine_tests @ sweep_tests @ solver_tests
   in
   let grouped = Test.make_grouped ~name:"pseudosphere" tests in
   let cfg =
@@ -777,7 +850,7 @@ let () =
     rows;
   (* machine-readable mirror of the table, so successive PRs can diff the
      perf trajectory: { "benchmark name": ns_per_run, ... } *)
-  let oc = open_out "BENCH_homology.json" in
+  ( write_json "BENCH_homology.json" @@ fun oc ->
   let escape s =
     let b = Buffer.create (String.length s) in
     String.iter
@@ -800,9 +873,7 @@ let () =
       Printf.fprintf oc "  \"%s\": %s%s\n" (escape name) num
         (if i = List.length rows - 1 then "" else ","))
     rows;
-  Printf.fprintf oc "}\n";
-  close_out oc;
-  print_endline "wrote BENCH_homology.json";
+  Printf.fprintf oc "}\n" );
   engine_bench ();
   models_bench ();
   net_bench ();

@@ -264,6 +264,81 @@ let mv_cmd =
        ~doc:"Print a Mayer-Vietoris connectivity derivation (Theorem 2).")
     Term.(const run $ trace_arg $ model_arg $ n_arg $ f_arg $ k_arg $ p_arg)
 
+let solver_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("auto", Psph_engine.Engine.Auto);
+             ("symbolic", Psph_engine.Engine.Symbolic_only);
+             ("numeric", Psph_engine.Engine.Numeric_only);
+             ("check", Psph_engine.Engine.Check) ])
+        Psph_engine.Engine.Auto
+    & info [ "solver" ] ~docv:"TIER"
+        ~doc:
+          "Solver policy: $(b,auto) (warm cache, then symbolic, then \
+           numeric), $(b,symbolic) (Theorem 2 + Corollary 6 or a round \
+           lemma; fails when no derivation applies), $(b,numeric) \
+           (Morse-precollapsed elimination), or $(b,check) (compute \
+           numerically and verify the symbolic lower bound holds; exits \
+           nonzero on disagreement).")
+
+let connectivity_cmd =
+  let run trace psph ((module M : Model_complex.MODEL) as model) n f k p r
+      values mode =
+    with_trace trace @@ fun () ->
+    let spec =
+      if psph then Psph_engine.Engine.Psph { n; values }
+      else begin
+        let spec = validated model { Model_complex.n; f; k; p; r } in
+        Psph_engine.Engine.Model { model = M.name; params = spec }
+      end
+    in
+    let engine = Psph_engine.Engine.create ~domains:0 () in
+    (match Psph_engine.Engine.eval_conn ~mode engine spec with
+    | res ->
+        Format.printf "connectivity: %d%s@." res.answer.connectivity
+          (match res.solver.tier with
+          | Psph_engine.Engine.Symbolic -> " (lower bound)"
+          | Psph_engine.Engine.Cached | Psph_engine.Engine.Numeric -> "");
+        Format.printf "tier: %s@."
+          (match res.solver.tier with
+          | Psph_engine.Engine.Cached -> "cached"
+          | Psph_engine.Engine.Symbolic -> "symbolic"
+          | Psph_engine.Engine.Numeric -> "numeric");
+        Option.iter (Format.printf "rule: %s@.") res.solver.rule;
+        Option.iter (Format.printf "steps: %d@.") res.solver.steps;
+        Option.iter
+          (Format.printf "cells removed by Morse precollapse: %d@.")
+          res.solver.cells_removed;
+        Option.iter
+          (Format.printf "checked: numeric satisfies symbolic lower bound %d@.")
+          res.solver.checked;
+        Format.printf "key: %s@." (Psph_engine.Key.to_hex res.key)
+    | exception (Failure m | Invalid_argument m) ->
+        Psph_engine.Engine.shutdown engine;
+        Format.eprintf "psc: connectivity: %s@." m;
+        exit 1);
+    Psph_engine.Engine.shutdown engine
+  in
+  let psph_arg =
+    Arg.(
+      value & flag
+      & info [ "psph" ]
+          ~doc:
+            "Query the uniform pseudosphere psi(P^n; {0..V-1}) instead of a \
+             model's protocol complex.")
+  in
+  Cmd.v
+    (Cmd.info "connectivity"
+       ~doc:
+         "Answer a connectivity query through the tiered solver (symbolic \
+          Mayer-Vietoris / round lemmas, or Morse-reduced numeric \
+          elimination), printing which tier answered and its provenance.")
+    Term.(
+      const run $ trace_arg $ psph_arg $ model_arg $ n_arg $ f_arg $ k_arg
+      $ p_arg $ r_arg $ values_arg $ solver_arg)
+
 let run_cmd =
   let run trace n f crash_round victim heard =
     with_trace trace @@ fun () ->
@@ -811,4 +886,5 @@ let () =
        (Cmd.group info
           (List.map model_cmd (Model_complex.all ())
           @ [ pseudosphere_cmd; models_cmd; decide_cmd; bound_cmd; mv_cmd;
-              run_cmd; sim_cmd; serve_cmd; query_cmd; route_cmd ])))
+              connectivity_cmd; run_cmd; sim_cmd; serve_cmd; query_cmd;
+              route_cmd ])))

@@ -19,6 +19,7 @@ module type MODEL = sig
   val over_inputs : spec -> Complex.t -> Complex.t
   val pseudosphere_decomposition : (spec -> Simplex.t -> Psph.t list) option
   val expected_connectivity : spec -> m:int -> int option
+  val connectivity_lemma : string
 end
 
 type model = (module MODEL)
@@ -149,6 +150,8 @@ module Async_model = struct
   (* Lemma 12: no hypothesis beyond the parameters themselves *)
   let expected_connectivity { n; f; _ } ~m =
     Some (Async_complex.lemma12_expected_connectivity ~m ~n ~f)
+
+  let connectivity_lemma = "Lemma 12"
 end
 
 module Sync_model = struct
@@ -172,6 +175,8 @@ module Sync_model = struct
     if n >= (r * k) + k then
       Some (Sync_complex.lemma16_expected_connectivity ~m ~n ~k)
     else None
+
+  let connectivity_lemma = "Lemma 16/17"
 end
 
 module Semi_sync_model = struct
@@ -199,6 +204,8 @@ module Semi_sync_model = struct
     if n >= (r + 1) * k then
       Some (Semi_sync_complex.lemma21_expected_connectivity ~m ~n ~k)
     else None
+
+  let connectivity_lemma = "Lemma 21"
 end
 
 (* The extensibility proof: the wait-free iterated-immediate-snapshot
@@ -219,6 +226,8 @@ module Iis_model = struct
 
   (* a subdivision of the input simplex is contractible *)
   let expected_connectivity _ ~m = Some m
+
+  let connectivity_lemma = "subdivision contractible"
 end
 
 let () =

@@ -66,6 +66,11 @@ module type MODEL = sig
   (** The paper's connectivity lower bound for the [spec.r]-round complex
       over an [m]-simplex, when the relevant lemma's hypothesis holds
       (Lemmas 12, 16/17, 21); [None] when it does not apply. *)
+
+  val connectivity_lemma : string
+  (** Human-readable citation for {!expected_connectivity} ("Lemma 12",
+      "Lemma 16/17", ...), surfaced as solver provenance when the lemma
+      tier answers a query. *)
 end
 
 type model = (module MODEL)

@@ -49,7 +49,21 @@ type spec =
 
 type answer = { betti : int array; connectivity : int }
 
-type result = { key : Key.t; answer : answer; cached : bool }
+(* which solver tier produced an answer, and what it did along the way —
+   carried into wire responses as the "solver" field *)
+type tier = Cached | Symbolic | Numeric
+
+type provenance = {
+  tier : tier;
+  rule : string option;  (* symbolic: the rule that concluded the bound *)
+  steps : int option;  (* symbolic: proof size *)
+  cells_removed : int option;  (* numeric: Morse-eliminated simplices *)
+  checked : int option;  (* check mode: the symbolic bound verified against *)
+}
+
+type mode = Auto | Symbolic_only | Numeric_only | Check
+
+type result = { key : Key.t; answer : answer; cached : bool; solver : provenance }
 
 type stats = {
   hits : int;
@@ -78,6 +92,10 @@ let spec_key_of = function
 
 let queries_c = lazy (Obs.counter "engine.queries")
 
+let symbolic_hits_c = lazy (Obs.counter "solver.symbolic_hit")
+
+let cells_removed_c = lazy (Obs.counter "solver.collapse.cells_removed")
+
 let build_h = lazy (Obs.histogram "engine.build_s")
 
 let compute_h = lazy (Obs.histogram "engine.compute_s")
@@ -89,12 +107,14 @@ type t = {
   lock : Mutex.t;
   persist : string option;
   par_threshold : int;
+  morse : bool;
 }
 
 let default_domains () =
   min 4 (max 1 (Domain.recommended_domain_count () - 1))
 
-let create ?domains ?(capacity = 4096) ?persist ?(par_threshold = 2048) () =
+let create ?domains ?(capacity = 4096) ?persist ?(par_threshold = 2048)
+    ?(morse = true) () =
   let domains = match domains with Some d -> d | None -> default_domains () in
   let t =
     {
@@ -104,6 +124,7 @@ let create ?domains ?(capacity = 4096) ?persist ?(par_threshold = 2048) () =
       lock = Mutex.create ();
       persist;
       par_threshold;
+      morse;
     }
   in
   Option.iter
@@ -120,8 +141,7 @@ let create ?domains ?(capacity = 4096) ?persist ?(par_threshold = 2048) () =
 (* building complexes from specs                                       *)
 (* ------------------------------------------------------------------ *)
 
-let input_simplex n =
-  Input_complex.simplex_of_inputs (List.init (n + 1) (fun i -> (i, i mod 2)))
+let input_simplex = Solver.standard_input
 
 let build = function
   | Explicit c -> c
@@ -140,17 +160,58 @@ let build = function
 (* evaluation                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(* provenance constructors *)
+let no_prov tier =
+  { tier; rule = None; steps = None; cells_removed = None; checked = None }
+
+let cached_prov = no_prov Cached
+
+let numeric_prov removed = { (no_prov Numeric) with cells_removed = Some removed }
+
+let symbolic_prov (s : Solver.symbolic) =
+  {
+    (no_prov Symbolic) with
+    rule = Some s.Solver.rule;
+    steps = Some s.Solver.steps;
+  }
+
+(* the wire rendering of a provenance, shared by Serve (JSON) and the
+   binary Codec's JSON mirror so the two stay byte-identical *)
+let provenance_fields p =
+  [
+    ( "tier",
+      Jsonl.Str
+        (match p.tier with
+        | Cached -> "cached"
+        | Symbolic -> "symbolic"
+        | Numeric -> "numeric") );
+  ]
+  @ (match p.rule with Some r -> [ ("rule", Jsonl.Str r) ] | None -> [])
+  @ (match p.steps with Some s -> [ ("steps", Jsonl.int s) ] | None -> [])
+  @ (match p.cells_removed with
+    | Some n -> [ ("cells_removed", Jsonl.int n) ]
+    | None -> [])
+  @ match p.checked with Some b -> [ ("checked", Jsonl.int b) ] | None -> []
+
 (* Betti vector and connectivity from the boundary ranks, mirroring
    [Homology.reduced_betti]/[betti]/[connectivity] (the property tests in
-   test/test_engine.ml hold this mirror to the original). *)
-let answer_of_ranks c r =
-  let dim = Complex.dim c in
+   test/test_engine.ml hold this mirror to the original).  [c] is the
+   complex the ranks were computed on — possibly a Morse core — while
+   [dim] is the original complex's dimension: the core's reduced homology
+   equals the original's in every dimension (zero above the core's), so
+   the Betti vector is padded and the connectivity search still runs to
+   the original dimension. *)
+let answer_of_ranks ?dim c r =
+  let cdim = Complex.dim c in
+  let dim = match dim with None -> cdim | Some d -> d in
   if dim < 0 then { betti = [||]; connectivity = -2 }
   else begin
     let reduced =
       Array.init (dim + 1) (fun d ->
-          Complex.count_of_dim c d - r.(d)
-          - (if d + 1 <= dim then r.(d + 1) else 0))
+          if d > cdim then 0
+          else
+            Complex.count_of_dim c d - r.(d)
+            - (if d + 1 <= cdim then r.(d + 1) else 0))
     in
     let betti = Array.copy reduced in
     betti.(0) <- betti.(0) + 1;
@@ -160,18 +221,24 @@ let answer_of_ranks c r =
     { betti; connectivity = conn 0 }
   end
 
+(* Morse-precollapse (unless disabled), then eliminate over the critical
+   core; the fan-out decision reads the post-collapse size, since that is
+   what elimination will chew on.  Returns the answer plus the number of
+   cells the collapse removed. *)
 let compute t c =
-  let r, jobs = Homology.rank_jobs c in
+  let core, removed = if t.morse then Collapse.reduce c else (c, 0) in
+  if removed > 0 then Obs.incr ~by:removed (Lazy.force cells_removed_c);
+  let r, jobs = Homology.rank_jobs core in
   if
     Pool.size t.pool > 1
     && List.length jobs > 1
-    && Complex.num_simplices c >= t.par_threshold
+    && Complex.num_simplices core >= t.par_threshold
   then begin
     let futures = List.map (fun (d, job) -> (d, Pool.submit t.pool job)) jobs in
     List.iter (fun (d, fut) -> r.(d) <- Pool.await fut) futures
   end
   else List.iter (fun (d, job) -> r.(d) <- job ()) jobs;
-  answer_of_ranks c r
+  (answer_of_ranks ~dim:(Complex.dim c) core r, removed)
 
 (* slow path: build the complex, derive its content key, consult the LRU.
    [sk_opt] is the caller's spec key, recorded so the next occurrence of
@@ -187,37 +254,94 @@ let eval_uncached t sk_opt spec =
   let hit = Lru.find_opt t.cache key in
   Mutex.unlock t.lock;
   match hit with
-  | Some answer -> { key; answer; cached = true }
+  | Some answer -> { key; answer; cached = true; solver = cached_prov }
   | None ->
-      let answer =
+      let answer, removed =
         Obs.time (Lazy.force compute_h) (fun () -> compute t c)
       in
       Mutex.lock t.lock;
       Lru.add t.cache key answer;
       Mutex.unlock t.lock;
-      { key; answer; cached = false }
+      { key; answer; cached = false; solver = numeric_prov removed }
 
-let eval t spec =
-  Obs.with_span "engine.query" (fun sp ->
-      Obs.incr (Lazy.force queries_c);
-      let sk_opt = spec_key_of spec in
+(* the spec-memo fast path: a warm slot answers without building *)
+let cache_probe t spec =
+  match spec_key_of spec with
+  | None -> None
+  | Some sk ->
       Mutex.lock t.lock;
       let fast =
-        match sk_opt with
+        match Hashtbl.find_opt t.spec_memo sk with
         | None -> None
-        | Some sk -> (
-            match Hashtbl.find_opt t.spec_memo sk with
-            | None -> None
-            | Some key -> (
-                match Lru.find_opt t.cache key with
-                | Some answer -> Some { key; answer; cached = true }
-                | None ->
-                    (* the answer was evicted; drop the binding and rebuild *)
-                    Hashtbl.remove t.spec_memo sk;
-                    None))
+        | Some key -> (
+            match Lru.find_opt t.cache key with
+            | Some answer -> Some { key; answer; cached = true; solver = cached_prov }
+            | None ->
+                (* the answer was evicted; drop the binding and rebuild *)
+                Hashtbl.remove t.spec_memo sk;
+                None)
       in
       Mutex.unlock t.lock;
-      let r = match fast with Some r -> r | None -> eval_uncached t sk_opt spec in
+      fast
+
+let eval_numeric t spec =
+  match cache_probe t spec with
+  | Some r -> r
+  | None -> eval_uncached t (spec_key_of spec) spec
+
+(* ------------------------------------------------------------------ *)
+(* the symbolic tier                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let symbolic_of_spec = function
+  | Explicit _ -> None
+  | Psph { n; values } -> Solver.symbolic_psph ~n ~values
+  | Model { model; params } ->
+      Solver.symbolic_model (Model_complex.get model) params
+
+(* symbolic answers carry a key derived from the canonical spec string —
+   the complex is never realized, so there is no content key to give *)
+let symbolic_key = function
+  | Explicit c -> Key.of_complex c
+  | Psph { n; values } -> Key.of_string (Printf.sprintf "psph:n=%d,values=%d" n values)
+  | Model { model; params } ->
+      Key.of_string (Model_complex.encode (Model_complex.get model) params)
+
+let symbolic_result spec (s : Solver.symbolic) =
+  Obs.incr (Lazy.force symbolic_hits_c);
+  {
+    key = symbolic_key spec;
+    answer = { betti = [||]; connectivity = s.Solver.connectivity };
+    cached = false;
+    solver = symbolic_prov s;
+  }
+
+(* check mode: the numeric answer must satisfy the symbolic lower bound.
+   Symbolic rules bound connectivity from below (Theorem 2 derivations
+   and the round lemmas are one-sided), so the assertion is [>=], not
+   equality — e.g. the one-round async complex at f >= 1 is contractible
+   while its pseudosphere-union bound is n - 1. *)
+let check_against_symbolic spec (r : result) =
+  match symbolic_of_spec spec with
+  | None -> r
+  | Some s ->
+      if r.answer.connectivity < s.Solver.connectivity then
+        failwith
+          (Printf.sprintf
+             "solver check failed: numeric connectivity %d violates symbolic \
+              lower bound %d (%s)"
+             r.answer.connectivity s.Solver.connectivity s.Solver.rule)
+      else
+        { r with solver = { r.solver with checked = Some s.Solver.connectivity } }
+
+(* ------------------------------------------------------------------ *)
+(* entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let with_query_span f =
+  Obs.with_span "engine.query" (fun sp ->
+      Obs.incr (Lazy.force queries_c);
+      let r = f () in
       (* attrs only reach a live sink; skip the hex rendering otherwise —
          cache hits are cheap enough for this to show up *)
       if Obs.current_sink () <> Obs.Null then begin
@@ -226,9 +350,45 @@ let eval t spec =
       end;
       r)
 
+let eval ?(mode = Auto) t spec =
+  with_query_span (fun () ->
+      match mode with
+      | Auto | Numeric_only -> eval_numeric t spec
+      | Check -> check_against_symbolic spec (eval_numeric t spec)
+      | Symbolic_only ->
+          invalid_arg
+            "Engine: Betti numbers require the numeric tier; --solver \
+             symbolic answers connectivity queries only")
+
+let eval_conn ?(mode = Auto) t spec =
+  with_query_span (fun () ->
+      match mode with
+      | Numeric_only -> eval_numeric t spec
+      | Check -> check_against_symbolic spec (eval_numeric t spec)
+      | Symbolic_only -> (
+          match symbolic_of_spec spec with
+          | Some s -> symbolic_result spec s
+          | None ->
+              failwith
+                "no symbolic derivation applies to this query (try --solver \
+                 auto)")
+      | Auto -> (
+          (* a warm numeric slot is exact and free; prefer it, then the
+             O(formula) symbolic tier, then numeric elimination *)
+          match cache_probe t spec with
+          | Some r -> r
+          | None -> (
+              match symbolic_of_spec spec with
+              | Some s -> symbolic_result spec s
+              | None -> eval_numeric t spec)))
+
 let eval_batch t specs =
   if Pool.size t.pool = 0 then List.map (eval t) specs
   else Pool.run_all t.pool (List.map (fun spec () -> eval t spec) specs)
+
+let run_all t thunks =
+  if Pool.size t.pool = 0 then List.map (fun f -> f ()) thunks
+  else Pool.run_all t.pool thunks
 
 let dispatch t f =
   if Pool.size t.pool = 0 then f ()

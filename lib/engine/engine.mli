@@ -29,7 +29,35 @@ type spec =
 
 type answer = { betti : int array; connectivity : int }
 
-type result = { key : Key.t; answer : answer; cached : bool }
+type tier = Cached | Symbolic | Numeric
+(** Which solver tier produced an answer: a warm cache slot, a symbolic
+    derivation ({!Pseudosphere.Solver} — Theorem 2 + Corollary 6 or a
+    closed-form round lemma, no complex realized), or numeric Bitmat
+    elimination (Morse-precollapsed unless the engine was created with
+    [~morse:false]). *)
+
+type provenance = {
+  tier : tier;
+  rule : string option;
+      (** symbolic: the rule that concluded the bound (e.g. ["Theorem 2 +
+          Corollary 6"], ["Lemma 16/17"]) *)
+  steps : int option;  (** symbolic: derivation size *)
+  cells_removed : int option;
+      (** numeric: simplices eliminated by the Morse precollapse *)
+  checked : int option;
+      (** {!mode} [Check]: the symbolic lower bound the numeric answer was
+          verified against *)
+}
+
+type mode = Auto | Symbolic_only | Numeric_only | Check
+(** Solver policy for a query.  [Auto] prefers a warm cache slot, then the
+    symbolic tier (connectivity only), then numeric elimination.
+    [Symbolic_only]/[Numeric_only] force one tier.  [Check] computes
+    numerically and asserts the symbolic {e lower bound} holds
+    ([numeric >= symbolic] — the derivations are one-sided, so equality is
+    not required), failing the query otherwise. *)
+
+type result = { key : Key.t; answer : answer; cached : bool; solver : provenance }
 
 type stats = {
   hits : int;
@@ -55,6 +83,7 @@ val create :
   ?capacity:int ->
   ?persist:string ->
   ?par_threshold:int ->
+  ?morse:bool ->
   unit ->
   t
 (** [domains] defaults to [min 4 (recommended_domain_count - 1)], at least
@@ -62,20 +91,50 @@ val create :
     bounds the LRU.  [persist] names a {!Store} file loaded now and
     written by {!flush}/{!shutdown}.  [par_threshold] (default 2048) is
     the simplex count above which a single query's rank computations are
-    fanned out per dimension. *)
+    fanned out per dimension — measured {e after} the Morse precollapse,
+    since that is what elimination chews on.  [morse] (default [true])
+    enables the discrete-Morse precollapse on numeric misses; disabling it
+    is the ablation benched in bench/main.ml. *)
 
 val build : spec -> Complex.t
 (** The complex a spec denotes (no caching, no homology).
     @raise Invalid_argument on invalid parameters or an unknown model
     name (the message lists the registered models). *)
 
-val eval : t -> spec -> result
+val eval : ?mode:mode -> t -> spec -> result
+(** Betti numbers need the numeric tier, so [mode] (default [Auto]) only
+    distinguishes [Check] (cross-check connectivity against the symbolic
+    bound; raises [Failure] on violation) here; [Symbolic_only] raises
+    [Invalid_argument]. *)
+
+val eval_conn : ?mode:mode -> t -> spec -> result
+(** Answer a connectivity query through the tiered solver.  Under [Auto] a
+    recognized spec (psph, or a registered model) whose symbolic
+    derivation applies is answered in O(formula) without realizing the
+    complex: [result.answer.betti] is [[||]], [result.key] identifies the
+    canonical spec string ({!Key.of_string}), and [result.solver] carries
+    the rule and proof size.  Symbolic answers are {e lower bounds} and
+    are never cached (they cost nothing to rederive); numeric answers
+    share the ordinary content-addressed slots, so the cache stays
+    tier-irrelevant.  [Symbolic_only] raises [Failure] when no derivation
+    applies. *)
 
 val eval_batch : t -> spec list -> result list
 (** Evaluate independent queries of a batch in parallel on the pool,
     preserving order.  Duplicate specs within a batch may race to compute
     the same key; both arrive at the same answer and the cache coalesces
     them. *)
+
+val run_all : t -> (unit -> 'a) list -> 'a list
+(** Run independent thunks in parallel on the pool (inline when
+    sequential), preserving order — how the serve layer evaluates a batch
+    whose members mix wants and solver modes. *)
+
+val provenance_fields : provenance -> (string * Psph_obs.Jsonl.t) list
+(** The wire rendering of a provenance (the "solver" response field), in
+    fixed field order: [tier], then [rule]/[steps]/[cells_removed]/
+    [checked] when present.  Shared by Serve and the binary codec's JSON
+    mirror so the two renderings stay byte-identical. *)
 
 val dispatch : t -> (unit -> unit) -> unit
 (** Run [f] on the engine's worker pool without awaiting it — inline

@@ -47,6 +47,21 @@ let of_complex c =
     c;
   { h1 = !h1 land max_int; h2 = !h2 land max_int }
 
+(* Same double-accumulator scheme over a canonical spec string — used to
+   give symbolic (never-realized) answers a stable identifier without
+   building the complex the string denotes.  The byte fold can collide
+   with [of_complex] keys only accidentally (the two populations never
+   share a cache: symbolic answers are not cached). *)
+let of_string s =
+  let h1 = ref 0x811c9dc5 and h2 = ref 0x2545f491 in
+  String.iter
+    (fun ch ->
+      let b = Char.code ch in
+      h1 := (!h1 * 0x01000193) lxor b;
+      h2 := (!h2 * 0x9e3779b1) lxor b)
+    s;
+  { h1 = !h1 land max_int; h2 = !h2 land max_int }
+
 let to_hex k = Printf.sprintf "%016x%016x" k.h1 k.h2
 
 let of_hex_opt s =

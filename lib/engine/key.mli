@@ -15,6 +15,11 @@ type t
 
 val of_complex : Complex.t -> t
 
+val of_string : string -> t
+(** Key a canonical spec string (the same two-accumulator fold over its
+    bytes).  Identifies answers derived symbolically, without realizing
+    the complex the string denotes. *)
+
 val equal : t -> t -> bool
 
 val compare : t -> t -> int

@@ -3,6 +3,8 @@
 
      {"op":"betti",         "facets":["0:i0 ; 1:i1", ...], "id":7}
      {"op":"connectivity",  "facets":[...]}
+     {"op":"connectivity",  "model":"sync", "n":6, "k":1, "r":1}
+     {"op":"connectivity",  "n":2, "values":3}
      {"op":"psph",          "n":2, "values":3}
      {"op":"model-complex", "model":"sync", "n":3, "k":1, "r":2}
      {"op":"batch",         "requests":[ <any of the above> ]}
@@ -15,12 +17,18 @@
    "model" accepts any name registered in Model_complex (the "models" op
    lists them); an unknown name errors with the available list.
 
+   Connectivity-answering requests additionally accept a "solver" field
+   ("auto"|"symbolic"|"numeric"|"check", default auto) selecting the
+   solver tier; the model/psph forms of "connectivity" are the ones the
+   symbolic tier can answer without realizing the complex.  Every
+   successful answer carries a "solver" object (tier + provenance).
+
    "facets" entries are Complex_io simplex strings.  Numeric model
    parameters default like the psc flags (f=1, k=1, p=2, r=1).  Responses
    echo "id" when present, carry "ok", and on success the canonical "key",
-   the requested measurements, and "cached".  A batch response holds
-   "results" in request order; its members are evaluated in parallel on
-   the engine's pool.
+   the requested measurements, "cached", and "solver".  A batch response
+   holds "results" in request order; its members are evaluated in
+   parallel on the engine's pool.
 
    Robustness: [handle_line] never raises.  Expected failures (parse
    errors, bad requests, invalid parameters) and unexpected handler
@@ -55,56 +63,81 @@ let int_field ?default req name =
 (* which measurements a request asks for *)
 type want = Betti | Connectivity | Both
 
+(* which solver tier the request asks for ("solver" field, default auto) *)
+let mode_of_request req =
+  match Option.bind (Jsonl.member "solver" req) Jsonl.to_string_opt with
+  | None | Some "auto" -> Engine.Auto
+  | Some "symbolic" -> Engine.Symbolic_only
+  | Some "numeric" -> Engine.Numeric_only
+  | Some "check" -> Engine.Check
+  | Some s -> bad "unknown solver mode %S (auto|symbolic|numeric|check)" s
+
+let model_spec_of req =
+  let model =
+    match Option.bind (Jsonl.member "model" req) Jsonl.to_string_opt with
+    | None -> bad "missing string field \"model\""
+    | Some name -> (
+        match Pseudosphere.Model_complex.find name with
+        | Some _ -> name
+        | None ->
+            bad "unknown model %S (available: %s)" name
+              (String.concat ", " (Pseudosphere.Model_complex.names ())))
+  in
+  let d = Pseudosphere.Model_complex.default_spec in
+  Engine.Model
+    {
+      model;
+      params =
+        {
+          Pseudosphere.Model_complex.n = int_field req "n";
+          f = int_field ~default:d.Pseudosphere.Model_complex.f req "f";
+          k = int_field ~default:d.k req "k";
+          p = int_field ~default:d.p req "p";
+          r = int_field ~default:d.r req "r";
+        };
+    }
+
 let spec_of_request req =
   match Option.bind (Jsonl.member "op" req) Jsonl.to_string_opt with
   | None -> bad "missing \"op\""
-  | Some (("betti" | "connectivity") as op) ->
-      let facets =
-        match Option.bind (Jsonl.member "facets" req) Jsonl.to_list_opt with
-        | Some fs -> fs
-        | None -> bad "%s needs a \"facets\" array" op
-      in
-      let simplexes =
-        List.map
-          (fun f ->
-            match Jsonl.to_string_opt f with
-            | None -> bad "facets entries must be strings"
-            | Some s -> (
-                try Complex_io.simplex_of_string s
-                with Failure m -> bad "bad facet: %s" m))
-          facets
-      in
-      ( Engine.Explicit (Complex.of_facets simplexes),
-        if op = "betti" then Betti else Connectivity )
+  | Some (("betti" | "connectivity") as op) -> (
+      match Option.bind (Jsonl.member "facets" req) Jsonl.to_list_opt with
+      | Some facets ->
+          let simplexes =
+            List.map
+              (fun f ->
+                match Jsonl.to_string_opt f with
+                | None -> bad "facets entries must be strings"
+                | Some s -> (
+                    try Complex_io.simplex_of_string s
+                    with Failure m -> bad "bad facet: %s" m))
+              facets
+          in
+          ( Engine.Explicit (Complex.of_facets simplexes),
+            if op = "betti" then Betti else Connectivity )
+      | None when op = "connectivity" && Jsonl.member "model" req <> None ->
+          (* the solver-routed symbolic forms: a registered model ... *)
+          (model_spec_of req, Connectivity)
+      | None when op = "connectivity" && Jsonl.member "values" req <> None ->
+          (* ... or a uniform pseudosphere *)
+          ( Engine.Psph { n = int_field req "n"; values = int_field req "values" },
+            Connectivity )
+      | None ->
+          if op = "connectivity" then
+            bad "connectivity needs \"facets\", \"model\", or \"n\"+\"values\""
+          else bad "%s needs a \"facets\" array" op)
   | Some "psph" ->
       ( Engine.Psph { n = int_field req "n"; values = int_field req "values" },
         Both )
-  | Some "model-complex" ->
-      let model =
-        match Option.bind (Jsonl.member "model" req) Jsonl.to_string_opt with
-        | None -> bad "missing string field \"model\""
-        | Some name -> (
-            match Pseudosphere.Model_complex.find name with
-            | Some _ -> name
-            | None ->
-                bad "unknown model %S (available: %s)" name
-                  (String.concat ", " (Pseudosphere.Model_complex.names ())))
-      in
-      let d = Pseudosphere.Model_complex.default_spec in
-      ( Engine.Model
-          {
-            model;
-            params =
-              {
-                Pseudosphere.Model_complex.n = int_field req "n";
-                f = int_field ~default:d.Pseudosphere.Model_complex.f req "f";
-                k = int_field ~default:d.k req "k";
-                p = int_field ~default:d.p req "p";
-                r = int_field ~default:d.r req "r";
-              };
-          },
-        Both )
+  | Some "model-complex" -> (model_spec_of req, Both)
   | Some op -> bad "unknown op %S" op
+
+(* want=Connectivity goes through the tiered solver; Betti needs the
+   numeric tier, so those wants only honour mode=check *)
+let eval_request engine (spec, want) mode =
+  match want with
+  | Connectivity -> Engine.eval_conn ~mode engine spec
+  | Betti | Both -> Engine.eval ~mode engine spec
 
 let result_fields want (r : Engine.result) =
   [ ("ok", Jsonl.Bool true); ("key", Jsonl.Str (Key.to_hex r.key)) ]
@@ -116,7 +149,10 @@ let result_fields want (r : Engine.result) =
           ("betti", Jsonl.int_array r.answer.betti);
           ("connectivity", Jsonl.int r.answer.connectivity);
         ])
-  @ [ ("cached", Jsonl.Bool r.cached) ]
+  @ [
+      ("cached", Jsonl.Bool r.cached);
+      ("solver", Jsonl.Obj (Engine.provenance_fields r.solver));
+    ]
 
 let with_id req fields =
   match Jsonl.member "id" req with
@@ -223,31 +259,48 @@ let handle_request engine req =
         | None -> bad "batch needs a \"requests\" array"
       in
       (* parse everything first so one bad member fails its slot, not the
-         whole batch; then evaluate the good ones in parallel *)
+         whole batch; then evaluate the good ones in parallel.  Evaluation
+         errors (invalid parameters, a failed solver check) also fail only
+         their slot, rendered exactly as the top-level error would be —
+         the router splices batch members verbatim, so a member response
+         must be byte-identical to its top-level counterpart. *)
       let parsed =
         List.map
-          (fun r -> try Ok (r, spec_of_request r) with Bad_request m -> Error (r, m))
+          (fun r ->
+            try Ok (r, spec_of_request r, mode_of_request r)
+            with Bad_request m -> Error (r, m))
           requests
       in
-      let specs =
+      let thunks =
         List.filter_map
-          (function Ok (_, (spec, _)) -> Some spec | Error _ -> None)
+          (function
+            | Ok (_, sw, mode) ->
+                Some
+                  (fun () ->
+                    try Ok (eval_request engine sw mode)
+                    with Invalid_argument m | Failure m -> Error m)
+            | Error _ -> None)
           parsed
       in
-      let results = Engine.eval_batch engine specs in
+      let results = Engine.run_all engine thunks in
       let rec zip parsed results =
         match (parsed, results) with
         | [], _ -> []
         | Error (r, m) :: tl, results -> error_response ~req:r m :: zip tl results
-        | Ok (r, (_, want)) :: tl, res :: results ->
-            Jsonl.Obj (with_id r (result_fields want res)) :: zip tl results
+        | Ok (r, (_, want), _) :: tl, res :: results ->
+            (match res with
+            | Ok res -> Jsonl.Obj (with_id r (result_fields want res))
+            | Error m -> error_response ~req:r m)
+            :: zip tl results
         | Ok _ :: _, [] -> assert false
       in
       Jsonl.Obj
         [ ("ok", Jsonl.Bool true); ("results", Jsonl.Arr (zip parsed results)) ]
   | _ ->
-      let spec, want = spec_of_request req in
-      Jsonl.Obj (with_id req (result_fields want (Engine.eval engine spec)))
+      let sw = spec_of_request req in
+      let mode = mode_of_request req in
+      Jsonl.Obj
+        (with_id req (result_fields (snd sw) (eval_request engine sw mode)))
 
 (* process-wide request counter; attached to every [serve.request] span so
    a trace's requests stay distinguishable even without client "id"s *)

@@ -22,6 +22,7 @@ type reply =
       cached : bool;
       betti : int array option;
       connectivity : int option;
+      solver : Psph_engine.Engine.provenance option;
     }
   | Failed of { id : int; message : string }
 
@@ -41,6 +42,13 @@ let tag_error = '\x81'
 let fl_cached = 1
 let fl_betti = 2
 let fl_conn = 4
+let fl_solver = 8
+
+(* solver-block presence bits (second flag byte inside the block) *)
+let sp_rule = 1
+let sp_steps = 2
+let sp_cells = 4
+let sp_checked = 8
 
 (* ------------------------------------------------------------------ *)
 (* byte writers/readers                                                *)
@@ -200,8 +208,19 @@ let decode_request payload =
 (* replies                                                             *)
 (* ------------------------------------------------------------------ *)
 
+let tier_code = function
+  | Psph_engine.Engine.Cached -> 0
+  | Psph_engine.Engine.Symbolic -> 1
+  | Psph_engine.Engine.Numeric -> 2
+
+let tier_of_code = function
+  | 0 -> Some Psph_engine.Engine.Cached
+  | 1 -> Some Psph_engine.Engine.Symbolic
+  | 2 -> Some Psph_engine.Engine.Numeric
+  | _ -> None
+
 let encode_reply = function
-  | Result { id; key; cached; betti; connectivity } ->
+  | Result { id; key; cached; betti; connectivity; solver } ->
       range "id" id max_id;
       range "key length" (String.length key) 0xff;
       let b = Buffer.create 64 in
@@ -211,6 +230,7 @@ let encode_reply = function
         (if cached then fl_cached else 0)
         lor (match betti with Some _ -> fl_betti | None -> 0)
         lor (match connectivity with Some _ -> fl_conn | None -> 0)
+        lor (match solver with Some _ -> fl_solver | None -> 0)
       in
       u8 b flags;
       u8 b (String.length key);
@@ -229,6 +249,38 @@ let encode_reply = function
               range "betti entry" v max_id;
               u32 b v)
             betti
+      | None -> ());
+      (match solver with
+      | Some { Psph_engine.Engine.tier; rule; steps; cells_removed; checked } ->
+          u8 b (tier_code tier);
+          let present =
+            (match rule with Some _ -> sp_rule | None -> 0)
+            lor (match steps with Some _ -> sp_steps | None -> 0)
+            lor (match cells_removed with Some _ -> sp_cells | None -> 0)
+            lor (match checked with Some _ -> sp_checked | None -> 0)
+          in
+          u8 b present;
+          (match rule with
+          | Some rule ->
+              range "solver rule length" (String.length rule) 0xffff;
+              u16 b (String.length rule);
+              Buffer.add_string b rule
+          | None -> ());
+          (match steps with
+          | Some v ->
+              range "solver steps" v max_id;
+              u32 b v
+          | None -> ());
+          (match cells_removed with
+          | Some v ->
+              range "solver cells_removed" v max_id;
+              u32 b v
+          | None -> ());
+          (match checked with
+          (* the checked bound is a connectivity, so it shares the
+             two's-complement i32 encoding *)
+          | Some v -> u32 b (v land 0xFFFFFFFF)
+          | None -> ())
       | None -> ());
       Buffer.contents b
   | Failed { id; message } ->
@@ -275,7 +327,44 @@ let decode_reply payload =
               end
               else None
             in
-            Result { id; key; cached = flags land fl_cached <> 0; betti; connectivity }
+            let solver =
+              if flags land fl_solver <> 0 then begin
+                let tier =
+                  match tier_of_code (r8 c "solver tier") with
+                  | Some t -> t
+                  | None -> raise (Short "bad solver tier byte")
+                in
+                let present = r8 c "solver presence flags" in
+                let rule =
+                  if present land sp_rule <> 0 then begin
+                    let len = r16 c "solver rule length" in
+                    Some (rstr c len "solver rule")
+                  end
+                  else None
+                in
+                let steps =
+                  if present land sp_steps <> 0 then Some (r32 c "solver steps")
+                  else None
+                in
+                let cells_removed =
+                  if present land sp_cells <> 0 then
+                    Some (r32 c "solver cells_removed")
+                  else None
+                in
+                let checked =
+                  if present land sp_checked <> 0 then begin
+                    let raw = r32 c "solver checked" in
+                    Some (if raw land 0x80000000 <> 0 then raw - 0x100000000 else raw)
+                  end
+                  else None
+                in
+                Some { Psph_engine.Engine.tier; rule; steps; cells_removed; checked }
+              end
+              else None
+            in
+            Result
+              { id; key; cached = flags land fl_cached <> 0; betti; connectivity;
+                solver }
         | t when t = tag_error ->
             let id = r32 c "id" in
             let mlen = r16 c "message length" in
@@ -410,7 +499,36 @@ let reply_of_json line =
             Option.bind (Jsonl.member "connectivity" o) Jsonl.to_int_opt
           in
           let cached = Jsonl.member "cached" o = Some (Jsonl.Bool true) in
-          Some (Result { id; key; cached; betti; connectivity })
+          let solver =
+            match Jsonl.member "solver" o with
+            | Some (Jsonl.Obj _ as s) -> (
+                let str name =
+                  Option.bind (Jsonl.member name s) Jsonl.to_string_opt
+                in
+                let num name =
+                  Option.bind (Jsonl.member name s) Jsonl.to_int_opt
+                in
+                match str "tier" with
+                | Some tier_s -> (
+                    let tier =
+                      match tier_s with
+                      | "cached" -> Some Psph_engine.Engine.Cached
+                      | "symbolic" -> Some Psph_engine.Engine.Symbolic
+                      | "numeric" -> Some Psph_engine.Engine.Numeric
+                      | _ -> None
+                    in
+                    match tier with
+                    | Some tier ->
+                        Some
+                          { Psph_engine.Engine.tier; rule = str "rule";
+                            steps = num "steps";
+                            cells_removed = num "cells_removed";
+                            checked = num "checked" }
+                    | None -> None)
+                | None -> None)
+            | _ -> None
+          in
+          Some (Result { id; key; cached; betti; connectivity; solver })
       | Some (Jsonl.Bool false) ->
           let message =
             Option.value ~default:"unknown error"
@@ -429,7 +547,7 @@ let json_of_reply ~id reply =
   in
   let obj =
     match reply with
-    | Result { key; cached; betti; connectivity; _ } ->
+    | Result { key; cached; betti; connectivity; solver; _ } ->
         Jsonl.Obj
           (with_id
              ([ ("ok", Jsonl.Bool true); ("key", Jsonl.Str key) ]
@@ -439,7 +557,13 @@ let json_of_reply ~id reply =
              @ (match connectivity with
                | Some c -> [ ("connectivity", Jsonl.int c) ]
                | None -> [])
-             @ [ ("cached", Jsonl.Bool cached) ]))
+             @ [ ("cached", Jsonl.Bool cached) ]
+             @
+             match solver with
+             | Some p ->
+                 [ ("solver",
+                    Jsonl.Obj (Psph_engine.Engine.provenance_fields p)) ]
+             | None -> []))
     | Failed { message; _ } ->
         Jsonl.Obj
           (with_id [ ("ok", Jsonl.Bool false); ("error", Jsonl.Str message) ])
@@ -480,7 +604,11 @@ let handle ~json engine payload =
       | Ok { id; want; query } -> (
           match
             let spec = spec_of_query query in
-            Psph_engine.Engine.eval engine spec
+            (* connectivity-only queries go through the tiered solver, so
+               a recognized spec can be answered symbolically *)
+            match want with
+            | Connectivity -> Psph_engine.Engine.eval_conn engine spec
+            | Both | Betti -> Psph_engine.Engine.eval engine spec
           with
           | r ->
               encode_reply
@@ -497,6 +625,7 @@ let handle ~json engine payload =
                        (match want with
                        | Betti -> None
                        | Both | Connectivity -> Some r.answer.connectivity);
+                     solver = Some r.solver;
                    })
           | exception (Invalid_argument m | Failure m) ->
               encode_reply (Failed { id; message = m })

@@ -19,16 +19,22 @@
     request   0x01 psph    id:u32 want:u8 n:u16 values:u16
               0x02 facets  id:u32 want:u8 count:u16 (len:u16 bytes)*count
               0x03 model   id:u32 want:u8 nlen:u8 name n:u16 f:u16 k:u16 p:u16 r:u16
-    response  0x80 result  id:u32 flags:u8 klen:u8 key [conn:i32] [count:u16 betti:u32*]
+    response  0x80 result  id:u32 flags:u8 klen:u8 key [conn:i32]
+                           [count:u16 betti:u32*] [solver]
               0x81 error   id:u32 mlen:u16 message
     v}
 
     [want] is 0 = both, 1 = betti only, 2 = connectivity only; facet
     entries are {!Psph_topology.Complex_io} simplex strings; response
     [flags] has bit 0 = cached, bit 1 = betti present, bit 2 =
-    connectivity present.  Decoders never raise: corrupt or truncated
-    payloads come back as [Error _], and {!handle} answers them with a
-    well-formed binary error response. *)
+    connectivity present, bit 3 = solver provenance present.  The
+    [solver] block is [tier:u8] (0 cached, 1 symbolic, 2 numeric) then a
+    presence byte (bit 0 rule, bit 1 steps, bit 2 cells_removed, bit 3
+    checked) then the present fields in that order: rule as [len:u16 +
+    bytes], steps and cells_removed as u32, checked as i32 (a
+    connectivity bound, so it can be negative).  Decoders never raise:
+    corrupt or truncated payloads come back as [Error _], and {!handle}
+    answers them with a well-formed binary error response. *)
 
 open Psph_obs
 
@@ -48,6 +54,9 @@ type reply =
       cached : bool;
       betti : int array option;
       connectivity : int option;
+      solver : Psph_engine.Engine.provenance option;
+          (** which solver tier answered; [None] only for replies parsed
+              from a peer that predates the provenance field *)
     }
   | Failed of { id : int; message : string }
 
@@ -109,7 +118,9 @@ val json_of_reply : id:Jsonl.t option -> reply -> string
 
 val handle :
   json:(string -> string) -> Psph_engine.Engine.t -> string -> string
-(** The binary server handler: decode, evaluate on the engine, encode.
+(** The binary server handler: decode, evaluate on the engine
+    (connectivity-only queries through the tiered
+    {!Psph_engine.Engine.eval_conn}), encode.
     Escape-tagged payloads go through [json] (in production
     {!Psph_engine.Serve.handle_line}) and come back escape-tagged.
     Never raises; corrupt input is answered with a binary error reply. *)

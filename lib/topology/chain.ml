@@ -1,4 +1,4 @@
-module SSet = Set.Make (Simplex)
+module SSet = Simplex_sets.SSet
 
 type t = SSet.t
 

@@ -1,56 +1,111 @@
-module SSet = Set.Make (Simplex)
-module SMap = Map.Make (Simplex)
+(* Discrete-Morse collapse over dense integer ids.
 
-(* Count, for every simplex, its cofaces of dimension dim+1.  Because the
-   complex is closed under containment, a simplex with exactly one such
-   coface has exactly one proper coface overall, i.e. it is a free face. *)
-let coface_map simplices =
-  List.fold_left
-    (fun acc t ->
-      if Simplex.dim t = 0 then acc
-      else
-        List.fold_left
-          (fun acc f ->
-            SMap.update f
-              (function None -> Some [ t ] | Some ts -> Some (t :: ts))
-              acc)
-          acc (Simplex.facets t))
-    SMap.empty simplices
+   The complex is indexed once: every simplex gets a dense id (via its
+   canonical interned vertex-id key), and one pass over the simplices
+   records, for each simplex, the ids of its (dim+1)-cofaces and of its
+   facets.  Because a complex is closed under containment, a simplex with
+   exactly one (dim+1)-coface has exactly one proper coface overall — it is
+   a free face, and its unique coface is maximal.  Removing such a pair
+   keeps the survivor set a complex, so the same criterion stays valid
+   throughout; the coface counts are maintained incrementally (each removal
+   decrements the counts of the facets of both removed simplices), and a
+   worklist of count-1 candidates drives the collapse to a fixpoint with no
+   per-sweep recomputation. *)
 
-let free_faces_of_set set =
-  let cofaces = coface_map (SSet.elements set) in
-  SSet.fold
-    (fun s acc ->
-      match SMap.find_opt s cofaces with
-      | Some [ t ] -> (s, t) :: acc
-      | None | Some _ -> acc)
-    set []
+type state = {
+  sx : Simplex.t array;  (* id -> simplex *)
+  cofaces : int list array;  (* ids of (dim+1)-cofaces *)
+  facet_ids : int list array;  (* ids of facets; [] for vertices *)
+  count : int array;  (* live (dim+1)-coface count *)
+  alive : bool array;
+}
 
-let free_faces c = free_faces_of_set (SSet.of_list (Complex.simplices c))
+let index c =
+  let n = Complex.num_simplices c in
+  let sx = Array.make n Simplex.empty in
+  let ids : (int array, int) Hashtbl.t = Hashtbl.create (2 * n) in
+  let i = ref 0 in
+  Complex.iter
+    (fun s ->
+      sx.(!i) <- s;
+      Hashtbl.replace ids (Intern.key s) !i;
+      incr i)
+    c;
+  let cofaces = Array.make n [] in
+  let facet_ids = Array.make n [] in
+  let count = Array.make n 0 in
+  Array.iteri
+    (fun t s ->
+      if Simplex.dim s > 0 then
+        List.iter
+          (fun face ->
+            let f = Hashtbl.find ids (Intern.key face) in
+            cofaces.(f) <- t :: cofaces.(f);
+            count.(f) <- count.(f) + 1;
+            facet_ids.(t) <- f :: facet_ids.(t))
+          (Simplex.facets s))
+    sx;
+  { sx; cofaces; facet_ids; count; alive = Array.make n true }
 
-let collapse c =
-  let set = ref (SSet.of_list (Complex.simplices c)) in
-  let progress = ref true in
-  while !progress do
-    progress := false;
-    (* recompute cofaces, then greedily remove non-overlapping free pairs *)
-    let cofaces = coface_map (SSet.elements !set) in
-    let removed = ref SSet.empty in
-    SSet.iter
-      (fun s ->
-        if not (SSet.mem s !removed) then
-          match SMap.find_opt s cofaces with
-          | Some [ t ] when not (SSet.mem t !removed) ->
-              (* check [t] is still the unique coface after this sweep's
-                 removals: t itself intact is enough because removals only
-                 delete pairs, never add cofaces *)
-              removed := SSet.add s (SSet.add t !removed);
-              progress := true
-          | None | Some _ -> ())
-      !set;
-    set := SSet.diff !set !removed
+(* Run the worklist to a fixpoint; returns the Morse matching as id pairs
+   (free face, coface), most recent first. *)
+let run st =
+  let q = Queue.create () in
+  Array.iteri (fun f c -> if c = 1 then Queue.add f q) st.count;
+  let pairs = ref [] in
+  let release f =
+    if st.alive.(f) then begin
+      st.count.(f) <- st.count.(f) - 1;
+      if st.count.(f) = 1 then Queue.add f q
+    end
+  in
+  while not (Queue.is_empty q) do
+    let f = Queue.pop q in
+    if st.alive.(f) && st.count.(f) = 1 then begin
+      let t = List.find (fun t -> st.alive.(t)) st.cofaces.(f) in
+      st.alive.(f) <- false;
+      st.alive.(t) <- false;
+      pairs := (f, t) :: !pairs;
+      List.iter release st.facet_ids.(f);
+      List.iter release st.facet_ids.(t)
+    end
   done;
-  Complex.of_facets (SSet.elements !set)
+  !pairs
+
+let critical st =
+  let acc = ref [] in
+  for i = Array.length st.sx - 1 downto 0 do
+    if st.alive.(i) then acc := st.sx.(i) :: !acc
+  done;
+  !acc
+
+let matching c =
+  let st = index c in
+  let pairs = run st in
+  (List.rev_map (fun (f, t) -> (st.sx.(f), st.sx.(t))) pairs, critical st)
+
+let reduce c =
+  if Complex.is_empty c then (c, 0)
+  else begin
+    let st = index c in
+    let removed = 2 * List.length (run st) in
+    if removed = 0 then (c, 0) else (Complex.of_closure (critical st), removed)
+  end
+
+let collapse c = fst (reduce c)
+
+let free_faces c =
+  if Complex.is_empty c then []
+  else begin
+    let st = index c in
+    let acc = ref [] in
+    Array.iteri
+      (fun f n ->
+        if n = 1 then
+          acc := (st.sx.(f), st.sx.(List.hd st.cofaces.(f))) :: !acc)
+      st.count;
+    !acc
+  end
 
 let is_collapsible_to_point c =
   let r = collapse c in

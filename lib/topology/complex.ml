@@ -1,4 +1,4 @@
-module SSet = Set.Make (Simplex)
+module SSet = Simplex_sets.SSet
 
 (* A complex value is immutable once built (the simplex set never changes),
    so the derived quantities dim, f-vector and facets can be memoized in

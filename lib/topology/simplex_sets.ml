@@ -1,0 +1,2 @@
+module SSet = Set.Make (Simplex)
+module SMap = Map.Make (Simplex)

@@ -1,0 +1,8 @@
+(** The shared [Set]/[Map] instantiations over {!Simplex}.
+
+    Several modules need simplex-keyed sets and maps; instantiating the
+    functors once here keeps the element/key types visibly identical across
+    the library and avoids paying functor elaboration per module. *)
+
+module SSet : Set.S with type elt = Simplex.t
+module SMap : Map.S with type key = Simplex.t

@@ -6,7 +6,7 @@ let bary_vertex s = Vertex.Bary (Simplex.vertices s)
 let barycentric c =
   let simplices = Complex.simplices c in
   (* chains ending at s: extend chains of proper faces of s *)
-  let module SMap = Map.Make (Simplex) in
+  let module SMap = Simplex_sets.SMap in
   let sorted = List.sort (fun a b -> Int.compare (Simplex.dim a) (Simplex.dim b)) simplices in
   let chains_ending =
     List.fold_left

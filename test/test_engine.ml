@@ -362,6 +362,136 @@ let engine_unit_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* tiered solver: eval_conn, modes, provenance                         *)
+(* ------------------------------------------------------------------ *)
+
+let tier_name = function
+  | E.Cached -> "cached"
+  | E.Symbolic -> "symbolic"
+  | E.Numeric -> "numeric"
+
+let async2 =
+  E.Model
+    { model = "async"; params = { Model_complex.n = 2; f = 1; k = 1; p = 2; r = 1 } }
+
+(* sequential engines: these cases assert exact cache/tier transitions *)
+let with_solver_engine f =
+  let e = E.create ~domains:0 ~capacity:64 () in
+  Fun.protect ~finally:(fun () -> E.shutdown e) (fun () -> f e)
+
+let solver_tier_tests =
+  [
+    Alcotest.test_case "auto answers a model query symbolically, never cached"
+      `Quick (fun () ->
+        with_solver_engine @@ fun e ->
+        let r1 = E.eval_conn e async2 in
+        Alcotest.(check string) "tier" "symbolic" (tier_name r1.E.solver.E.tier);
+        Alcotest.(check bool) "has a rule" true (r1.E.solver.E.rule <> None);
+        Alcotest.(check bool) "no betti realized" true (r1.E.answer.E.betti = [||]);
+        Alcotest.(check bool) "not cached" false r1.E.cached;
+        (* symbolic answers are free to rederive; the cache stays numeric *)
+        let r2 = E.eval_conn e async2 in
+        Alcotest.(check string) "still symbolic" "symbolic"
+          (tier_name r2.E.solver.E.tier);
+        Alcotest.(check bool) "stable key" true (Key.equal r1.E.key r2.E.key));
+    Alcotest.test_case "numeric tier records Morse provenance, then the cache"
+      `Quick (fun () ->
+        with_solver_engine @@ fun e ->
+        let r1 = E.eval_conn ~mode:E.Numeric_only e async2 in
+        Alcotest.(check string) "tier" "numeric" (tier_name r1.E.solver.E.tier);
+        Alcotest.(check bool) "cells_removed recorded" true
+          (r1.E.solver.E.cells_removed <> None);
+        let r2 = E.eval_conn ~mode:E.Numeric_only e async2 in
+        Alcotest.(check string) "warm tier" "cached" (tier_name r2.E.solver.E.tier);
+        Alcotest.(check bool) "cached" true r2.E.cached;
+        (* auto prefers the exact warm slot over rederiving the bound *)
+        let r3 = E.eval_conn e async2 in
+        Alcotest.(check string) "auto hits cache" "cached"
+          (tier_name r3.E.solver.E.tier));
+    Alcotest.test_case "check mode agrees for every registered model, small n"
+      `Quick (fun () ->
+        with_solver_engine @@ fun e ->
+        let checked = ref 0 in
+        List.iter
+          (fun (module M : Model_complex.MODEL) ->
+            if not (String.length M.name >= 5 && String.sub M.name 0 5 = "test-")
+            then
+              List.iter
+                (fun r ->
+                  let params = { Model_complex.n = 2; f = 1; k = 1; p = 2; r } in
+                  match M.validate params with
+                  | Error _ -> ()
+                  | Ok _ -> (
+                      let res =
+                        E.eval_conn ~mode:E.Check e
+                          (E.Model { model = M.name; params })
+                      in
+                      match res.E.solver.E.checked with
+                      | Some bound ->
+                          incr checked;
+                          Alcotest.(check bool)
+                            (Printf.sprintf "%s r=%d bound holds" M.name r)
+                            true
+                            (res.E.answer.E.connectivity >= bound)
+                      | None -> ()))
+                [ 0; 1; 2 ])
+          (Model_complex.all ());
+        Alcotest.(check bool) "some checks ran" true (!checked > 0));
+    Alcotest.test_case "symbolic-only fails when no derivation applies" `Quick
+      (fun () ->
+        with_solver_engine @@ fun e ->
+        match
+          E.eval_conn ~mode:E.Symbolic_only e (E.Explicit (cx [ [ 0; 1 ] ]))
+        with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected Failure for an explicit complex");
+    Alcotest.test_case "eval (betti) rejects symbolic-only mode" `Quick
+      (fun () ->
+        with_solver_engine @@ fun e ->
+        match E.eval ~mode:E.Symbolic_only e (E.Psph { n = 1; values = 2 }) with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "expected Invalid_argument");
+    Alcotest.test_case "n=7 r=3 sync query answers in O(formula)" `Quick
+      (fun () ->
+        (* the realized complex would be astronomically large; the solver
+           must answer from the round lemma without building anything *)
+        with_solver_engine @@ fun e ->
+        let params = { Model_complex.n = 7; f = 3; k = 1; p = 2; r = 3 } in
+        let r = E.eval_conn e (E.Model { model = "sync"; params }) in
+        Alcotest.(check string) "tier" "symbolic" (tier_name r.E.solver.E.tier);
+        let (module Sync : Model_complex.MODEL) = Model_complex.get "sync" in
+        Alcotest.(check (option string))
+          "rule is the model's lemma" (Some Sync.connectivity_lemma)
+          r.E.solver.E.rule;
+        match Sync.expected_connectivity params ~m:7 with
+        | Some c ->
+            Alcotest.(check int) "lemma value" c r.E.answer.E.connectivity
+        | None -> Alcotest.fail "sync lemma did not apply at n=7 r=3");
+    Alcotest.test_case "psph query answers by Corollary 6" `Quick (fun () ->
+        with_solver_engine @@ fun e ->
+        let r = E.eval_conn e (E.Psph { n = 5; values = 3 }) in
+        Alcotest.(check string) "tier" "symbolic" (tier_name r.E.solver.E.tier);
+        Alcotest.(check (option string)) "rule" (Some "Corollary 6")
+          r.E.solver.E.rule;
+        Alcotest.(check int) "bound" 4 r.E.answer.E.connectivity);
+    Alcotest.test_case "provenance renders tier-first, options in order" `Quick
+      (fun () ->
+        let p =
+          {
+            E.tier = E.Numeric;
+            rule = Some "Lemma 12";
+            steps = Some 3;
+            cells_removed = Some 7;
+            checked = Some 1;
+          }
+        in
+        Alcotest.(check (list string))
+          "field order"
+          [ "tier"; "rule"; "steps"; "cells_removed"; "checked" ]
+          (List.map fst (E.provenance_fields p)));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* wire protocol                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -455,6 +585,96 @@ let serve_tests =
                 Alcotest.(check bool) ("lists " ^ name) true found)
               (Model_complex.names ())
         | None -> Alcotest.fail "no error for unknown model");
+    Alcotest.test_case "connectivity answers a model query with provenance"
+      `Quick (fun () ->
+        let e = Lazy.force engine in
+        let resp =
+          Serve.handle_line e
+            {|{"op":"connectivity","model":"async","n":2,"r":1,"solver":"symbolic"}|}
+        in
+        Alcotest.(check (option bool))
+          "ok" (Some true)
+          (Option.map (fun v -> v = Jsonl.Bool true) (obj_field "ok" resp));
+        Alcotest.(check bool) "no betti member" true (obj_field "betti" resp = None);
+        Alcotest.(check bool) "connectivity present" true
+          (obj_field "connectivity" resp <> None);
+        match obj_field "solver" resp with
+        | Some solver ->
+            Alcotest.(check (option string))
+              "tier" (Some "symbolic")
+              (Option.bind (Jsonl.member "tier" solver) Jsonl.to_string_opt);
+            Alcotest.(check bool) "rule present" true
+              (Jsonl.member "rule" solver <> None)
+        | None -> Alcotest.fail "no solver field");
+    Alcotest.test_case "connectivity psph form honors --solver numeric" `Quick
+      (fun () ->
+        let e = Lazy.force engine in
+        let resp =
+          Serve.handle_line e
+            {|{"op":"connectivity","n":2,"values":2,"solver":"numeric"}|}
+        in
+        match obj_field "solver" resp with
+        | Some solver ->
+            let tier =
+              Option.bind (Jsonl.member "tier" solver) Jsonl.to_string_opt
+            in
+            (* numeric on a cold slot, cached once another case warmed it *)
+            Alcotest.(check bool) "numeric or cached" true
+              (tier = Some "numeric" || tier = Some "cached")
+        | None -> Alcotest.fail "no solver field");
+    Alcotest.test_case "connectivity solver=check reports the verified bound"
+      `Quick (fun () ->
+        let e = Lazy.force engine in
+        let resp =
+          Serve.handle_line e
+            {|{"op":"connectivity","model":"iis","n":2,"r":1,"solver":"check"}|}
+        in
+        Alcotest.(check (option bool))
+          "ok" (Some true)
+          (Option.map (fun v -> v = Jsonl.Bool true) (obj_field "ok" resp));
+        match obj_field "solver" resp with
+        | Some solver ->
+            Alcotest.(check bool) "checked present" true
+              (Jsonl.member "checked" solver <> None)
+        | None -> Alcotest.fail "no solver field");
+    Alcotest.test_case "bad solver value answers an error" `Quick (fun () ->
+        let e = Lazy.force engine in
+        let resp =
+          Serve.handle_line e
+            {|{"op":"connectivity","n":1,"values":2,"solver":"bogus"}|}
+        in
+        Alcotest.(check (option bool))
+          "not ok" (Some true)
+          (Option.map (fun v -> v = Jsonl.Bool false) (obj_field "ok" resp)));
+    Alcotest.test_case "betti op rejects solver=symbolic" `Quick (fun () ->
+        let e = Lazy.force engine in
+        let resp =
+          Serve.handle_line e
+            {|{"op":"psph","n":1,"values":2,"solver":"symbolic"}|}
+        in
+        Alcotest.(check (option bool))
+          "not ok" (Some true)
+          (Option.map (fun v -> v = Jsonl.Bool false) (obj_field "ok" resp)));
+    Alcotest.test_case "batch members carry their own solver modes" `Quick
+      (fun () ->
+        let e = Lazy.force engine in
+        let resp =
+          Serve.handle_line e
+            {|{"op":"batch","requests":[{"op":"connectivity","model":"async","n":2,"r":1,"solver":"symbolic"},{"op":"connectivity","n":1,"values":2,"solver":"bogus"}]}|}
+        in
+        match Option.bind (obj_field "results" resp) Jsonl.to_list_opt with
+        | Some [ first; second ] ->
+            Alcotest.(check bool) "first ok" true
+              (Jsonl.member "ok" first = Some (Jsonl.Bool true));
+            (match Jsonl.member "solver" first with
+            | Some solver ->
+                Alcotest.(check (option string))
+                  "first tier" (Some "symbolic")
+                  (Option.bind (Jsonl.member "tier" solver) Jsonl.to_string_opt)
+            | None -> Alcotest.fail "first result has no solver field");
+            Alcotest.(check bool) "second failed" true
+              (Jsonl.member "ok" second = Some (Jsonl.Bool false))
+        | _ -> Alcotest.fail "expected two results");
     Alcotest.test_case "stats op reports engine counters" `Quick (fun () ->
         let e = Lazy.force engine in
         let resp = Serve.handle_line e {|{"op":"stats"}|} in
@@ -499,6 +719,7 @@ let serve_tests =
         let over_inputs _ _ = raise Not_found
         let pseudosphere_decomposition = None
         let expected_connectivity _ ~m:_ = None
+        let connectivity_lemma = "none"
       end in
       Alcotest.test_case "handler exceptions answer instead of killing serve"
         `Quick (fun () ->
@@ -594,5 +815,6 @@ let suites =
     ("engine pool", pool_tests);
     ("engine store", store_tests);
     ("engine vs homology", engine_unit_tests @ engine_props);
+    ("engine solver", solver_tier_tests);
     ("engine serve", serve_tests);
   ]

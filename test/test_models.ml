@@ -68,6 +68,7 @@ let registry_tests =
             let over_inputs _ c = c
             let pseudosphere_decomposition = None
             let expected_connectivity _ ~m:_ = None
+            let connectivity_lemma = "none"
           end)
         in
         (match MC.register dup with
@@ -311,6 +312,112 @@ let rounds_tests =
           (MC.all ()));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* symbolic solver tier: every rule is a true lower bound              *)
+(* ------------------------------------------------------------------ *)
+
+let spec2 = { MC.n = 2; f = 1; k = 1; p = 2; r = 1 }
+
+(* runtime-registered test models (e.g. the serve poison model) don't
+   promise solver invariants *)
+let real_models () =
+  List.filter
+    (fun (module M : MC.MODEL) ->
+      not (String.length M.name >= 5 && String.sub M.name 0 5 = "test-"))
+    (MC.all ())
+
+let solver_tests =
+  [
+    Alcotest.test_case "r=0 answers the solid input simplex" `Quick (fun () ->
+        List.iter
+          (fun ((module M : MC.MODEL) as m) ->
+            match Solver.symbolic_model m { spec2 with MC.n = 3; r = 0 } with
+            | Some s ->
+                Alcotest.(check int) (M.name ^ " conn") 3 s.Solver.connectivity;
+                Alcotest.(check string)
+                  (M.name ^ " rule") "solid input simplex (r=0)" s.Solver.rule
+            | None -> Alcotest.fail (M.name ^ ": no symbolic answer at r=0"))
+          (real_models ()));
+    Alcotest.test_case "invalid specs are rejected, not derived" `Quick
+      (fun () ->
+        List.iter
+          (fun ((module M : MC.MODEL) as m) ->
+            match Solver.symbolic_model m { spec2 with MC.n = -1 } with
+            | exception Invalid_argument _ -> ()
+            | _ -> Alcotest.fail (M.name ^ ": accepted n = -1"))
+          (real_models ()));
+    Alcotest.test_case "one-round MV derivations validate numerically at n=2"
+      `Quick (fun () ->
+        List.iter
+          (fun ((module M : MC.MODEL) as m) ->
+            match Solver.pieces m spec2 with
+            | None -> () (* no registered decomposition (iis) *)
+            | Some ps -> (
+                Alcotest.(check bool)
+                  (M.name ^ " within cap") true
+                  (List.length ps <= Solver.mv_piece_cap);
+                match Solver.symbolic_model m spec2 with
+                | Some
+                    { Solver.rule = "Theorem 2 + Corollary 6";
+                      proof = Some proof; connectivity; steps; _ } ->
+                    Alcotest.(check bool) (M.name ^ " steps") true (steps > 0);
+                    Alcotest.(check int)
+                      (M.name ^ " proof conn") connectivity
+                      (Mayer_vietoris.conn proof);
+                    Alcotest.(check bool)
+                      (M.name ^ " validates") true
+                      (Mayer_vietoris.validate ps proof)
+                | _ -> Alcotest.fail (M.name ^ ": expected an MV derivation")))
+          (real_models ()));
+    Alcotest.test_case "symbolic bounds hold numerically, every model, r <= 2"
+      `Quick (fun () ->
+        let checked = ref 0 in
+        List.iter
+          (fun ((module M : MC.MODEL) as m) ->
+            List.iter
+              (fun (n, r) ->
+                let spec = { spec2 with MC.n; r } in
+                match M.validate spec with
+                | Error _ -> ()
+                | Ok spec -> (
+                    match Solver.symbolic_model m spec with
+                    | None -> ()
+                    | Some s ->
+                        incr checked;
+                        let numeric =
+                          Homology.connectivity (M.rounds spec (input_simplex n))
+                        in
+                        if numeric < s.Solver.connectivity then
+                          Alcotest.fail
+                            (Printf.sprintf
+                               "%s n=%d r=%d: numeric %d < symbolic bound %d \
+                                (%s)"
+                               M.name n r numeric s.Solver.connectivity
+                               s.Solver.rule)))
+              [ (2, 0); (2, 1); (2, 2); (3, 0); (3, 1) ])
+          (real_models ());
+        Alcotest.(check bool) "some bounds were checked" true (!checked > 0));
+    Alcotest.test_case "Corollary 6 psph bound holds numerically" `Quick
+      (fun () ->
+        List.iter
+          (fun (n, values) ->
+            match Solver.symbolic_psph ~n ~values with
+            | None -> Alcotest.fail "no psph bound"
+            | Some s ->
+                let c =
+                  Psph.realize ~vertex:Psph.default_vertex
+                    (Psph.uniform
+                       ~base:(Simplex.proc_simplex n)
+                       (List.init values (fun v -> Label.Int v)))
+                in
+                Alcotest.(check string) "rule" "Corollary 6" s.Solver.rule;
+                Alcotest.(check bool)
+                  (Printf.sprintf "n=%d values=%d" n values)
+                  true
+                  (Homology.connectivity c >= s.Solver.connectivity))
+          [ (0, 1); (1, 2); (2, 2); (2, 3); (3, 2) ]);
+  ]
+
 let suites =
   [
     ("models.registry", registry_tests);
@@ -318,4 +425,5 @@ let suites =
     ("models.cache", cache_tests);
     ("models.decomposition", decomposition_props @ decomposition_n4);
     ("models.rounds", rounds_tests);
+    ("models.solver", solver_tests);
   ]

@@ -396,13 +396,28 @@ let gen_request =
     (0 -- Codec.max_id) want
     (oneof [ psph; facets; model ])
 
+let gen_provenance =
+  let open QCheck2.Gen in
+  map
+    (fun (tier, (rule, (steps, (cells_removed, checked)))) ->
+      { E.tier; rule; steps; cells_removed; checked })
+    (pair
+       (oneofl [ E.Cached; E.Symbolic; E.Numeric ])
+       (pair
+          (option (string_size (0 -- 40)))
+          (pair
+             (option (int_range 0 0xFFFFFFFF))
+             (pair
+                (option (int_range 0 0xFFFFFFFF))
+                (option (int_range (-0x80000000) 0x7FFFFFFF))))))
+
 let gen_reply =
   let open QCheck2.Gen in
   let id = 0 -- Codec.max_id in
   let result =
     map
-      (fun (id, (key, (cached, (betti, connectivity)))) ->
-        Codec.Result { id; key; cached; betti; connectivity })
+      (fun (id, (key, (cached, (betti, (connectivity, solver))))) ->
+        Codec.Result { id; key; cached; betti; connectivity; solver })
       (pair id
          (pair (string_size (0 -- 64))
             (pair bool
@@ -410,7 +425,9 @@ let gen_reply =
                   (option
                      (map Array.of_list
                         (list_size (0 -- 6) (int_range 0 0xFFFFFFFF))))
-                  (option (int_range (-0x80000000) 0x7FFFFFFF))))))
+                  (pair
+                     (option (int_range (-0x80000000) 0x7FFFFFFF))
+                     (option gen_provenance))))))
   in
   let failed =
     map2 (fun id message -> Codec.Failed { id; message }) id (string_size (0 -- 80))

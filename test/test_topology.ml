@@ -294,6 +294,29 @@ let collapse_tests =
     Alcotest.test_case "free face detection on interval" `Quick (fun () ->
         let ff = Collapse.free_faces interval in
         Alcotest.(check int) "count" 2 (List.length ff));
+    Alcotest.test_case "reduce collapses a solid 3-simplex to one vertex" `Quick
+      (fun () ->
+        let c = Complex.of_simplex (Simplex.of_list (List.map v [ 0; 1; 2; 3 ])) in
+        let core, removed = Collapse.reduce c in
+        Alcotest.(check int) "critical cells" 1 (Complex.num_simplices core);
+        Alcotest.(check int) "removed" (Complex.num_simplices c - 1) removed);
+    Alcotest.test_case "reduce leaves a sphere untouched" `Quick (fun () ->
+        let core, removed = Collapse.reduce sphere2 in
+        Alcotest.(check int) "removed" 0 removed;
+        Alcotest.(check bool) "unchanged" true (Complex.equal core sphere2));
+    Alcotest.test_case "matching pairs are facet/coface pairs" `Quick (fun () ->
+        List.iter
+          (fun c ->
+            let pairs, critical = Collapse.matching c in
+            Alcotest.(check int) "accounts every simplex"
+              (Complex.num_simplices c)
+              ((2 * List.length pairs) + List.length critical);
+            List.iter
+              (fun (f, t) ->
+                Alcotest.(check int) "dims" (Simplex.dim f + 1) (Simplex.dim t);
+                Alcotest.(check bool) "face" true (Simplex.subset f t))
+              pairs)
+          [ solid_triangle; circle; sphere2; torus; wedge_two_circles; interval ]);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -506,6 +529,16 @@ let prop_tests =
       (fun c -> Complex.euler c = Homology.euler_from_betti c);
     Test.make ~count ~name:"collapse preserves betti" gen_small_complex (fun c ->
         same_betti (Homology.betti (Collapse.collapse c)) (Homology.betti c));
+    Test.make ~count ~name:"morse reduce preserves betti and accounts cells"
+      gen_small_complex (fun c ->
+        let core, removed = Collapse.reduce c in
+        Complex.num_simplices core + removed = Complex.num_simplices c
+        && same_betti (Homology.betti core) (Homology.betti c));
+    Test.make ~count ~name:"betti_reduced equals betti" gen_small_complex
+      (fun c -> Homology.betti_reduced c = Homology.betti c);
+    Test.make ~count ~name:"connectivity_reduced equals connectivity"
+      gen_small_complex (fun c ->
+        Homology.connectivity_reduced c = Homology.connectivity c);
     Test.make ~count ~name:"barycentric preserves betti" gen_small_complex (fun c ->
         Homology.betti (Subdivision.barycentric c) = Homology.betti c);
     Test.make ~count ~name:"facets regenerate the complex" gen_small_complex (fun c ->
