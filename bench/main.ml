@@ -374,9 +374,9 @@ let sweep_tests =
    O(formula); the numeric rows put a number on what the Morse
    precollapse saves at a size the numeric tier still handles. *)
 let solver_tests =
-  let sync61 = { Model_complex.n = 6; f = 3; k = 1; p = 2; r = 1 } in
-  let sync63 = { Model_complex.n = 6; f = 3; k = 1; p = 2; r = 3 } in
-  let semi81 = { Model_complex.n = 8; f = 1; k = 1; p = 2; r = 1 } in
+  let sync61 = { Model_complex.n = 6; f = 3; k = 1; p = 2; r = 1; ext = [] } in
+  let sync63 = { Model_complex.n = 6; f = 3; k = 1; p = 2; r = 3; ext = [] } in
+  let semi81 = { Model_complex.n = 8; f = 1; k = 1; p = 2; r = 1; ext = [] } in
   [
     t "solver: symbolic sync n=6 r=1 (Theorem 2 + Corollary 6)" (fun () ->
         Solver.symbolic_model (Model_complex.get "sync") sync61);
@@ -509,9 +509,20 @@ let models_bench () =
                     let sym, sym_s =
                       timed_m "symbolic" (fun () -> Solver.symbolic_model m (spec 1))
                     in
-                    let c2, r2_s = timed_m "r2" (fun () -> M.rounds (spec 2) s) in
-                    (M.name, r1_s, conn_s, conn, Complex.num_simplices c1, r2_s,
-                     Complex.num_simplices c2, sym_s, sym))
+                    (* a second round multiplies the facet count by the
+                       per-facet branch fan-out, so gate it on the r=1
+                       size: an adversary with a huge choice space (dyn at
+                       n=3: 4096 digraphs per facet per round) records
+                       null instead of stalling the sweep *)
+                    let r2 =
+                      if List.length (Complex.facets c1) > 1024 then None
+                      else begin
+                        let c2, r2_s = timed_m "r2" (fun () -> M.rounds (spec 2) s) in
+                        Some (r2_s, Complex.num_simplices c2)
+                      end
+                    in
+                    (M.name, r1_s, conn_s, conn, Complex.num_simplices c1, r2,
+                     sym_s, sym))
            in
            (n, rows))
   in
@@ -519,15 +530,19 @@ let models_bench () =
     (fun (n, rows) ->
       Format.printf "@.per-model build and solver-tier times (n=%d):@." n;
       List.iter
-        (fun (name, r1_s, conn_s, conn, n1, r2_s, n2, sym_s, sym) ->
+        (fun (name, r1_s, conn_s, conn, n1, r2, sym_s, sym) ->
           Format.printf
             "  %-6s r=1 %8.2f ms (%5d simplices, conn %d numeric %.2f ms, \
-             symbolic %s in %.3f ms)   r=2 %8.2f ms (%6d simplices)@."
+             symbolic %s in %.3f ms)   r=2 %s@."
             name (1000. *. r1_s) n1 conn (1000. *. conn_s)
             (match sym with
             | Some s -> Printf.sprintf ">= %d" s.Solver.connectivity
             | None -> "n/a")
-            (1000. *. sym_s) (1000. *. r2_s) n2)
+            (1000. *. sym_s)
+            (match r2 with
+            | Some (r2_s, n2) ->
+                Printf.sprintf "%8.2f ms (%6d simplices)" (1000. *. r2_s) n2
+            | None -> "skipped (fan-out too large)"))
         rows)
     sweeps;
   write_json "BENCH_models.json" @@ fun oc ->
@@ -536,7 +551,7 @@ let models_bench () =
     (fun si (n, rows) ->
       Printf.fprintf oc "    { \"n\": %d, \"models\": {\n" n;
       List.iteri
-        (fun i (name, r1_s, conn_s, conn, n1, r2_s, n2, sym_s, sym) ->
+        (fun i (name, r1_s, conn_s, conn, n1, r2, sym_s, sym) ->
           let sym_bound, sym_rule =
             match sym with
             | Some s ->
@@ -544,12 +559,17 @@ let models_bench () =
                  Printf.sprintf "%S" s.Solver.rule)
             | None -> ("null", "null")
           in
+          let r2_s, r2_n =
+            match r2 with
+            | Some (r2_s, n2) -> (Printf.sprintf "%.6f" r2_s, string_of_int n2)
+            | None -> ("null", "null")
+          in
           Printf.fprintf oc
             "      \"%s\": { \"r1_s\": %.6f, \"r1_simplices\": %d, \
              \"r1_connectivity\": %d, \"numeric_conn_s\": %.6f, \
              \"symbolic_s\": %.6f, \"symbolic_bound\": %s, \
-             \"symbolic_rule\": %s, \"r2_s\": %.6f, \"r2_simplices\": %d }%s\n"
-            name r1_s n1 conn conn_s sym_s sym_bound sym_rule r2_s n2
+             \"symbolic_rule\": %s, \"r2_s\": %s, \"r2_simplices\": %s }%s\n"
+            name r1_s n1 conn conn_s sym_s sym_bound sym_rule r2_s r2_n
             (if i = List.length rows - 1 then "" else ","))
         rows;
       Printf.fprintf oc "    } }%s\n"

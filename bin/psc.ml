@@ -116,6 +116,83 @@ let save_arg =
     & opt (some string) None
     & info [ "save" ] ~docv:"FILE" ~doc:"Serialize the complex to a file.")
 
+(* model-owned extension parameters (Byzantine budget, adversary class,
+   ...) become real flags on the model's generated subcommand: one
+   [--name VALUE] per declared parameter, parsed by the parameter's own
+   parser so enum names ("--adv rooted") work as well as codes *)
+let ext_term (module M : Model_complex.MODEL) =
+  List.fold_left
+    (fun acc ep ->
+      let { Model_complex.ep_name; ep_doc; ep_default; ep_parse; ep_show } =
+        ep
+      in
+      let arg =
+        Arg.(
+          value
+          & opt (some string) None
+          & info [ ep_name ]
+              ~docv:(String.uppercase_ascii ep_name)
+              ~doc:
+                (Printf.sprintf "%s (default %s)." ep_doc (ep_show ep_default)))
+      in
+      Term.(
+        const (fun entries v ->
+            match v with
+            | None -> entries
+            | Some s -> (
+                match ep_parse s with
+                | Ok i -> entries @ [ (ep_name, i) ]
+                | Error msg ->
+                    Format.eprintf "psc: model %s: %s@." M.name msg;
+                    Stdlib.exit 2))
+        $ acc $ arg))
+    (Term.const []) M.ext_params
+
+(* the shared model-parameterized commands can't generate per-model flags
+   (the model is itself a flag), so they take repeatable --ext NAME=VALUE
+   pairs validated against the chosen model's declaration *)
+let ext_kv_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "ext" ] ~docv:"NAME=VALUE"
+        ~doc:
+          "A model-owned extension parameter (e.g. $(b,--ext t=2), $(b,--ext \
+           adv=rooted)); repeatable.  Valid names depend on $(b,--model) — \
+           see $(b,psc models).")
+
+let parse_ext (module M : Model_complex.MODEL) kvs =
+  List.map
+    (fun kv ->
+      match String.index_opt kv '=' with
+      | None ->
+          Format.eprintf "psc: --ext expects NAME=VALUE, got %S@." kv;
+          exit 2
+      | Some i -> (
+          let name = String.sub kv 0 i in
+          let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+          match
+            List.find_opt
+              (fun ep -> ep.Model_complex.ep_name = name)
+              M.ext_params
+          with
+          | None ->
+              Format.eprintf "psc: model %s has no extension parameter %S%s@."
+                M.name name
+                (match M.ext_params with
+                | [] -> ""
+                | ps ->
+                    Printf.sprintf " (available: %s)"
+                      (String.concat ", "
+                         (List.map (fun ep -> ep.Model_complex.ep_name) ps)));
+              exit 2
+          | Some ep -> (
+              match ep.ep_parse v with
+              | Ok i -> (name, i)
+              | Error msg ->
+                  Format.eprintf "psc: model %s: %s@." M.name msg;
+                  exit 2)))
+    kvs
+
 (* any registered model; cmdliner's enum errors with the available list *)
 let model_arg =
   let alts =
@@ -169,9 +246,9 @@ let build_complex ((module M : Model_complex.MODEL) as m) spec ~values ~over =
 
 (* one subcommand per registered model, generated from the registry *)
 let model_cmd ((module M : Model_complex.MODEL) as m) =
-  let run trace n f k p r values over facets integral dot svg save =
+  let run trace n f k p r ext values over facets integral dot svg save =
     with_trace trace @@ fun () ->
-    let spec = validated m { Model_complex.n; f; k; p; r } in
+    let spec = validated m { Model_complex.n; f; k; p; r; ext } in
     let c = build_complex m spec ~values ~over in
     describe ~show_facets:facets ~integral ?dot ?svg ?save M.name c;
     match M.expected_connectivity spec ~m:n with
@@ -182,8 +259,8 @@ let model_cmd ((module M : Model_complex.MODEL) as m) =
   Cmd.v (Cmd.info M.name ~doc:M.doc)
     Term.(
       const run $ trace_arg $ n_arg $ f_arg $ k_arg $ p_arg $ r_arg
-      $ values_arg $ over_inputs_arg $ facets_arg $ integral_arg $ dot_arg
-      $ svg_arg $ save_arg)
+      $ ext_term m $ values_arg $ over_inputs_arg $ facets_arg $ integral_arg
+      $ dot_arg $ svg_arg $ save_arg)
 
 let models_cmd =
   let run trace list =
@@ -192,7 +269,12 @@ let models_cmd =
     else
       List.iter
         (fun (module M : Model_complex.MODEL) ->
-          Format.printf "%-8s %s@." M.name M.doc)
+          Format.printf "%-8s %s@." M.name M.doc;
+          List.iter
+            (fun ep ->
+              Format.printf "         --%s: %s (default %s)@."
+                ep.Model_complex.ep_name ep.ep_doc (ep.ep_show ep.ep_default))
+            M.ext_params)
         (Model_complex.all ())
   in
   let list_arg =
@@ -203,12 +285,13 @@ let models_cmd =
     Term.(const run $ trace_arg $ list_arg)
 
 let decide_cmd =
-  let run trace model n f k p r task_k =
+  let run trace model n f k p r ext task_k =
     with_trace trace @@ fun () ->
     let values = task_k + 1 in
-    let c =
-      build_complex model { Model_complex.n; f; k; p; r } ~values ~over:true
+    let spec =
+      { Model_complex.n; f; k; p; r; ext = parse_ext model ext }
     in
+    let c = build_complex model spec ~values ~over:true in
     Format.printf "complex: %a@." Complex.pp_summary c;
     match Decision.solve ~complex:c ~allowed:Task.allowed ~k:task_k () with
     | Decision.Solution _ -> Format.printf "a %d-set decision map EXISTS@." task_k
@@ -221,7 +304,7 @@ let decide_cmd =
        ~doc:"Search for a k-set agreement decision map on a protocol complex.")
     Term.(
       const run $ trace_arg $ model_arg $ n_arg $ f_arg $ k_arg $ p_arg $ r_arg
-      $ task_k_arg)
+      $ ext_kv_arg $ task_k_arg)
 
 let bound_cmd =
   let run trace n f k c1 c2 d =
@@ -242,9 +325,12 @@ let bound_cmd =
     Term.(const run $ trace_arg $ n_arg $ f_arg $ k_arg $ c1_arg $ c2_arg $ d_arg)
 
 let mv_cmd =
-  let run trace ((module M : Model_complex.MODEL) as model) n f k p =
+  let run trace ((module M : Model_complex.MODEL) as model) n f k p ext =
     with_trace trace @@ fun () ->
-    let spec = validated model { Model_complex.n; f; k; p; r = 1 } in
+    let spec =
+      validated model
+        { Model_complex.n; f; k; p; r = 1; ext = parse_ext model ext }
+    in
     match M.pseudosphere_decomposition with
     | None ->
         Format.eprintf
@@ -262,7 +348,9 @@ let mv_cmd =
   Cmd.v
     (Cmd.info "mv"
        ~doc:"Print a Mayer-Vietoris connectivity derivation (Theorem 2).")
-    Term.(const run $ trace_arg $ model_arg $ n_arg $ f_arg $ k_arg $ p_arg)
+    Term.(
+      const run $ trace_arg $ model_arg $ n_arg $ f_arg $ k_arg $ p_arg
+      $ ext_kv_arg)
 
 let solver_arg =
   Arg.(
@@ -284,13 +372,16 @@ let solver_arg =
            nonzero on disagreement).")
 
 let connectivity_cmd =
-  let run trace psph ((module M : Model_complex.MODEL) as model) n f k p r
+  let run trace psph ((module M : Model_complex.MODEL) as model) n f k p r ext
       values mode =
     with_trace trace @@ fun () ->
     let spec =
       if psph then Psph_engine.Engine.Psph { n; values }
       else begin
-        let spec = validated model { Model_complex.n; f; k; p; r } in
+        let spec =
+          validated model
+            { Model_complex.n; f; k; p; r; ext = parse_ext model ext }
+        in
         Psph_engine.Engine.Model { model = M.name; params = spec }
       end
     in
@@ -337,7 +428,7 @@ let connectivity_cmd =
           elimination), printing which tier answered and its provenance.")
     Term.(
       const run $ trace_arg $ psph_arg $ model_arg $ n_arg $ f_arg $ k_arg
-      $ p_arg $ r_arg $ values_arg $ solver_arg)
+      $ p_arg $ r_arg $ ext_kv_arg $ values_arg $ solver_arg)
 
 let run_cmd =
   let run trace n f crash_round victim heard =

@@ -1,0 +1,75 @@
+open Psph_topology
+open Psph_model
+
+type adversary = Rooted | Strong | All
+
+let adversary_of_int = function
+  | 0 -> Some Rooted
+  | 1 -> Some Strong
+  | 2 -> Some All
+  | _ -> None
+
+let int_of_adversary = function Rooted -> 0 | Strong -> 1 | All -> 2
+
+let adversary_name = function
+  | Rooted -> "rooted"
+  | Strong -> "strong"
+  | All -> "all"
+
+let adversary_of_string = function
+  | "rooted" -> Some Rooted
+  | "strong" -> Some Strong
+  | "all" -> Some All
+  | _ -> None
+
+let allowed adv g =
+  match adv with
+  | All -> true
+  | Rooted -> Round_schedule.rooted g
+  | Strong -> Round_schedule.strongly_connected g
+
+let heard_label s qs =
+  Label.List
+    (List.map
+       (fun q ->
+         match Simplex.label_of q s with
+         | Some l -> Label.Pair (Label.Pid q, l)
+         | None -> invalid_arg "Dyn_net_complex: in-neighbor outside simplex")
+       (Pid.Set.elements qs))
+
+(* full-information state after one round under digraph [g]: each process
+   keeps its previous state and records the (pid, state) pairs it heard *)
+let facet_of s g =
+  Simplex.of_procs
+    (Pid.Map.fold
+       (fun p qs acc ->
+         match Simplex.label_of p s with
+         | None -> acc
+         | Some prev -> (p, Label.Pair (prev, heard_label s qs)) :: acc)
+       g [])
+
+let digraphs_of adv s =
+  Round_schedule.digraphs ~alive:(Simplex.ids s) |> List.filter (allowed adv)
+
+let one_round adv s =
+  Complex.of_facets (List.map (facet_of s) (digraphs_of adv s))
+
+let rounds adv ~r s =
+  Carrier.compose r s ~branches:(fun s ->
+      List.map (fun g -> Complex.of_simplex (facet_of s g)) (digraphs_of adv s))
+
+let over_inputs adv ~r inputs = Carrier.over_facets (rounds adv ~r) inputs
+
+(* No process ever leaves the carrier in a dynamic network, so the r-round
+   complex over an m-simplex keeps every facet at dimension m.  For the
+   rooted and unrestricted classes it is connected (0-connected): the
+   digraph in which some root broadcasts and nothing else is delivered
+   gives each non-root a vertex shared with every other rooted digraph
+   having the same root-silence, and varying one in-neighborhood at a time
+   walks any digraph to such a star while staying rooted; across rounds
+   the shared faces glue the pieces.  The strong class has no such
+   one-edge-at-a-time path through shared solo vertices, so no symbolic
+   claim is made and the solver falls back to the numeric tier. *)
+let expected_connectivity adv ~m:_ ~r =
+  if r = 0 then None (* solver's r = 0 tier already answers *)
+  else match adv with Rooted | All -> Some 0 | Strong -> None

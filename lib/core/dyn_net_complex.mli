@@ -1,0 +1,44 @@
+(** Directed dynamic networks under a message adversary
+    (Rincon Galeana-Kuznetsov-Rieutord-Schmid, PAPERS.md).
+
+    Each round the adversary picks one communication digraph from its
+    class; a process receives exactly from its in-neighborhood (always
+    including itself) and the full-information protocol records what it
+    heard.  Unlike the crash models there is no failure discipline and no
+    process ever leaves the carrier — the adversary classes restrict the
+    {e shape} of each round's digraph instead:
+
+    - {!Rooted}: some process reaches everyone (broadcastable rounds);
+    - {!Strong}: every process reaches everyone;
+    - {!All}: unrestricted — any digraph with self-loops. *)
+
+open Psph_topology
+open Psph_model
+
+type adversary = Rooted | Strong | All
+
+val adversary_of_int : int -> adversary option
+val int_of_adversary : adversary -> int
+val adversary_name : adversary -> string
+val adversary_of_string : string -> adversary option
+
+val allowed : adversary -> Round_schedule.digraph -> bool
+(** Whether the class permits this round digraph. *)
+
+val facet_of : Simplex.t -> Round_schedule.digraph -> Simplex.t
+(** The global state after one round under digraph [g]: process [p]'s new
+    label pairs its previous state with the sorted [(pid, state)] list of
+    its in-neighborhood. *)
+
+val one_round : adversary -> Simplex.t -> Complex.t
+(** One facet per digraph the adversary may choose. *)
+
+val rounds : adversary -> r:int -> Simplex.t -> Complex.t
+(** [r]-fold composition via {!Carrier.compose}. *)
+
+val over_inputs : adversary -> r:int -> Complex.t -> Complex.t
+
+val expected_connectivity : adversary -> m:int -> r:int -> int option
+(** [Some 0] (connected) for {!Rooted} and {!All} at [r >= 1] — rooted
+    digraphs glue through the star rounds in which only a root speaks;
+    [None] for {!Strong}, which the solver resolves numerically. *)

@@ -2,16 +2,80 @@ open Psph_obs
 open Psph_topology
 open Psph_model
 
-type spec = { n : int; f : int; k : int; p : int; r : int }
+type ext = (string * int) list
 
-let default_spec = { n = 2; f = 1; k = 1; p = 2; r = 1 }
+type spec = { n : int; f : int; k : int; p : int; r : int; ext : ext }
 
-let pp_spec ppf { n; f; k; p; r } =
-  Format.fprintf ppf "n=%d f=%d k=%d p=%d r=%d" n f k p r
+let default_spec = { n = 2; f = 1; k = 1; p = 2; r = 1; ext = [] }
+
+let pp_spec ppf { n; f; k; p; r; ext } =
+  Format.fprintf ppf "n=%d f=%d k=%d p=%d r=%d" n f k p r;
+  List.iter (fun (key, v) -> Format.fprintf ppf " %s=%d" key v) ext
+
+(* ------------------------------------------------------------------ *)
+(* model-owned extension parameters                                    *)
+(* ------------------------------------------------------------------ *)
+
+type ext_param = {
+  ep_name : string;
+  ep_doc : string;
+  ep_default : int;
+  ep_parse : string -> (int, string) result;
+  ep_show : int -> string;
+}
+
+let int_param ~name ~doc ~default =
+  {
+    ep_name = name;
+    ep_doc = doc;
+    ep_default = default;
+    ep_parse =
+      (fun s ->
+        match int_of_string_opt s with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "%s: expected an integer, got %S" name s));
+    ep_show = string_of_int;
+  }
+
+let enum_param ~name ~doc ~choices ~default =
+  let parse s =
+    match List.assoc_opt s choices with
+    | Some v -> Ok v
+    | None -> (
+        match int_of_string_opt s with
+        | Some v when List.exists (fun (_, i) -> i = v) choices -> Ok v
+        | _ ->
+            Error
+              (Printf.sprintf "%s: expected one of %s" name
+                 (String.concat "|" (List.map fst choices))))
+  in
+  let show v =
+    match List.find_opt (fun (_, i) -> i = v) choices with
+    | Some (nm, _) -> nm
+    | None -> string_of_int v
+  in
+  { ep_name = name; ep_doc = doc; ep_default = default; ep_parse = parse;
+    ep_show = show }
+
+(* declared order, defaults filled in, unknown keys dropped — so every
+   canonical ext of a model has the same shape and [encode] stays
+   injective on what the model actually reads *)
+let canonical_ext params ext =
+  List.map
+    (fun p ->
+      ( p.ep_name,
+        match List.assoc_opt p.ep_name ext with
+        | Some v -> v
+        | None -> p.ep_default ))
+    params
+
+let ext_value spec name ~default =
+  match List.assoc_opt name spec.ext with Some v -> v | None -> default
 
 module type MODEL = sig
   val name : string
   val doc : string
+  val ext_params : ext_param list
   val normalize : spec -> spec
   val validate : spec -> (spec, string) result
   val one_round : spec -> Simplex.t -> Complex.t
@@ -35,9 +99,19 @@ let order : string list ref = ref []
 
 let name_of (module M : MODEL) = M.name
 
+let ext_params_of (module M : MODEL) = M.ext_params
+
 let encode_with (module M : MODEL) spec =
-  let { n; f; k; p; r } = M.normalize spec in
-  Printf.sprintf "%s:n=%d,f=%d,k=%d,p=%d,r=%d" M.name n f k p r
+  let { n; f; k; p; r; ext } = M.normalize spec in
+  let base = Printf.sprintf "%s:n=%d,f=%d,k=%d,p=%d,r=%d" M.name n f k p r in
+  (* models without extensions keep the exact historical key format, so
+     existing on-disk memo stores and warmed replicas stay valid *)
+  match ext with
+  | [] -> base
+  | ext ->
+      base
+      ^ String.concat ""
+          (List.map (fun (key, v) -> Printf.sprintf ",%s=%d" key v) ext)
 
 (* every registered model's complex constructions run inside
    [model.one_round] / [model.rounds] spans carrying the canonical spec,
@@ -134,7 +208,8 @@ let ( let* ) r f = Result.bind r f
 module Async_model = struct
   let name = "async"
   let doc = "Build the asynchronous complex A^r (Section 6)."
-  let normalize spec = { spec with k = 0; p = 0 }
+  let ext_params = []
+  let normalize spec = { spec with k = 0; p = 0; ext = [] }
 
   let validate spec =
     let* spec = check_common spec in
@@ -157,7 +232,8 @@ end
 module Sync_model = struct
   let name = "sync"
   let doc = "Build the synchronous complex S^r (Section 7)."
-  let normalize spec = { spec with f = 0; p = 0 }
+  let ext_params = []
+  let normalize spec = { spec with f = 0; p = 0; ext = [] }
 
   let validate spec =
     let* spec = check_common spec in
@@ -182,7 +258,8 @@ end
 module Semi_sync_model = struct
   let name = "semi"
   let doc = "Build the semi-synchronous complex M^r (Section 8)."
-  let normalize spec = { spec with f = 0 }
+  let ext_params = []
+  let normalize spec = { spec with f = 0; ext = [] }
 
   let validate spec =
     let* spec = check_common spec in
@@ -215,7 +292,8 @@ end
 module Iis_model = struct
   let name = "iis"
   let doc = "Build the iterated immediate snapshot complex (Borowsky-Gafni)."
-  let normalize spec = { spec with f = 0; k = 0; p = 0 }
+  let ext_params = []
+  let normalize spec = { spec with f = 0; k = 0; p = 0; ext = [] }
   let validate spec = Result.map normalize (check_common spec)
   let one_round _ s = Iis_complex.one_round s
   let rounds { r; _ } s = Iis_complex.rounds ~r s
@@ -230,8 +308,113 @@ module Iis_model = struct
   let connectivity_lemma = "subdivision contractible"
 end
 
+(* The Byzantine synchronous model (Mendes-Herlihy): [k] exposures per
+   round out of a total corruption budget [t], with per-receiver
+   equivocation.  The first instance exercising the extension payload. *)
+module Byz_model = struct
+  let name = "byz"
+  let doc = "Build the Byzantine synchronous complex (Mendes-Herlihy)."
+
+  let ext_params =
+    [
+      int_param ~name:"t" ~doc:"total Byzantine corruption budget" ~default:1;
+      enum_param ~name:"equiv" ~doc:"equivocation mode"
+        ~choices:[ ("none", 0); ("binary", 1) ]
+        ~default:1;
+    ]
+
+  let normalize spec =
+    { spec with f = 0; p = 0; ext = canonical_ext ext_params spec.ext }
+
+  let params spec =
+    let t = ext_value spec "t" ~default:1 in
+    let equiv = ext_value spec "equiv" ~default:1 in
+    (t, 1 + equiv)
+
+  let validate spec =
+    let* spec = check_common spec in
+    let spec = normalize spec in
+    let t = ext_value spec "t" ~default:1 in
+    let equiv = ext_value spec "equiv" ~default:1 in
+    if spec.k < 0 then Error "k must be >= 0"
+    else if t < 0 then Error "t must be >= 0"
+    else if equiv < 0 || equiv > 1 then
+      Error "equiv must be none (0) or binary (1)"
+    else Ok spec
+
+  let one_round ({ n; k; _ } as spec) s =
+    let t, versions = params spec in
+    Byz_complex.one_round ~n ~k ~t ~versions s
+
+  let rounds ({ n; k; r; _ } as spec) s =
+    let t, versions = params spec in
+    Byz_complex.rounds ~n ~k ~t ~versions ~r s
+
+  let over_inputs ({ n; k; r; _ } as spec) c =
+    let t, versions = params spec in
+    Byz_complex.over_inputs ~n ~k ~t ~versions ~r c
+
+  (* the pieces are pseudospheres but their value labels are already
+     intrinsic (claim lists), not full-information views, so the generic
+     Lemma 11/14/19 relabelling does not apply *)
+  let pseudosphere_decomposition = None
+
+  let expected_connectivity ({ n; k; r; _ } as spec) ~m =
+    let t, _ = params spec in
+    Byz_complex.expected_connectivity ~m ~n ~k ~t ~r
+
+  let connectivity_lemma = "Mendes-Herlihy ceil(t/k)-round bound"
+end
+
+(* Directed dynamic networks: no failures at all, just a per-round
+   communication digraph drawn from an adversary class. *)
+module Dyn_net_model = struct
+  let name = "dyn"
+  let doc = "Build the directed dynamic-network complex (message adversary)."
+
+  let ext_params =
+    [
+      enum_param ~name:"adv" ~doc:"message-adversary class"
+        ~choices:[ ("rooted", 0); ("strong", 1); ("all", 2) ]
+        ~default:0;
+    ]
+
+  let normalize spec =
+    { spec with f = 0; k = 0; p = 0; ext = canonical_ext ext_params spec.ext }
+
+  let adversary spec =
+    Dyn_net_complex.adversary_of_int (ext_value spec "adv" ~default:0)
+
+  let adv_exn spec =
+    match adversary spec with
+    | Some a -> a
+    | None -> invalid_arg "dyn: invalid adversary class"
+
+  let validate spec =
+    let* spec = check_common spec in
+    let spec = normalize spec in
+    match adversary spec with
+    | Some _ -> Ok spec
+    | None -> Error "adv must be rooted (0), strong (1) or all (2)"
+
+  let one_round spec s = Dyn_net_complex.one_round (adv_exn spec) s
+  let rounds ({ r; _ } as spec) s = Dyn_net_complex.rounds (adv_exn spec) ~r s
+
+  let over_inputs ({ r; _ } as spec) c =
+    Dyn_net_complex.over_inputs (adv_exn spec) ~r c
+
+  let pseudosphere_decomposition = None
+
+  let expected_connectivity ({ r; _ } as spec) ~m =
+    Dyn_net_complex.expected_connectivity (adv_exn spec) ~m ~r
+
+  let connectivity_lemma = "rooted-adversary connectedness"
+end
+
 let () =
   register (module Async_model);
   register (module Sync_model);
   register (module Semi_sync_model);
-  register (module Iis_model)
+  register (module Iis_model);
+  register (module Byz_model);
+  register (module Dyn_net_model)

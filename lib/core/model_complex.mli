@@ -9,26 +9,73 @@
     engine, [psc serve], the [psc] subcommands, benches, examples and
     tests) reaches all models generically.  Registering a new model makes
     it reachable from all of them with zero consumer-side edits — the
-    {!section-instances} below register [async], [sync], [semi] and [iis]
-    this way.
+    {!section-instances} below register [async], [sync], [semi], [iis],
+    [byz] and [dyn] this way.
 
-    All models draw their parameters from one {!spec} record; each model's
-    [normalize] zeroes the fields it ignores, so the canonical {!encode}
-    of two specs differing only in an irrelevant parameter coincide — the
-    property the engine's spec-level memo table relies on. *)
+    All models draw their common parameters from one {!spec} record; each
+    model's [normalize] zeroes the fields it ignores, so the canonical
+    {!encode} of two specs differing only in an irrelevant parameter
+    coincide — the property the engine's spec-level memo table relies on.
+    Parameters that only one adversary family needs ride in the open
+    {!ext} payload instead: a model {e declares} its extension parameters
+    ({!MODEL.ext_params}) and [normalize] canonicalizes the payload
+    (declared order, defaults filled, unknown keys dropped), so extension
+    values flow through cache keys, the wire codec and the CLI without
+    widening the common record for everyone. *)
 
 open Psph_topology
 
-type spec = { n : int; f : int; k : int; p : int; r : int }
-(** The union of every model's parameters: dimension [n] ([n + 1]
+type ext = (string * int) list
+(** A model-owned extension payload: ordered [(name, value)] pairs.
+    Canonical after [normalize]: declared order, every declared key
+    present, nothing else. *)
+
+type spec = { n : int; f : int; k : int; p : int; r : int; ext : ext }
+(** The common core of every model's parameters: dimension [n] ([n + 1]
     processes), failure budget [f] (async), failures per round [k]
-    (sync/semi), microrounds per round [p] (semi), rounds [r].  A model
-    reads only the fields its [normalize] keeps. *)
+    (sync/semi/byz), microrounds per round [p] (semi), rounds [r] — plus
+    the model-owned {!ext} payload (Byzantine corruption budget,
+    adversary class, ...).  A model reads only the fields its [normalize]
+    keeps. *)
 
 val default_spec : spec
-(** [{ n = 2; f = 1; k = 1; p = 2; r = 1 }] — the [psc] flag defaults. *)
+(** [{ n = 2; f = 1; k = 1; p = 2; r = 1; ext = [] }] — the [psc] flag
+    defaults. *)
 
 val pp_spec : Format.formatter -> spec -> unit
+
+(** {2 Extension parameters} *)
+
+type ext_param = {
+  ep_name : string;  (** key in {!ext}, CLI flag name, wire field name *)
+  ep_doc : string;  (** one-line help for the generated [psc] flag *)
+  ep_default : int;  (** value filled in by [normalize] when absent *)
+  ep_parse : string -> (int, string) result;
+      (** parse a CLI/wire string form (enum names or integers) *)
+  ep_show : int -> string;  (** human-readable rendering of a value *)
+}
+(** One declared extension parameter.  The declaration is what lets every
+    generic tier handle the parameter without knowing the model: [psc]
+    generates a flag per [ep_name], [serve] and the router accept the key
+    in JSON requests, the codec packs canonical payloads into the binary
+    layout, and {!encode} appends [,name=value] pairs to the cache key. *)
+
+val int_param : name:string -> doc:string -> default:int -> ext_param
+(** A plain integer-valued parameter. *)
+
+val enum_param :
+  name:string -> doc:string -> choices:(string * int) list -> default:int ->
+  ext_param
+(** A named-choice parameter; [ep_parse] accepts the choice names and
+    their integer codes, [ep_show] prints the name. *)
+
+val canonical_ext : ext_param list -> ext -> ext
+(** Canonicalize a payload against a declaration: declared order,
+    defaults filled in, unknown keys dropped.  Models call this from
+    [normalize]. *)
+
+val ext_value : spec -> string -> default:int -> int
+(** Look up an extension value by name, falling back to [default]. *)
 
 module type MODEL = sig
   val name : string
@@ -37,13 +84,18 @@ module type MODEL = sig
   val doc : string
   (** One-line description, used for the generated [psc] subcommand. *)
 
+  val ext_params : ext_param list
+  (** The model-owned parameters, in canonical payload order.  [[]] for
+      models fully described by the common record. *)
+
   val normalize : spec -> spec
-  (** Zero the parameters this model ignores.  Idempotent; two specs with
-      equal [normalize] images denote the same complex. *)
+  (** Zero the common parameters this model ignores and canonicalize the
+      extension payload.  Idempotent; two specs with equal [normalize]
+      images denote the same complex. *)
 
   val validate : spec -> (spec, string) result
-  (** Range-check the relevant parameters and return the normalized spec,
-      or a human-readable error. *)
+  (** Range-check the relevant parameters (including extension values)
+      and return the normalized spec, or a human-readable error. *)
 
   val one_round : spec -> Simplex.t -> Complex.t
   (** The one-round protocol complex over an input simplex. *)
@@ -60,12 +112,14 @@ module type MODEL = sig
       value labels) whose union realizes the one-round complex up to the
       relabelling {!intrinsic_map} — Lemmas 11, 14 and 19 in one shape.
       [None] for models that are not pseudosphere unions (IIS: a
-      subdivision, hence contractible, unlike any pseudosphere union). *)
+      subdivision, hence contractible, unlike any pseudosphere union) or
+      whose pieces carry intrinsic labels already ([byz], [dyn]). *)
 
   val expected_connectivity : spec -> m:int -> int option
-  (** The paper's connectivity lower bound for the [spec.r]-round complex
+  (** The model's connectivity lower bound for the [spec.r]-round complex
       over an [m]-simplex, when the relevant lemma's hypothesis holds
-      (Lemmas 12, 16/17, 21); [None] when it does not apply. *)
+      (Lemmas 12, 16/17, 21; the Mendes-Herlihy ceil(t/k)-round bound;
+      rooted-adversary connectedness); [None] when it does not apply. *)
 
   val connectivity_lemma : string
   (** Human-readable citation for {!expected_connectivity} ("Lemma 12",
@@ -95,14 +149,20 @@ val get : string -> model
 
 val name_of : model -> string
 
+val ext_params_of : model -> ext_param list
+(** The model's extension declaration, for generic consumers (CLI flag
+    generation, request validation, codec layout). *)
+
 (** {2 Canonical encoding and the generic lemma check} *)
 
 val encode : model -> spec -> string
 (** A canonical, {!Psph_engine.Key}-feedable encoding of [(model, spec)]:
-    the model name plus the {e normalized} parameter vector.  Specs
-    differing only in parameters the model ignores encode identically, so
-    a cache keyed on [encode] can never be mis-keyed by an irrelevant
-    parameter. *)
+    the model name plus the {e normalized} parameter vector, followed by
+    [,name=value] for each canonical extension entry.  Specs differing
+    only in parameters the model ignores encode identically, so a cache
+    keyed on [encode] can never be mis-keyed by an irrelevant parameter;
+    models with an empty payload encode exactly as before extensions
+    existed, so pre-existing cache keys stay valid. *)
 
 val intrinsic_map : n:int -> Vertex.t -> Vertex.t
 (** The generic Lemma 11/14/19 vertex relabelling: a full-information

@@ -72,13 +72,35 @@ let mode_of_request req =
   | Some "check" -> Engine.Check
   | Some s -> bad "unknown solver mode %S (auto|symbolic|numeric|check)" s
 
+(* a model's declared extension parameters, read from the request by
+   declared name: integers directly, or strings through the parameter's
+   own parser (enum names like "adv":"rooted").  Absent keys are left for
+   the model's [normalize] to default. *)
+let ext_of req m =
+  List.filter_map
+    (fun ep ->
+      let name = ep.Pseudosphere.Model_complex.ep_name in
+      match Jsonl.member name req with
+      | None -> None
+      | Some v -> (
+          match Jsonl.to_int_opt v with
+          | Some i -> Some (name, i)
+          | None -> (
+              match Jsonl.to_string_opt v with
+              | None -> bad "field %S must be an integer or string" name
+              | Some s -> (
+                  match ep.ep_parse s with
+                  | Ok i -> Some (name, i)
+                  | Error e -> bad "%s" e))))
+    (Pseudosphere.Model_complex.ext_params_of m)
+
 let model_spec_of req =
-  let model =
+  let model, m =
     match Option.bind (Jsonl.member "model" req) Jsonl.to_string_opt with
     | None -> bad "missing string field \"model\""
     | Some name -> (
         match Pseudosphere.Model_complex.find name with
-        | Some _ -> name
+        | Some m -> (name, m)
         | None ->
             bad "unknown model %S (available: %s)" name
               (String.concat ", " (Pseudosphere.Model_complex.names ())))
@@ -94,6 +116,7 @@ let model_spec_of req =
           k = int_field ~default:d.k req "k";
           p = int_field ~default:d.p req "p";
           r = int_field ~default:d.r req "r";
+          ext = ext_of req m;
         };
     }
 
@@ -187,7 +210,22 @@ let stats_response engine =
 let metrics_response () =
   Jsonl.Obj [ ("ok", Jsonl.Bool true); ("metrics", Obs.snapshot_json ()) ]
 
+(* "models" keeps its original shape (an array of names — the router's
+   health probe and old clients parse it); extension declarations ride in
+   a separate "params" object so new clients can discover model-owned
+   flags without a schema bump *)
 let models_response () =
+  let ext_fields m =
+    List.map
+      (fun ep ->
+        ( ep.Pseudosphere.Model_complex.ep_name,
+          Jsonl.Obj
+            [
+              ("doc", Jsonl.Str ep.Pseudosphere.Model_complex.ep_doc);
+              ("default", Jsonl.int ep.ep_default);
+            ] ))
+      (Pseudosphere.Model_complex.ext_params_of m)
+  in
   Jsonl.Obj
     [
       ("ok", Jsonl.Bool true);
@@ -195,6 +233,15 @@ let models_response () =
         Jsonl.Arr
           (List.map
              (fun n -> Jsonl.Str n)
+             (Pseudosphere.Model_complex.names ())) );
+      ( "params",
+        Jsonl.Obj
+          (List.filter_map
+             (fun name ->
+               match Pseudosphere.Model_complex.find name with
+               | Some m when Pseudosphere.Model_complex.ext_params_of m <> [] ->
+                   Some (name, Jsonl.Obj (ext_fields m))
+               | _ -> None)
              (Pseudosphere.Model_complex.names ())) );
     ]
 

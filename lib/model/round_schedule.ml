@@ -87,6 +87,49 @@ let semi_schedules ~k ~p ~n ~alive =
            Failure.all_patterns ~p failed
            |> List.concat_map (fun pat -> semi_schedules_for ~pat ~p ~n ~alive))
 
+(* ------------------------------------------------------------------ *)
+(* directed dynamic networks: one communication digraph per round      *)
+(* ------------------------------------------------------------------ *)
+
+type digraph = Pid.Set.t Pid.Map.t
+
+let digraphs ~alive =
+  let options_for q =
+    let others = Pid.Set.remove q alive in
+    Failure.power_set others |> List.map (fun m -> Pid.Set.add q m)
+  in
+  product_map (List.map (fun q -> (q, options_for q)) (Pid.Set.elements alive))
+
+let digraph_nodes g = Pid.Map.fold (fun v _ acc -> Pid.Set.add v acc) g Pid.Set.empty
+
+(* forward reachability over edges u -> v (u in the in-neighborhood of v):
+   grow the seen set with every node hearing from it until a fixpoint *)
+let reachable_from g u =
+  let nodes = digraph_nodes g in
+  let rec loop seen =
+    let grow =
+      Pid.Set.filter
+        (fun v ->
+          (not (Pid.Set.mem v seen))
+          && not (Pid.Set.is_empty (Pid.Set.inter (Pid.Map.find v g) seen)))
+        nodes
+    in
+    if Pid.Set.is_empty grow then seen else loop (Pid.Set.union seen grow)
+  in
+  if Pid.Set.mem u nodes then loop (Pid.Set.singleton u) else Pid.Set.empty
+
+let rooted g =
+  let nodes = digraph_nodes g in
+  Pid.Set.exists (fun u -> Pid.Set.equal (reachable_from g u) nodes) nodes
+
+let strongly_connected g =
+  let nodes = digraph_nodes g in
+  Pid.Set.for_all (fun u -> Pid.Set.equal (reachable_from g u) nodes) nodes
+
+let digraph_count ~alive_count =
+  (* each process independently picks a subset of the others to hear *)
+  pow (pow 2 (alive_count - 1)) alive_count
+
 let semi_count ~k ~p ~alive_count =
   let total = ref 0 in
   for j = 0 to min k (alive_count - 1) do

@@ -59,3 +59,28 @@ val semi_schedules_for :
 
 val semi_count : k:int -> p:int -> alive_count:int -> int
 (** Closed-form count of {!semi_schedules}. *)
+
+type digraph = Pid.Set.t Pid.Map.t
+(** A per-round communication digraph of a directed dynamic network
+    (Rincon Galeana et al.), as in-neighborhoods: [digraph p] is the set
+    of processes [p] receives from this round, always including [p]
+    itself.  The same shape as {!async}, but chosen by a message
+    adversary rather than a failure discipline. *)
+
+val digraphs : alive:Pid.Set.t -> digraph list
+(** Every communication digraph on [alive]: each process independently
+    hears from any subset of the others (plus itself). *)
+
+val reachable_from : digraph -> Pid.t -> Pid.Set.t
+(** Forward reachability along edges [u -> v] ([u] in [v]'s
+    in-neighborhood). *)
+
+val rooted : digraph -> bool
+(** Some process reaches every process — the weakest adversary class
+    under which broadcast (and hence consensus) stays solvable. *)
+
+val strongly_connected : digraph -> bool
+(** Every process reaches every process. *)
+
+val digraph_count : alive_count:int -> int
+(** Closed-form count of {!digraphs}. *)

@@ -34,6 +34,11 @@ let tag_psph = '\x01'
 let tag_facets = '\x02'
 let tag_model = '\x03'
 
+(* a model request whose spec carries a non-empty extension payload; the
+   plain [tag_model] layout is still emitted for empty payloads, so
+   pre-extension servers keep decoding every request an old client sends *)
+let tag_model_ext = '\x04'
+
 (* response tags *)
 let tag_result = '\x80'
 let tag_error = '\x81'
@@ -144,11 +149,17 @@ let encode_request { id; want; query } =
         facets
   | Model { model; spec } ->
       range "model name length" (String.length model) 0xff;
-      let { Pseudosphere.Model_complex.n; f; k; p; r } = spec in
+      let { Pseudosphere.Model_complex.n; f; k; p; r; ext } = spec in
       List.iter
         (fun (name, v) -> range name v 0xffff)
         [ ("model n", n); ("model f", f); ("model k", k); ("model p", p); ("model r", r) ];
-      Buffer.add_char b tag_model;
+      range "ext count" (List.length ext) 0xff;
+      List.iter
+        (fun (key, v) ->
+          range "ext key length" (String.length key) 0xff;
+          range ("ext " ^ key) v 0xffff)
+        ext;
+      Buffer.add_char b (if ext = [] then tag_model else tag_model_ext);
       u32 b id;
       u8 b (want_code want);
       u8 b (String.length model);
@@ -157,7 +168,16 @@ let encode_request { id; want; query } =
       u16 b f;
       u16 b k;
       u16 b p;
-      u16 b r);
+      u16 b r;
+      if ext <> [] then begin
+        u8 b (List.length ext);
+        List.iter
+          (fun (key, v) ->
+            u8 b (String.length key);
+            Buffer.add_string b key;
+            u16 b v)
+          ext
+      end);
   Buffer.contents b
 
 let decode_request payload =
@@ -188,7 +208,7 @@ let decode_request payload =
               facets := rstr c len "facet" :: !facets
             done;
             { id; want; query = Facets (List.rev !facets) }
-        | t when t = tag_model ->
+        | t when t = tag_model || t = tag_model_ext ->
             let id, want = head "model" in
             let nlen = r8 c "model name length" in
             let model = rstr c nlen "model name" in
@@ -197,7 +217,20 @@ let decode_request payload =
             let k = r16 c "model k" in
             let p = r16 c "model p" in
             let r = r16 c "model r" in
-            { id; want; query = Model { model; spec = { n; f; k; p; r } } }
+            let ext =
+              if t = tag_model then []
+              else begin
+                let count = r8 c "ext count" in
+                let entries = ref [] in
+                for _ = 1 to count do
+                  let klen = r8 c "ext key length" in
+                  let key = rstr c klen "ext key" in
+                  entries := (key, r16 c "ext value") :: !entries
+                done;
+                List.rev !entries
+              end
+            in
+            { id; want; query = Model { model; spec = { n; f; k; p; r; ext } } }
         | t -> raise (Short (Printf.sprintf "unknown request tag 0x%02x" (Char.code t)))
       in
       if c.pos <> String.length payload then Error "trailing bytes after request"
@@ -438,14 +471,48 @@ let query_of_json req =
                 | Some i when fits16 i -> Some i
                 | _ -> None)
           in
+          (* extension fields by the model's own declaration: ints pack
+             directly, enum-name strings go through the declared parser.
+             Anything that doesn't fit u16 (or an unregistered model with
+             leftover odd fields) keeps exact JSON semantics by falling
+             back to the escape hatch. *)
+          let ext_fields =
+            match Pseudosphere.Model_complex.find model with
+            | None -> Some []
+            | Some m ->
+                List.fold_left
+                  (fun acc ep ->
+                    match acc with
+                    | None -> None
+                    | Some entries -> (
+                        let name = ep.Pseudosphere.Model_complex.ep_name in
+                        match Jsonl.member name req with
+                        | None -> Some entries
+                        | Some v -> (
+                            match Jsonl.to_int_opt v with
+                            | Some i when fits16 i -> Some ((name, i) :: entries)
+                            | Some _ -> None
+                            | None -> (
+                                match Jsonl.to_string_opt v with
+                                | None -> None
+                                | Some s -> (
+                                    match ep.ep_parse s with
+                                    | Ok i when fits16 i ->
+                                        Some ((name, i) :: entries)
+                                    | _ -> None)))))
+                  (Some [])
+                  (Pseudosphere.Model_complex.ext_params_of m)
+                |> Option.map List.rev
+          in
           match
             ( field "f" d.Pseudosphere.Model_complex.f,
               field "k" d.k,
               field "p" d.p,
-              field "r" d.r )
+              field "r" d.r,
+              ext_fields )
           with
-          | Some f, Some k, Some p, Some r ->
-              Some (Both, Model { model; spec = { n; f; k; p; r } })
+          | Some f, Some k, Some p, Some r, Some ext ->
+              Some (Both, Model { model; spec = { n; f; k; p; r; ext } })
           | _ -> None)
       | _ -> None)
   | _ -> None
@@ -465,10 +532,11 @@ let json_line_of_query ?id want query =
         let op = match want with Connectivity -> "connectivity" | _ -> "betti" in
         [ ("op", Jsonl.Str op);
           ("facets", Jsonl.Arr (List.map (fun f -> Jsonl.Str f) facets)) ]
-    | Model { model; spec = { Pseudosphere.Model_complex.n; f; k; p; r } } ->
+    | Model { model; spec = { Pseudosphere.Model_complex.n; f; k; p; r; ext } } ->
         [ ("op", Jsonl.Str "model-complex"); ("model", Jsonl.Str model);
           ("n", Jsonl.int n); ("f", Jsonl.int f); ("k", Jsonl.int k);
           ("p", Jsonl.int p); ("r", Jsonl.int r) ]
+        @ List.map (fun (key, v) -> (key, Jsonl.int v)) ext
   in
   Jsonl.to_string (Jsonl.Obj (idf @ fields))
 

@@ -19,10 +19,18 @@
     request   0x01 psph    id:u32 want:u8 n:u16 values:u16
               0x02 facets  id:u32 want:u8 count:u16 (len:u16 bytes)*count
               0x03 model   id:u32 want:u8 nlen:u8 name n:u16 f:u16 k:u16 p:u16 r:u16
+              0x04 model+  id:u32 want:u8 nlen:u8 name n:u16 f:u16 k:u16 p:u16 r:u16
+                           extcount:u8 (klen:u8 key value:u16)*extcount
     response  0x80 result  id:u32 flags:u8 klen:u8 key [conn:i32]
                            [count:u16 betti:u32*] [solver]
               0x81 error   id:u32 mlen:u16 message
     v}
+
+    Tag [0x04] is the model layout plus a flagged extension block carrying
+    a spec's model-owned parameters (Byzantine budget [t], adversary
+    class, ...).  Encoders emit it only when the payload is non-empty —
+    extension-free specs still encode as [0x03], byte-identical to
+    protocol v2 before extensions existed.
 
     [want] is 0 = both, 1 = betti only, 2 = connectivity only; facet
     entries are {!Psph_topology.Complex_io} simplex strings; response

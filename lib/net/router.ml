@@ -147,6 +147,25 @@ let shard_key line =
               | Some model, Some n ->
                   let d = Pseudosphere.Model_complex.default_spec in
                   let get f dflt = Option.value (int_member f req) ~default:dflt in
+                  (* extension fields by the model's declaration, int or
+                     enum-name string — mirroring Serve's parsing, so two
+                     spellings of one request land on one shard *)
+                  let ext =
+                    List.filter_map
+                      (fun ep ->
+                        let pn = ep.Pseudosphere.Model_complex.ep_name in
+                        match Jsonl.member pn req with
+                        | None -> None
+                        | Some v -> (
+                            match Jsonl.to_int_opt v with
+                            | Some i -> Some (pn, i)
+                            | None ->
+                                Option.bind (Jsonl.to_string_opt v) (fun s ->
+                                    match ep.ep_parse s with
+                                    | Ok i -> Some (pn, i)
+                                    | Error _ -> None)))
+                      (Pseudosphere.Model_complex.ext_params_of model)
+                  in
                   let spec =
                     {
                       Pseudosphere.Model_complex.n;
@@ -154,6 +173,7 @@ let shard_key line =
                       k = get "k" d.k;
                       p = get "p" d.p;
                       r = get "r" d.r;
+                      ext;
                     }
                   in
                   (* encode normalizes via the model; an invalid spec
@@ -161,8 +181,12 @@ let shard_key line =
                   Some
                     (try Pseudosphere.Model_complex.encode model spec
                      with _ ->
-                       Printf.sprintf "%s:%d:%d:%d:%d:%d" name spec.n spec.f
-                         spec.k spec.p spec.r)
+                       Printf.sprintf "%s:%d:%d:%d:%d:%d:%s" name spec.n spec.f
+                         spec.k spec.p spec.r
+                         (String.concat ","
+                            (List.map
+                               (fun (kx, v) -> Printf.sprintf "%s=%d" kx v)
+                               spec.ext)))
               | _ -> None))
       | Some ("betti" | "connectivity") -> (
           match Option.bind (Jsonl.member "facets" req) Jsonl.to_list_opt with

@@ -372,7 +372,10 @@ let tier_name = function
 
 let async2 =
   E.Model
-    { model = "async"; params = { Model_complex.n = 2; f = 1; k = 1; p = 2; r = 1 } }
+    {
+      model = "async";
+      params = { Model_complex.n = 2; f = 1; k = 1; p = 2; r = 1; ext = [] };
+    }
 
 (* sequential engines: these cases assert exact cache/tier transitions *)
 let with_solver_engine f =
@@ -418,7 +421,9 @@ let solver_tier_tests =
             then
               List.iter
                 (fun r ->
-                  let params = { Model_complex.n = 2; f = 1; k = 1; p = 2; r } in
+                  let params =
+                    { Model_complex.n = 2; f = 1; k = 1; p = 2; r; ext = [] }
+                  in
                   match M.validate params with
                   | Error _ -> ()
                   | Ok _ -> (
@@ -456,7 +461,9 @@ let solver_tier_tests =
         (* the realized complex would be astronomically large; the solver
            must answer from the round lemma without building anything *)
         with_solver_engine @@ fun e ->
-        let params = { Model_complex.n = 7; f = 3; k = 1; p = 2; r = 3 } in
+        let params =
+          { Model_complex.n = 7; f = 3; k = 1; p = 2; r = 3; ext = [] }
+        in
         let r = E.eval_conn e (E.Model { model = "sync"; params }) in
         Alcotest.(check string) "tier" "symbolic" (tier_name r.E.solver.E.tier);
         let (module Sync : Model_complex.MODEL) = Model_complex.get "sync" in
@@ -585,6 +592,58 @@ let serve_tests =
                 Alcotest.(check bool) ("lists " ^ name) true found)
               (Model_complex.names ())
         | None -> Alcotest.fail "no error for unknown model");
+    Alcotest.test_case "model-complex reads model-owned ext fields" `Quick
+      (fun () ->
+        let e = Lazy.force engine in
+        let key_of line =
+          let resp = Serve.handle_line e line in
+          match Option.bind (obj_field "key" resp) Jsonl.to_string_opt with
+          | Some k -> k
+          | None -> Alcotest.fail ("no key in response to " ^ line)
+        in
+        (* enum name and integer code spellings land on one cache key *)
+        let by_name =
+          key_of {|{"op":"model-complex","model":"byz","n":2,"t":2,"equiv":"none"}|}
+        in
+        let by_code =
+          key_of {|{"op":"model-complex","model":"byz","n":2,"t":2,"equiv":0}|}
+        in
+        Alcotest.(check string) "byz spellings converge" by_name by_code;
+        let default_key = key_of {|{"op":"model-complex","model":"byz","n":2}|} in
+        Alcotest.(check bool) "t=2 is a different complex" true
+          (by_name <> default_key);
+        let dyn_name =
+          key_of {|{"op":"model-complex","model":"dyn","n":2,"adv":"strong"}|}
+        in
+        let dyn_code = key_of {|{"op":"model-complex","model":"dyn","n":2,"adv":1}|} in
+        Alcotest.(check string) "dyn spellings converge" dyn_name dyn_code;
+        (* a value the model's parser rejects answers an error, not a 500 *)
+        let resp =
+          Serve.handle_line e
+            {|{"op":"model-complex","model":"byz","n":2,"equiv":"maybe"}|}
+        in
+        Alcotest.(check (option bool))
+          "bad enum value rejected" (Some true)
+          (Option.map (fun v -> v = Jsonl.Bool false) (obj_field "ok" resp)));
+    Alcotest.test_case "models op advertises ext parameter metadata" `Quick
+      (fun () ->
+        let e = Lazy.force engine in
+        let resp = Serve.handle_line e {|{"op":"models"}|} in
+        match obj_field "params" resp with
+        | None -> Alcotest.fail "no params field"
+        | Some params ->
+            let byz =
+              match Jsonl.member "byz" params with
+              | Some v -> v
+              | None -> Alcotest.fail "no byz entry"
+            in
+            Alcotest.(check bool) "byz declares t" true
+              (Jsonl.member "t" byz <> None);
+            Alcotest.(check bool) "byz declares equiv" true
+              (Jsonl.member "equiv" byz <> None);
+            (* extension-free models advertise nothing *)
+            Alcotest.(check bool) "async has no entry" true
+              (Jsonl.member "async" params = None));
     Alcotest.test_case "connectivity answers a model query with provenance"
       `Quick (fun () ->
         let e = Lazy.force engine in
@@ -712,6 +771,7 @@ let serve_tests =
       let module Poison : Model_complex.MODEL = struct
         let name = "test-poison"
         let doc = "test-only model whose construction raises"
+        let ext_params = []
         let normalize spec = spec
         let validate spec = Ok spec
         let one_round _ _ = raise Not_found

@@ -22,7 +22,7 @@ let contains ~sub s =
 
 (* a spec with every parameter conspicuously nonzero: after [normalize],
    the fields a model zeroes are exactly the ones it ignores *)
-let nines = { MC.n = 9; f = 9; k = 9; p = 9; r = 9 }
+let nines = { MC.n = 9; f = 9; k = 9; p = 9; r = 9; ext = [] }
 
 (* ------------------------------------------------------------------ *)
 (* registry                                                            *)
@@ -30,10 +30,10 @@ let nines = { MC.n = 9; f = 9; k = 9; p = 9; r = 9 }
 
 let registry_tests =
   [
-    Alcotest.test_case "four models, in registration order" `Quick (fun () ->
+    Alcotest.test_case "six models, in registration order" `Quick (fun () ->
         Alcotest.(check (list string))
           "names"
-          [ "async"; "sync"; "semi"; "iis" ]
+          [ "async"; "sync"; "semi"; "iis"; "byz"; "dyn" ]
           (MC.names ()));
     Alcotest.test_case "find/get/all agree on every name" `Quick (fun () ->
         List.iter
@@ -61,6 +61,7 @@ let registry_tests =
           (module struct
             let name = "async"
             let doc = "impostor"
+            let ext_params = []
             let normalize s = s
             let validate s = Ok s
             let one_round _ _ = Complex.empty
@@ -102,6 +103,8 @@ let normalize_tests =
             ("sync", [ "f"; "p" ]);
             ("semi", [ "f" ]);
             ("iis", [ "f"; "k"; "p" ]);
+            ("byz", [ "f"; "p" ]);
+            ("dyn", [ "f"; "k"; "p" ]);
           ]
         in
         List.iter
@@ -226,7 +229,7 @@ let decomposition_props =
         ~name:(M.name ^ ": pseudosphere decomposition = one round (generic)")
         gen_case
         (fun (n, f, k, p, ins) ->
-          match M.validate { MC.n; f; k; p; r = 1 } with
+          match M.validate { MC.n; f; k; p; r = 1; ext = [] } with
           | Error _ -> true
           | Ok spec ->
               MC.decomposition_holds m spec
@@ -241,7 +244,7 @@ let decomposition_n4 =
       (fun () ->
         List.iter
           (fun ((module M : MC.MODEL) as m) ->
-            match M.validate { MC.n = 4; f = 2; k = 1; p = 2; r = 1 } with
+            match M.validate { MC.n = 4; f = 2; k = 1; p = 2; r = 1; ext = [] } with
             | Error msg -> Alcotest.fail (M.name ^ ": " ^ msg)
             | Ok spec ->
                 Alcotest.(check bool) M.name true
@@ -316,7 +319,7 @@ let rounds_tests =
 (* symbolic solver tier: every rule is a true lower bound              *)
 (* ------------------------------------------------------------------ *)
 
-let spec2 = { MC.n = 2; f = 1; k = 1; p = 2; r = 1 }
+let spec2 = { MC.n = 2; f = 1; k = 1; p = 2; r = 1; ext = [] }
 
 (* runtime-registered test models (e.g. the serve poison model) don't
    promise solver invariants *)
@@ -418,12 +421,320 @@ let solver_tests =
           [ (0, 1); (1, 2); (2, 2); (2, 3); (3, 2) ]);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* canonical encoding: golden pins + the cache-key regression guard    *)
+(* ------------------------------------------------------------------ *)
+
+(* the exact historical byte format for the extension-free models (a
+   change here invalidates every on-disk memo store and warmed replica),
+   and the canonical extended form for the adversary-parameterized ones *)
+let golden_encode_tests =
+  [
+    Alcotest.test_case "encode emits the pinned canonical bytes" `Quick
+      (fun () ->
+        List.iter
+          (fun (name, expect) ->
+            Alcotest.(check string)
+              name expect
+              (MC.encode (MC.get name) MC.default_spec))
+          [
+            ("async", "async:n=2,f=1,k=0,p=0,r=1");
+            ("sync", "sync:n=2,f=0,k=1,p=0,r=1");
+            ("semi", "semi:n=2,f=0,k=1,p=2,r=1");
+            ("iis", "iis:n=2,f=0,k=0,p=0,r=1");
+            ("byz", "byz:n=2,f=0,k=1,p=0,r=1,t=1,equiv=1");
+            ("dyn", "dyn:n=2,f=0,k=0,p=0,r=1,adv=0");
+          ]);
+    Alcotest.test_case "ext payloads canonicalize: order, defaults, junk" `Quick
+      (fun () ->
+        let byz = MC.get "byz" in
+        (* declared order wins over payload order; unknown keys vanish *)
+        Alcotest.(check string)
+          "reordered + junk" "byz:n=2,f=0,k=1,p=0,r=1,t=2,equiv=0"
+          (MC.encode byz
+             {
+               MC.default_spec with
+               ext = [ ("equiv", 0); ("junk", 7); ("t", 2) ];
+             });
+        (* a partial payload fills the missing defaults *)
+        Alcotest.(check string)
+          "partial" "byz:n=2,f=0,k=1,p=0,r=1,t=3,equiv=1"
+          (MC.encode byz { MC.default_spec with ext = [ ("t", 3) ] });
+        let dyn = MC.get "dyn" in
+        Alcotest.(check bool) "adv classes key differently" false
+          (MC.encode dyn { MC.default_spec with ext = [ ("adv", 0) ] }
+          = MC.encode dyn { MC.default_spec with ext = [ ("adv", 1) ] }));
+  ]
+
+(* random ext payload against a model's declaration: each declared key
+   present or absent, values small, order possibly reversed, plus an
+   occasional undeclared key (which normalize must drop) *)
+let gen_ext (module M : MC.MODEL) =
+  QCheck2.Gen.(
+    list_repeat (List.length M.ext_params) (option (int_range 0 3))
+    >>= fun vals ->
+    bool >>= fun rev ->
+    bool |> map (fun junk ->
+        let entries =
+          List.concat
+            (List.map2
+               (fun ep v ->
+                 match v with
+                 | None -> []
+                 | Some v -> [ (ep.MC.ep_name, v) ])
+               M.ext_params vals)
+        in
+        let entries = if rev then List.rev entries else entries in
+        if junk then entries @ [ ("zzz-junk", 1) ] else entries))
+
+let gen_spec (module M : MC.MODEL) =
+  QCheck2.Gen.(
+    int_range 0 3 >>= fun n ->
+    int_range 0 3 >>= fun f ->
+    int_range 0 3 >>= fun k ->
+    int_range 1 3 >>= fun p ->
+    int_range 0 2 >>= fun r ->
+    gen_ext (module M) |> map (fun ext -> { MC.n; f; k; p; r; ext }))
+
+(* the satellite guard: a silent encode collision poisons the memo store
+   and every replica warmed from it, so [encode] must be injective on
+   normalized specs — equal strings iff equal normalized specs — and
+   deterministic across calls *)
+let encode_injective_props =
+  let open QCheck2 in
+  List.map
+    (fun ((module M : MC.MODEL) as m) ->
+      Test.make ~count:200
+        ~name:(M.name ^ ": encode injective on normalized specs, and stable")
+        Gen.(pair (gen_spec (module M)) (gen_spec (module M)))
+        (fun (s1, s2) ->
+          let e1 = MC.encode m s1 and e2 = MC.encode m s2 in
+          String.equal e1 (MC.encode m s1)
+          && Bool.equal (String.equal e1 e2) (M.normalize s1 = M.normalize s2)))
+    (MC.all ())
+  |> List.map QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* the Byzantine model against the Mendes-Herlihy bound                *)
+(* ------------------------------------------------------------------ *)
+
+let byz_spec ~n ~t ~k ~r =
+  { MC.default_spec with n; k; r; ext = [ ("t", t) ] }
+
+let byz_point (n, t, k, r, expect) =
+  let ((module B : MC.MODEL) as byz) = MC.get "byz" in
+  let spec =
+    match B.validate (byz_spec ~n ~t ~k ~r) with
+    | Ok spec -> spec
+    | Error msg -> Alcotest.fail msg
+  in
+  let label = Printf.sprintf "n=%d t=%d k=%d r=%d" n t k r in
+  (* the implementation's guard must agree with the paper's closed form:
+     the lemma applies exactly for r <= ceil(t/k) rounds (and n >= rk+k) *)
+  let closed_form = k >= 1 && r >= 1 && r <= (t + k - 1) / k && n >= (r * k) + k in
+  let bound = B.expected_connectivity spec ~m:n in
+  Alcotest.(check bool)
+    (label ^ " lemma applies iff r <= ceil(t/k) and n >= rk+k")
+    closed_form (bound <> None);
+  Alcotest.(check (option int)) (label ^ " bound") expect bound;
+  match bound with
+  | None -> ()
+  | Some b ->
+      let c = B.rounds spec (input_simplex n) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: numeric >= %d (claimed %s)" label b
+           (match expect with Some e -> string_of_int e | None -> "-"))
+        true
+        (Homology.is_k_connected c b);
+      (* and the check-mode invariant end to end: the solver's symbolic
+         tier never claims more than the numeric tier delivers *)
+      (match Solver.symbolic_model byz spec with
+      | Some s ->
+          Alcotest.(check bool)
+            (label ^ " solver claim within numeric") true
+            (s.Solver.connectivity <= Homology.connectivity c)
+      | None -> Alcotest.fail (label ^ ": lemma tier missing"))
+
+let byz_grid_tests =
+  [
+    Alcotest.test_case "ceil(t/k) bound on the quick grid" `Quick (fun () ->
+        List.iter byz_point
+          [
+            (2, 1, 1, 1, Some 0);
+            (3, 1, 1, 1, Some 0);
+            (2, 1, 1, 2, None) (* budget spent: r > ceil(t/k) *);
+            (2, 1, 2, 1, None) (* n < rk + k *);
+            (2, 0, 1, 1, None) (* no corruption at all *);
+          ]);
+    Alcotest.test_case "ceil(t/k) bound on the big grid" `Slow (fun () ->
+        List.iter byz_point
+          [
+            (4, 2, 2, 1, Some 1) (* (k-1)-connected with k=2 exposures *);
+            (3, 2, 1, 2, Some 0) (* two rounds into a budget of two *);
+          ]);
+    Alcotest.test_case "equivocation mode changes the complex and the key"
+      `Quick (fun () ->
+        let ((module B : MC.MODEL) as byz) = MC.get "byz" in
+        let spec equiv =
+          match
+            B.validate
+              { MC.default_spec with ext = [ ("t", 1); ("equiv", equiv) ] }
+          with
+          | Ok spec -> spec
+          | Error msg -> Alcotest.fail msg
+        in
+        Alcotest.(check bool) "keys differ" false
+          (MC.encode byz (spec 0) = MC.encode byz (spec 1));
+        let s = input_simplex 2 in
+        let c0 = B.one_round (spec 0) s and c1 = B.one_round (spec 1) s in
+        (* binary equivocation strictly enlarges the adversary's options *)
+        Alcotest.(check bool) "equiv=none subcomplex of equiv=binary" true
+          (Complex.subcomplex c0 c1);
+        Alcotest.(check bool) "strictly more states under equivocation" true
+          (Complex.num_simplices c1 > Complex.num_simplices c0));
+    Alcotest.test_case "exposed processes leave; budget shrinks across rounds"
+      `Quick (fun () ->
+        let (module B : MC.MODEL) = MC.get "byz" in
+        let spec =
+          match B.validate (byz_spec ~n:2 ~t:1 ~k:1 ~r:2) with
+          | Ok spec -> spec
+          | Error msg -> Alcotest.fail msg
+        in
+        let c = B.rounds spec (input_simplex 2) in
+        (* t = 1: at most one process is ever exposed, so every facet
+           keeps at least 2 of the 3 processes *)
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) "facet cardinality" true
+              (Pid.Set.cardinal (Simplex.ids s) >= 2))
+          (Complex.facets c));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* the dynamic-network model and its adversary classes                 *)
+(* ------------------------------------------------------------------ *)
+
+let dyn_spec adv = { MC.default_spec with ext = [ ("adv", adv) ] }
+
+let dyn_validated adv =
+  let (module D : MC.MODEL) = MC.get "dyn" in
+  match D.validate (dyn_spec adv) with
+  | Ok spec -> spec
+  | Error msg -> Alcotest.fail msg
+
+let dyn_tests =
+  [
+    Alcotest.test_case "digraph classes: star is rooted, not strong" `Quick
+      (fun () ->
+        let open Psph_model in
+        let pid = Pid.of_int in
+        let alive = Pid.Set.of_list [ pid 0; pid 1; pid 2 ] in
+        let star =
+          (* everyone hears root 0 (and itself); 0 hears only itself *)
+          Pid.Map.of_seq
+            (List.to_seq
+               [
+                 (pid 0, Pid.Set.singleton (pid 0));
+                 (pid 1, Pid.Set.of_list [ pid 0; pid 1 ]);
+                 (pid 2, Pid.Set.of_list [ pid 0; pid 2 ]);
+               ])
+        in
+        Alcotest.(check bool) "star rooted" true (Round_schedule.rooted star);
+        Alcotest.(check bool) "star not strong" false
+          (Round_schedule.strongly_connected star);
+        let silent =
+          Pid.Map.of_seq
+            (Seq.map (fun q -> (q, Pid.Set.singleton q)) (Pid.Set.to_seq alive))
+        in
+        Alcotest.(check bool) "silence not rooted" false
+          (Round_schedule.rooted silent);
+        let complete =
+          Pid.Map.of_seq
+            (Seq.map (fun q -> (q, alive)) (Pid.Set.to_seq alive))
+        in
+        Alcotest.(check bool) "complete strong" true
+          (Round_schedule.strongly_connected complete);
+        let all = Round_schedule.digraphs ~alive in
+        Alcotest.(check int) "closed-form count"
+          (Round_schedule.digraph_count ~alive_count:3)
+          (List.length all);
+        let rooted = List.filter Round_schedule.rooted all in
+        let strong = List.filter Round_schedule.strongly_connected all in
+        Alcotest.(check bool) "strong < rooted < all" true
+          (List.length strong < List.length rooted
+          && List.length rooted < List.length all));
+    Alcotest.test_case "one facet per allowed digraph" `Quick (fun () ->
+        let open Psph_model in
+        let (module D : MC.MODEL) = MC.get "dyn" in
+        let s = input_simplex 2 in
+        let all = Round_schedule.digraphs ~alive:(Simplex.ids s) in
+        List.iter
+          (fun (adv, keep) ->
+            let expected = List.length (List.filter keep all) in
+            let c = D.one_round (dyn_validated adv) s in
+            Alcotest.(check int)
+              (Printf.sprintf "adv=%d facet count" adv)
+              expected
+              (List.length (Complex.facets c)))
+          [
+            (0, Round_schedule.rooted);
+            (1, Round_schedule.strongly_connected);
+            (2, fun _ -> true);
+          ]);
+    Alcotest.test_case "adversary classes nest as subcomplexes" `Quick
+      (fun () ->
+        let (module D : MC.MODEL) = MC.get "dyn" in
+        let s = input_simplex 2 in
+        let c adv = D.rounds (dyn_validated adv) s in
+        Alcotest.(check bool) "strong within rooted" true
+          (Complex.subcomplex (c 1) (c 0));
+        Alcotest.(check bool) "rooted within all" true
+          (Complex.subcomplex (c 0) (c 2)));
+    Alcotest.test_case "rooted/all claim connectedness and deliver it; \
+                        strong stays numeric" `Quick (fun () ->
+        let ((module D : MC.MODEL) as dyn) = MC.get "dyn" in
+        let s = input_simplex 2 in
+        List.iter
+          (fun adv ->
+            let spec = dyn_validated adv in
+            let claim = D.expected_connectivity spec ~m:2 in
+            (match adv with
+            | 1 -> Alcotest.(check (option int)) "strong: no claim" None claim
+            | _ -> Alcotest.(check (option int)) "claimed" (Some 0) claim);
+            let c = D.rounds spec s in
+            Alcotest.(check bool)
+              (Printf.sprintf "adv=%d connected" adv)
+              true
+              (Homology.is_k_connected c 0);
+            match Solver.symbolic_model dyn spec with
+            | Some sres ->
+                Alcotest.(check bool) "solver claim within numeric" true
+                  (sres.Solver.connectivity <= Homology.connectivity c)
+            | None ->
+                Alcotest.(check bool) "only strong lacks a derivation" true
+                  (adv = 1))
+          [ 0; 1; 2 ]);
+    Alcotest.test_case "two rounds stay connected (rooted, n=2)" `Slow
+      (fun () ->
+        let (module D : MC.MODEL) = MC.get "dyn" in
+        let spec =
+          match D.validate { (dyn_spec 0) with r = 2 } with
+          | Ok spec -> spec
+          | Error msg -> Alcotest.fail msg
+        in
+        let c = D.rounds spec (input_simplex 2) in
+        Alcotest.(check bool) "connected" true (Homology.is_k_connected c 0));
+  ]
+
 let suites =
   [
     ("models.registry", registry_tests);
     ("models.normalize", normalize_tests);
     ("models.cache", cache_tests);
+    ("models.encode", golden_encode_tests @ encode_injective_props);
     ("models.decomposition", decomposition_props @ decomposition_n4);
     ("models.rounds", rounds_tests);
     ("models.solver", solver_tests);
+    ("models.byz", byz_grid_tests);
+    ("models.dyn", dyn_tests);
   ]

@@ -385,11 +385,16 @@ let gen_request =
   in
   let model =
     let field = 0 -- 0xffff in
-    map2
-      (fun model (n, (f, (k, (p, r)))) ->
-        Codec.Model { model; spec = { MC.n; f; k; p; r } })
+    let ext =
+      list_size (0 -- 3)
+        (pair (string_size ~gen:(char_range 'a' 'z') (1 -- 8)) field)
+    in
+    map3
+      (fun model (n, (f, (k, (p, r)))) ext ->
+        Codec.Model { model; spec = { MC.n; f; k; p; r; ext } })
       (string_size ~gen:(char_range 'a' 'z') (1 -- 10))
       (pair field (pair field (pair field (pair field field))))
+      ext
   in
   map3
     (fun id want query -> { Codec.id; want; query })
@@ -996,6 +1001,57 @@ let replica_tests =
         with
         | Ok _ -> fail "nothing was listening"
         | Error _ -> ());
+    Alcotest.test_case "hint queue overflow drops (counted), then drains"
+      `Quick
+      (fun () ->
+        (* a full queue must refuse the hint — never backpressure the
+           request path — and the worker must drain normally afterwards *)
+        let t = Replica.create ~metrics:"t.ovf" ~queue_cap:2 () in
+        let m = Mutex.create () and c = Condition.create () in
+        let worker_busy = ref false and release = ref false and ran = ref 0 in
+        let gate () =
+          Mutex.lock m;
+          worker_busy := true;
+          Condition.broadcast c;
+          while not !release do
+            Condition.wait c m
+          done;
+          incr ran;
+          Mutex.unlock m
+        in
+        let quick () =
+          Mutex.lock m;
+          incr ran;
+          Mutex.unlock m
+        in
+        check bool "gate job accepted" true (Replica.async t gate);
+        (* wait until the worker holds the gate job, so the queue is empty *)
+        Mutex.lock m;
+        while not !worker_busy do
+          Condition.wait c m
+        done;
+        Mutex.unlock m;
+        check bool "fills slot 1" true (Replica.async t quick);
+        check bool "fills slot 2" true (Replica.async t quick);
+        check bool "overflow refused, not queued" false (Replica.async t quick);
+        check int "drop counted" 1
+          (Obs.counter_value (Obs.counter "t.ovf.populate_drop"));
+        check int "accepted hints counted" 3
+          (Obs.counter_value (Obs.counter "t.ovf.populate"));
+        Mutex.lock m;
+        release := true;
+        Condition.broadcast c;
+        Mutex.unlock m;
+        check bool "worker drains the burst" true
+          (poll (fun () ->
+               Mutex.lock m;
+               let n = !ran in
+               Mutex.unlock m;
+               n = 3));
+        Replica.stop t;
+        check bool "stopped queue refuses" false (Replica.async t quick);
+        check int "stopped drop counted" 2
+          (Obs.counter_value (Obs.counter "t.ovf.populate_drop")));
   ]
 
 (* ------------------------------------------------------------------ *)
