@@ -36,15 +36,7 @@ let phase name f = snd (timed name f)
    files exist, so a bench that dies mid-write must never leave a
    half-written JSON behind a complete-looking name. *)
 let write_json path f =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  (try f oc
-   with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  close_out oc;
-  Sys.rename tmp path;
+  Jsonl.write_atomic path f;
   print_endline ("wrote " ^ path)
 
 (* ------------------------------------------------------------------ *)

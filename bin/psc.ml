@@ -502,19 +502,7 @@ let reactor_threads_arg =
    reactor loops: give each request its own thread, bounded; past the
    bound, run inline (the loop briefly backpressures, which is the
    point) *)
-let threaded_dispatch ?(max_threads = 256) () =
-  let active = Atomic.make 0 in
-  fun job ->
-    if Atomic.fetch_and_add active 1 < max_threads then
-      ignore
-        (Thread.create
-           (fun () ->
-             Fun.protect ~finally:(fun () -> Atomic.decr active) job)
-           ())
-    else begin
-      Atomic.decr active;
-      job ()
-    end
+let threaded_dispatch = Psph_net.Server.threaded_dispatch
 
 let serve_cmd =
   let run trace metrics listen max_conns deadline_ms domains cache_size persist
@@ -969,6 +957,438 @@ let sim_cmd =
       const run $ trace_arg $ c1_arg $ c2_arg $ d_arg $ n_arg $ until_arg
       $ slow_solo_arg $ after_step_arg $ validate_arg)
 
+(* ------------------------------------------------------------------ *)
+(* load + chaos: the traffic/adversity harness (lib/load, docs/LOAD.md) *)
+(* ------------------------------------------------------------------ *)
+
+(* "LO:HI" millisecond spans for the chaos delay; a bare integer means
+   a fixed delay, 0:0 means off *)
+let span_conv =
+  let parse s =
+    let num x =
+      match int_of_string_opt x with
+      | Some v when v >= 0 -> Ok v
+      | _ -> Error (`Msg "expected nonnegative integers LO:HI")
+    in
+    match String.index_opt s ':' with
+    | None -> Result.map (fun v -> (v, v)) (num s)
+    | Some i -> (
+        match
+          ( num (String.sub s 0 i),
+            num (String.sub s (i + 1) (String.length s - i - 1)) )
+        with
+        | Ok lo, Ok hi when lo <= hi -> Ok (lo, hi)
+        | Ok _, Ok _ -> Error (`Msg "expected LO <= HI")
+        | (Error _ as e), _ | _, (Error _ as e) -> e)
+  in
+  Arg.conv (parse, fun ppf (lo, hi) -> Format.fprintf ppf "%d:%d" lo hi)
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Seed for every random choice (arrival times, key skew, chaos \
+           schedule).  The same seed replays the same schedule.")
+
+let faults_of (dlo, dhi) throttle reset torn corrupt =
+  {
+    Psph_load.Chaos.delay_ms = (if dhi = 0 then None else Some (dlo, dhi));
+    throttle_bps = (if throttle > 0 then Some throttle else None);
+    reset_ppc = reset;
+    torn_ppc = torn;
+    corrupt_ppc = corrupt;
+  }
+
+let load_cmd =
+  let run trace connect soak out rate conns pipeline_depth codec duration
+      keyspace zipf seed timeout_ms retries backends replicas warm_s slo_ms
+      warm_floor no_kill delay throttle reset torn corrupt =
+    let lcfg =
+      {
+        Psph_load.Loadgen.rate;
+        conns;
+        pipeline_depth = max 1 pipeline_depth;
+        codec;
+        duration_s = duration;
+        keyspace;
+        zipf;
+        seed;
+        timeout_ms;
+        retries;
+      }
+    in
+    let code =
+      with_trace trace @@ fun () ->
+      if soak then begin
+        let cfg =
+          {
+            Psph_load.Soak.backends;
+            replicas;
+            load = lcfg;
+            faults = faults_of delay throttle reset torn corrupt;
+            seed;
+            warm_s;
+            slo_p99_ms = slo_ms;
+            warm_floor;
+            kill_backend = not no_kill;
+            converge_timeout_s = 20.;
+            make_backend = (fun i -> Psph_load.Soak.spawn_backend i);
+          }
+        in
+        match Psph_load.Soak.run cfg with
+        | Error m ->
+            Format.eprintf "psc load: soak: %s@." m;
+            1
+        | Ok r ->
+            Psph_load.Soak.print_summary stdout r;
+            flush stdout;
+            Option.iter
+              (fun path ->
+                Psph_obs.Jsonl.write_atomic path (fun oc ->
+                    output_string oc
+                      (Psph_obs.Jsonl.to_string (Psph_load.Soak.to_json r));
+                    output_char oc '\n');
+                Format.eprintf "psc load: wrote %s@." path)
+              out;
+            if Psph_load.Soak.passed r then 0 else 1
+      end
+      else
+        match connect with
+        | None ->
+            Format.eprintf
+              "psc load: --connect HOST:PORT required (or --soak)@.";
+            1
+        | Some addr ->
+            let st = Psph_load.Loadgen.run lcfg addr in
+            let completed = Psph_load.Loadgen.completed st in
+            let p pct = 1000. *. Psph_load.Loadgen.percentile st.latencies pct in
+            Printf.printf
+              "load seed %d: %d sent, %d ok (%d cached), %d server-err, %d \
+               timeout, %d conn, %d proto\n"
+              seed st.sent st.ok st.cached
+              (List.fold_left (fun a (_, n) -> a + n) 0 st.server_errors)
+              st.timeouts st.conn_errors st.proto_errors;
+            Printf.printf "  %.1f req/s, p50 %.2fms p99 %.2fms over %.1fs\n"
+              (float_of_int completed /. st.wall_s)
+              (p 50.) (p 99.) st.wall_s;
+            Option.iter
+              (fun path ->
+                Psph_obs.Jsonl.write_atomic path (fun oc ->
+                    output_string oc
+                      (Psph_obs.Jsonl.to_string
+                         (Psph_obs.Jsonl.Obj
+                            [
+                              ("seed", Psph_obs.Jsonl.int seed);
+                              ("sent", Psph_obs.Jsonl.int st.sent);
+                              ("ok", Psph_obs.Jsonl.int st.ok);
+                              ("cached", Psph_obs.Jsonl.int st.cached);
+                              ( "rps",
+                                Psph_obs.Jsonl.Num
+                                  (float_of_int completed /. st.wall_s) );
+                              ("p50_ms", Psph_obs.Jsonl.Num (p 50.));
+                              ("p99_ms", Psph_obs.Jsonl.Num (p 99.));
+                            ]));
+                    output_char oc '\n');
+                Format.eprintf "psc load: wrote %s@." path)
+              out;
+            if st.sent > 0 && completed = st.sent && st.unresolved = 0 then 0
+            else 1
+    in
+    if code <> 0 then exit code
+  in
+  let connect_opt_arg =
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:"Server or router to drive (ignored with $(b,--soak)).")
+  in
+  let soak_arg =
+    Arg.(
+      value & flag
+      & info [ "soak" ]
+          ~doc:
+            "Run the full invariant-checked soak: spawn backends, chaos \
+             proxies, a replicated router and the generator, inject the \
+             seeded fault timeline, and exit nonzero if any invariant \
+             fails (see docs/LOAD.md).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write results as JSON (tmp+rename) to $(docv).")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt float 500.
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Open-loop arrival rate, requests/second across all \
+             connections.  The schedule never slows down for a struggling \
+             server; latency is measured from intended arrival.")
+  in
+  let conns_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "conns" ] ~docv:"N" ~doc:"Generator connections (one thread each).")
+  in
+  let load_depth_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "pipeline-depth" ] ~docv:"N"
+          ~doc:"In-flight requests per generator connection.")
+  in
+  let load_codec_arg =
+    Arg.(
+      value
+      & opt (enum [ ("json", `Json); ("binary", `Binary) ]) `Binary
+      & info [ "codec" ] ~docv:"CODEC"
+          ~doc:"Codec to request at the v2 handshake (negotiated).")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Length of the run ($(b,--soak): of each measured phase).")
+  in
+  let keyspace_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "keyspace" ] ~docv:"K"
+          ~doc:
+            "Distinct keys in the query table (drawn from the model \
+             registry's spec space).")
+  in
+  let zipf_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:"Zipf skew exponent over the key table; 0 = uniform.")
+  in
+  let load_timeout_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Per-attempt request timeout.")
+  in
+  let load_retries_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N" ~doc:"Retries on retryable failures.")
+  in
+  let backends_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "backends" ] ~docv:"N"
+          ~doc:"($(b,--soak)) Backend processes to spawn.")
+  in
+  let soak_replicas_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "replicas" ] ~docv:"R"
+          ~doc:"($(b,--soak)) Replication factor of the router's memo tier.")
+  in
+  let warm_arg =
+    Arg.(
+      value & opt float 3.
+      & info [ "warm" ] ~docv:"SECONDS"
+          ~doc:
+            "($(b,--soak)) Warmup phase: uniform skew, fills every key and \
+             lets populate hints replicate before measuring.")
+  in
+  let slo_arg =
+    Arg.(
+      value & opt float 250.
+      & info [ "slo-ms" ] ~docv:"MS"
+          ~doc:"($(b,--soak)) p99 SLO for the clean and recovery phases.")
+  in
+  let warm_floor_arg =
+    Arg.(
+      value & opt float 0.7
+      & info [ "warm-floor" ] ~docv:"RATE"
+          ~doc:
+            "($(b,--soak)) Minimum recovery-phase cached-hit rate — the \
+             replicas-stayed-warm invariant.")
+  in
+  let no_kill_arg =
+    Arg.(
+      value & flag
+      & info [ "no-kill" ]
+          ~doc:
+            "($(b,--soak)) Skip the mid-chaos SIGKILL + restart of one \
+             backend.")
+  in
+  let chaos_delay_arg =
+    Arg.(
+      value
+      & opt span_conv (2, 20)
+      & info [ "chaos-delay" ] ~docv:"LO:HI"
+          ~doc:
+            "($(b,--soak)) Added per-chunk latency range in ms during the \
+             chaos phase; 0:0 disables.")
+  in
+  let chaos_throttle_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "chaos-throttle-bps" ] ~docv:"BPS"
+          ~doc:"($(b,--soak)) Bandwidth cap per direction; 0 disables.")
+  in
+  let chaos_reset_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "chaos-reset-ppc" ] ~docv:"PPC"
+          ~doc:
+            "($(b,--soak)) Connection resets per thousand forwarded chunks.")
+  in
+  let chaos_torn_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "chaos-torn-ppc" ] ~docv:"PPC"
+          ~doc:"($(b,--soak)) Torn frames per thousand forwarded chunks.")
+  in
+  let chaos_corrupt_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "chaos-corrupt-ppc" ] ~docv:"PPC"
+          ~doc:
+            "($(b,--soak)) Single-byte corruptions per thousand forwarded \
+             chunks.")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Open-loop load generator for a serve/route endpoint — or, with \
+          $(b,--soak), the full invariant-checked chaos soak: cluster + \
+          chaos proxies + generator, exit nonzero on any violated \
+          invariant.  See docs/LOAD.md.")
+    Term.(
+      const run $ trace_arg $ connect_opt_arg $ soak_arg $ out_arg $ rate_arg
+      $ conns_arg $ load_depth_arg $ load_codec_arg $ duration_arg
+      $ keyspace_arg $ zipf_arg $ seed_arg $ load_timeout_arg
+      $ load_retries_arg $ backends_arg $ soak_replicas_arg $ warm_arg
+      $ slo_arg $ warm_floor_arg $ no_kill_arg $ chaos_delay_arg
+      $ chaos_throttle_arg $ chaos_reset_arg $ chaos_torn_arg
+      $ chaos_corrupt_arg)
+
+let chaos_cmd =
+  let run trace listen upstream seed delay throttle reset torn corrupt
+      disabled partition_every partition_for =
+    let code =
+      with_trace trace @@ fun () ->
+      let faults = faults_of delay throttle reset torn corrupt in
+      match Psph_load.Chaos.create ~seed ~faults ~upstream listen with
+      | Error m ->
+          Format.eprintf "psc chaos: %s@." m;
+          1
+      | Ok proxy ->
+          Psph_load.Chaos.set_enabled proxy (not disabled);
+          Format.eprintf "psc chaos: %s -> %s, seed %d, faults %s@."
+            (Psph_net.Addr.to_string (Psph_load.Chaos.addr proxy))
+            (Psph_net.Addr.to_string upstream)
+            seed
+            (if disabled then "disabled" else "enabled");
+          let stop = ref false in
+          let on_sig _ = stop := true in
+          Sys.set_signal Sys.sigint (Sys.Signal_handle on_sig);
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle on_sig);
+          let last_partition = ref (Psph_obs.Obs.monotonic ()) in
+          while not !stop do
+            Thread.delay 0.1;
+            if
+              partition_every > 0.
+              && Psph_obs.Obs.monotonic () -. !last_partition
+                 >= partition_every
+            then begin
+              Format.eprintf "psc chaos: partition for %.1fs@." partition_for;
+              Psph_load.Chaos.set_partition proxy Psph_load.Chaos.Full;
+              Thread.delay partition_for;
+              Psph_load.Chaos.set_partition proxy
+                Psph_load.Chaos.No_partition;
+              Format.eprintf "psc chaos: partition healed@.";
+              last_partition := Psph_obs.Obs.monotonic ()
+            end
+          done;
+          Psph_load.Chaos.stop proxy;
+          dump_metrics_stderr ();
+          0
+    in
+    if code <> 0 then exit code
+  in
+  let listen_arg =
+    Arg.(
+      required
+      & opt (some addr_conv) None
+      & info [ "listen" ] ~docv:"HOST:PORT" ~doc:"Address to listen on.")
+  in
+  let upstream_arg =
+    Arg.(
+      required
+      & opt (some addr_conv) None
+      & info [ "upstream" ] ~docv:"HOST:PORT"
+          ~doc:"Real server the proxy forwards to.")
+  in
+  let delay_arg =
+    Arg.(
+      value & opt span_conv (0, 0)
+      & info [ "delay" ] ~docv:"LO:HI"
+          ~doc:"Added per-chunk latency range in ms; 0:0 disables.")
+  in
+  let throttle_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "throttle-bps" ] ~docv:"BPS"
+          ~doc:"Bandwidth cap per direction; 0 disables.")
+  in
+  let reset_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "reset-ppc" ] ~docv:"PPC"
+          ~doc:"Connection resets per thousand forwarded chunks.")
+  in
+  let torn_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "torn-ppc" ] ~docv:"PPC"
+          ~doc:"Torn frames (truncate then reset) per thousand chunks.")
+  in
+  let corrupt_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "corrupt-ppc" ] ~docv:"PPC"
+          ~doc:"Single-byte corruptions per thousand chunks.")
+  in
+  let disabled_arg =
+    Arg.(
+      value & flag
+      & info [ "start-disabled" ]
+          ~doc:"Start as a transparent relay (faults off).")
+  in
+  let partition_every_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "partition-every" ] ~docv:"SECONDS"
+          ~doc:"Open a full partition periodically; 0 = never.")
+  in
+  let partition_for_arg =
+    Arg.(
+      value & opt float 1.
+      & info [ "partition-for" ] ~docv:"SECONDS"
+          ~doc:"Length of each periodic partition.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a standalone fault-injecting TCP proxy in front of a serve or \
+          route endpoint, with a seeded reproducible fault schedule.  \
+          SIGINT/SIGTERM stops it and dumps chaos.* metrics to stderr.  See \
+          docs/LOAD.md.")
+    Term.(
+      const run $ trace_arg $ listen_arg $ upstream_arg $ seed_arg
+      $ delay_arg $ throttle_arg $ reset_arg $ torn_arg $ corrupt_arg
+      $ disabled_arg $ partition_every_arg $ partition_for_arg)
+
 let () =
   let doc = "pseudosphere calculator (Herlihy-Rajsbaum-Tuttle, PODC 1998)" in
   let info = Cmd.info "psc" ~version:"1.0.0" ~doc in
@@ -978,4 +1398,4 @@ let () =
           (List.map model_cmd (Model_complex.all ())
           @ [ pseudosphere_cmd; models_cmd; decide_cmd; bound_cmd; mv_cmd;
               connectivity_cmd; run_cmd; sim_cmd; serve_cmd; query_cmd;
-              route_cmd ])))
+              route_cmd; load_cmd; chaos_cmd ])))

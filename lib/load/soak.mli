@@ -1,0 +1,89 @@
+(** Invariant-checked soak runs: cluster + chaos proxies + generator.
+
+    {!run} assembles the whole topology in one process tree — N
+    backends (child [psc serve] processes via {!spawn_backend}, or
+    anything else through [make_backend]), one {!Chaos} proxy {e per
+    backend}, a replicated {!Psph_net.Router} pointed at the proxies, a
+    front {!Psph_net.Server}, and the open-loop {!Loadgen} driving the
+    front — then runs warm / clean / chaos / recovery phases and checks
+    invariants at exit:
+
+    - {b no_silent_loss} — every generated request in every phase ended
+      in exactly one taxonomy bucket; zero "internal:" markers.
+    - {b prober_converged} — after the last heal every backend is alive
+      again within [converge_timeout_s].
+    - {b warm_floor} — recovery-phase cached-hit rate at or above
+      [warm_floor]: replicas kept the killed backend's keys warm.
+    - {b p99_slo} — clean and recovery phases meet [slo_p99_ms] (the
+      chaos phase is reported, never judged).
+
+    The chaos timeline inside the chaos phase, at fractions of the
+    phase duration: faults on at 0, a half-open partition on one proxy
+    at 1/4, healed at 1/2, one backend SIGKILLed at 1/2 (when
+    [kill_backend] and at least two backends) and restarted at 3/4.
+    All randomness — fault schedule, arrival times, key skew — derives
+    from [seed], which is printed and recorded in the result. *)
+
+open Psph_net
+
+type backend = {
+  baddr : Addr.t;
+  kill : unit -> unit;  (** abrupt death (SIGKILL for child processes) *)
+  restart : unit -> unit;  (** come back on the same address, cold *)
+  shutdown : unit -> unit;  (** graceful teardown at end of run *)
+}
+
+type config = {
+  backends : int;
+  replicas : int;
+  load : Loadgen.config;
+      (** [duration_s] is the length of each measured phase *)
+  faults : Chaos.faults;  (** active during the chaos phase *)
+  seed : int;
+  warm_s : float;
+  slo_p99_ms : float;
+  warm_floor : float;
+  kill_backend : bool;
+  converge_timeout_s : float;
+  make_backend : int -> (backend, string) result;
+}
+
+type phase = {
+  p_name : string;
+  p_stats : Loadgen.stats;
+  p_rps : float;
+  p_p50_ms : float;
+  p_p99_ms : float;
+}
+
+type invariant = { i_name : string; i_ok : bool; i_detail : string }
+
+type result = {
+  phases : phase list;  (** clean, chaos, recovery *)
+  invariants : invariant list;
+  seed : int;
+  chaos : (string * int) list;  (** [chaos.*] counter deltas for the run *)
+  converge_s : float;  (** post-heal convergence time; -1 if never *)
+}
+
+val passed : result -> bool
+
+val spawn_backend :
+  ?psc:string -> ?args:string list -> int -> (backend, string) Stdlib.result
+(** A [make_backend] that spawns [psc serve --listen 127.0.0.1:<free>]
+    as a child process ([psc] defaults to [Sys.executable_name] — right
+    when the caller {e is} psc) and waits until it answers
+    [{"op":"models"}].  [kill] is a real SIGKILL, which is what makes
+    the soak's failover claims honest. *)
+
+val run : config -> (result, string) Stdlib.result
+(** Blocks for the whole soak (roughly [warm_s + 3 * duration_s] plus
+    convergence waits).  [Error] only on harness failures (a backend or
+    proxy that never came up); invariant violations are reported in the
+    result, not as [Error] — check {!passed}. *)
+
+val to_json : result -> Psph_obs.Jsonl.t
+(** The BENCH_load.json payload: per-phase throughput/latency, chaos
+    counter deltas, invariant verdicts, seed. *)
+
+val print_summary : out_channel -> result -> unit

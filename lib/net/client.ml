@@ -166,6 +166,22 @@ let close t =
 
 let connection fmt = Printf.ksprintf (fun m -> raise (Err (Connection m))) fmt
 
+(* the peer (or a chaos proxy between us and it) killed the connection
+   under us mid-request.  Named explicitly rather than left to the
+   catch-all so the taxonomy is stable — these are the errors a reset
+   storm surfaces constantly — and kept retryable: a fresh connection
+   may well land on a healthy peer. *)
+let reset_name = function
+  | Unix.ECONNRESET -> Some "ECONNRESET"
+  | Unix.EPIPE -> Some "EPIPE"
+  | Unix.ECONNABORTED -> Some "ECONNABORTED"
+  | _ -> None
+
+let connection_io what e =
+  match reset_name e with
+  | Some name -> connection "connection reset by peer mid-request (%s)" name
+  | None -> connection "%s failed: %s" what (Unix.error_message e)
+
 let connect_with_timeout t deadline =
   let sockaddr =
     match Addr.resolve t.addr with
@@ -237,8 +253,7 @@ let send_all fd s deadline =
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
           raise (Err Timeout)
-      | exception Unix.Unix_error (e, _, _) ->
-          connection "send failed: %s" (Unix.error_message e)
+      | exception Unix.Unix_error (e, _, _) -> connection_io "send" e
     end
   in
   go 0
@@ -271,8 +286,7 @@ let recv_one c deadline =
           ->
             raise (Err Timeout)
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-        | exception Unix.Unix_error (e, _, _) ->
-            connection "receive failed: %s" (Unix.error_message e))
+        | exception Unix.Unix_error (e, _, _) -> connection_io "receive" e)
   in
   go ()
 
@@ -645,8 +659,7 @@ let drive ?on_latency t (items : ditem array) =
             ->
               expire ()
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-          | exception Unix.Unix_error (e, _, _) ->
-              connection "receive failed: %s" (Unix.error_message e)
+          | exception Unix.Unix_error (e, _, _) -> connection_io "receive" e
         end;
         go ()
       end

@@ -6,8 +6,11 @@
     failures classified:
 
     - {b retryable} — connect refused/unreachable, request timeout, the
-      connection dying mid-frame (torn frame).  Retried up to [retries]
-      times with exponential backoff plus full jitter.
+      connection dying mid-frame (torn frame), and the peer resetting
+      the connection mid-request ([ECONNRESET]/[EPIPE]/[ECONNABORTED] —
+      what a crashed backend or a chaos proxy's reset mode surfaces).
+      Retried up to [retries] times with exponential backoff plus full
+      jitter.
     - {b fatal} — protocol errors (an oversized or undecodable frame
       from the server).  Never retried: the peer is speaking a different
       language, not having a bad moment.

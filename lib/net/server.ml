@@ -500,6 +500,23 @@ let serve t =
 
 let start t = t.server_thread <- Some (Thread.create (fun () -> serve t) ())
 
+(* a [dispatch] for handlers that block on their own downstream I/O
+   (e.g. a Router fanning out to backends): one thread per in-flight
+   job up to [max_threads], inline beyond that so overload degrades to
+   backpressure instead of unbounded thread creation *)
+let threaded_dispatch ?(max_threads = 256) () =
+  let active = Atomic.make 0 in
+  fun job ->
+    if Atomic.fetch_and_add active 1 < max_threads then
+      ignore
+        (Thread.create
+           (fun () -> Fun.protect ~finally:(fun () -> Atomic.decr active) job)
+           ())
+    else begin
+      Atomic.decr active;
+      job ()
+    end
+
 let stop t =
   request_stop t;
   match t.server_thread with

@@ -262,3 +262,18 @@ let to_list_opt = function Arr vs -> Some vs | _ -> None
 let int i = Num (float_of_int i)
 
 let int_array a = Arr (Array.to_list (Array.map int a))
+
+(* ------------------------------------------------------------------ *)
+(* atomic file output                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let write_atomic path f =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try f oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Sys.rename tmp path

@@ -36,3 +36,9 @@ val to_list_opt : t -> t list option
 val int : int -> t
 
 val int_array : int array -> t
+
+val write_atomic : string -> (out_channel -> unit) -> unit
+(** [write_atomic path f] runs [f] on a channel for [path ^ ".tmp"] and
+    renames the result over [path] — readers never observe a partial
+    file.  On exception the temp file is removed and the exception
+    re-raised.  Used for the [BENCH_*.json] artifacts. *)

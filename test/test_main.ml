@@ -7,4 +7,4 @@ let () =
     @ Test_carrier_map.suites @ Test_connectivity_cert.suites
     @ Test_integration.suites @ Test_coverage.suites @ Test_complex_io.suites
     @ Test_models.suites @ Test_engine.suites @ Test_obs.suites
-    @ Test_net.suites)
+    @ Test_net.suites @ Test_load.suites)

@@ -143,6 +143,44 @@ let frame_props =
         let torn = Frame.next r = None && Frame.pending r = k in
         Frame.feed_string r (String.sub wire k (String.length wire - k));
         torn && Frame.next r = Some payload && Frame.pending r = 0);
+    (* the chaos proxy's corruption mode in miniature: flip one byte
+       anywhere in a valid multi-frame wire (length header or body).
+       The reader may desync (wait forever for bytes that never come),
+       deliver a different payload, or poison on an insane length — but
+       it must never raise anything but Oversized and never loop *)
+    Test.make ~name:"single-byte corruption: poison or desync, never a crash"
+      ~count:500
+      Gen.(
+        tup4
+          (list_size (1 -- 5) (string_size (0 -- 120)))
+          nat nat (1 -- 13))
+      (fun (payloads, bytepos, mask, chunk) ->
+        let wire = String.concat "" (List.map Frame.encode payloads) in
+        let buf = Bytes.of_string wire in
+        let n = Bytes.length buf in
+        let i = bytepos mod n in
+        Bytes.set buf i
+          (Char.chr (Char.code (Bytes.get buf i) lxor (1 + (mask mod 255))));
+        let r = Frame.reader () in
+        let off = ref 0 in
+        let ok = ref true in
+        (try
+           while !off < n do
+             let len = min chunk (n - !off) in
+             (match Frame.feed r buf !off len with
+             | () -> ()
+             | exception Frame.Oversized _ -> () (* poisoned: legal *));
+             off := !off + len
+           done;
+           let rec drain () =
+             match Frame.next r with
+             | Some _ -> drain ()
+             | None -> ()
+             | exception Frame.Oversized _ -> ()
+           in
+           drain ()
+         with _ -> ok := false);
+        !ok);
   ]
   |> List.map QCheck_alcotest.to_alcotest
 
@@ -681,6 +719,108 @@ let pipeline_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Reset taxonomy (the chaos proxy's reset mode in miniature)          *)
+(* ------------------------------------------------------------------ *)
+
+(* a server whose first connection is hard-closed with SO_LINGER 0 (so
+   the kernel sends RST, not FIN) after the request arrives — the
+   client sees ECONNRESET mid-request — and whose later connections
+   answer properly, so a retry can succeed *)
+let with_reset_then_ok_server f =
+  let lfd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.bind lfd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lfd 8;
+  let port =
+    match Unix.getsockname lfd with Unix.ADDR_INET (_, p) -> p | _ -> 0
+  in
+  let stop = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        let first = ref true in
+        while not (Atomic.get stop) do
+          match Unix.accept lfd with
+          | exception Unix.Unix_error _ -> Atomic.set stop true
+          | c, _ ->
+              if !first then begin
+                first := false;
+                ignore
+                  (try Unix.read c (Bytes.create 256) 0 256
+                   with Unix.Unix_error _ -> 0);
+                (try Unix.setsockopt_optint c Unix.SO_LINGER (Some 0)
+                 with Unix.Unix_error _ -> ());
+                try Unix.close c with Unix.Unix_error _ -> ()
+              end
+              else begin
+                let r = Frame.reader () in
+                let buf = Bytes.create 4096 in
+                let rec req () =
+                  match Frame.next r with
+                  | Some p -> Some p
+                  | None ->
+                      let n = Unix.read c buf 0 (Bytes.length buf) in
+                      if n = 0 then None
+                      else begin
+                        Frame.feed r buf 0 n;
+                        req ()
+                      end
+                in
+                (try
+                   match req () with
+                   | Some _ ->
+                       let resp =
+                         Frame.encode {|{"ok":true,"reborn":true}|}
+                       in
+                       ignore
+                         (Unix.write_substring c resp 0 (String.length resp))
+                   | None -> ()
+                 with Unix.Unix_error _ -> ());
+                try Unix.close c with Unix.Unix_error _ -> ()
+              end
+        done)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      (try Unix.shutdown lfd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      Thread.join th)
+    (fun () -> f (loopback port))
+
+let reset_tests =
+  [
+    Alcotest.test_case "ECONNRESET mid-request is a named retryable failure"
+      `Quick
+      (fun () ->
+        with_reset_then_ok_server @@ fun addr ->
+        let c = Client.create ~timeout_ms:2000 ~retries:0 addr in
+        (match Client.request c {|{"op":"ping"}|} with
+        | Ok r -> fail ("expected a reset, got " ^ r)
+        | Error e -> (
+            check bool "classified retryable" true (Client.is_retryable e);
+            match e with
+            | Client.Connection m ->
+                check_contains "names the reset family" m
+                  "reset by peer mid-request"
+            | Client.Timeout | Client.Protocol _ ->
+                fail
+                  ("expected a Connection error, got "
+                  ^ Client.error_message e)));
+        Client.close c);
+    Alcotest.test_case "a retry rides a fresh connection past the reset"
+      `Quick
+      (fun () ->
+        with_reset_then_ok_server @@ fun addr ->
+        let c = Client.create ~timeout_ms:2000 ~retries:2 addr in
+        (match Client.request c {|{"op":"ping"}|} with
+        | Ok r -> check_contains "second connection answered" r "reborn"
+        | Error e -> fail (Client.error_message e));
+        Client.close c);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Router                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1161,6 +1301,49 @@ let cluster_tests =
         let probed = Router.route r {|{"op":"psph","n":1,"values":1}|} in
         check_contains "prober running: when to come back" probed
           {|"retry_after_ms":250|});
+    Alcotest.test_case "full partition degrades, then recovers after heal"
+      `Quick
+      (fun () ->
+        (* every backend unreachable: the degraded answer carries the
+           retry hint while the prober runs — and once a backend comes
+           back on one of those very ports, the prober revives it and
+           real answers resume without touching the router *)
+        let p1 = dead_port () and p2 = dead_port () in
+        let r =
+          Router.create ~timeout_ms:300 ~retries:0 ~check_period_ms:100
+            [ loopback p1; loopback p2 ]
+        in
+        Router.start_health_checks r;
+        Fun.protect ~finally:(fun () -> Router.stop r) @@ fun () ->
+        let dark = Router.route r {|{"op":"psph","n":1,"values":2,"id":7}|} in
+        check_contains "degrades under full partition" dark "no backend";
+        check_contains "id echoed" dark {|"id":7|};
+        check_contains "prober promises a retry" dark {|"retry_after_ms":100|};
+        check bool "router sees every backend dead" true
+          (List.for_all (fun (_, alive) -> not alive) (Router.backends r));
+        let engine = E.create ~domains:0 () in
+        match
+          Server.listen ~handler:(Serve.handle_line engine) (loopback p2)
+        with
+        | Error m -> fail m
+        | Ok srv ->
+            Server.start srv;
+            Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+            let deadline = Obs.monotonic () +. 5. in
+            let rec wait () =
+              let resp = Router.route r {|{"op":"psph","n":1,"values":2}|} in
+              if contains resp {|"ok":true|} then resp
+              else if Obs.monotonic () > deadline then
+                fail ("no recovery after heal: " ^ resp)
+              else begin
+                Thread.delay 0.05;
+                wait ()
+              end
+            in
+            let healed = wait () in
+            check_contains "healed answer is a real one" healed {|"betti"|};
+            check bool "prober revived the healed backend" true
+              (List.exists (fun (_, alive) -> alive) (Router.backends r)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1280,6 +1463,7 @@ let suites =
     ("net loopback", loopback_tests);
     ("net codec", codec_props @ codec_tests);
     ("net pipeline", pipeline_tests);
+    ("net reset taxonomy", reset_tests);
     ("net router", router_tests);
     ("net ring", ring_props);
     ("net replica", replica_tests);
